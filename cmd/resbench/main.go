@@ -1,0 +1,142 @@
+// Command resbench regenerates the paper's tables and figures on the
+// simulated substrate.
+//
+// Usage:
+//
+//	resbench -exp all                 # everything (can take minutes)
+//	resbench -exp table4,table7,fig7  # a subset
+//	resbench -size 0.25 -iters 200    # smaller/faster run
+//
+// Experiments: table4..table13, fig1, fig2, fig3, fig6, fig7, fig8,
+// predcost, memsize.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiments or 'all'")
+		size     = flag.Float64("size", 0.25, "workload size factor (1 = paper-sized)")
+		iters    = flag.Int("iters", 200, "MART boosting iterations")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		t13iters = flag.Int("t13iters", 1000, "boosting iterations for Table 13 timing")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	all := *expFlag == "all"
+	for _, e := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	sel := func(name string) bool { return all || want[name] }
+
+	needRunner := false
+	for _, e := range []string{"table4", "table5", "table6", "table7", "table8", "table9",
+		"table10", "table11", "table12", "fig1", "fig2", "fig3", "fig6", "fig7", "fig8",
+		"predcost", "memsize", "kcca"} {
+		if sel(e) {
+			needRunner = true
+		}
+	}
+
+	var r *experiments.Runner
+	if needRunner {
+		fmt.Fprintf(os.Stderr, "generating and executing workloads (size=%.2f)...\n", *size)
+		r = experiments.NewRunner(experiments.Setup{
+			Seed: *seed, SizeFactor: *size, MartIterations: *iters, Noise: -1,
+		})
+		fmt.Fprintf(os.Stderr, "selected scaling functions:\n%s\n", r.ScaleTable)
+	}
+
+	type tableFn struct {
+		name string
+		fn   func() (*experiments.Table, error)
+	}
+	if r != nil {
+		tables := []tableFn{
+			{"table4", r.Table4}, {"table5", r.Table5}, {"table6", r.Table6},
+			{"table7", r.Table7}, {"table8", r.Table8}, {"table9", r.Table9},
+			{"table10", r.Table10}, {"table11", r.Table11}, {"table12", r.Table12},
+		}
+		for _, tf := range tables {
+			if !sel(tf.name) {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "running %s...\n", tf.name)
+			t, err := tf.fn()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(t.Format())
+		}
+		if sel("fig1") {
+			fmt.Println(r.Figure1().Format())
+		}
+		if sel("fig2") {
+			f, err := r.Figure2()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(f.Format())
+		}
+		if sel("fig3") {
+			f, err := r.Figure3()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(f.Format())
+		}
+		if sel("fig6") {
+			f, err := r.Figure6()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(f.Format())
+		}
+		if sel("fig7") {
+			fmt.Println(r.Figure7().Format())
+		}
+		if sel("fig8") {
+			fmt.Println(r.Figure8().Format())
+		}
+		if sel("kcca") {
+			res, err := r.RelatedWorkKCCA()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(res.Format())
+		}
+		if sel("predcost") {
+			sec, err := r.PredictionCost()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("Prediction cost (§7.3): %.3g µs per operator-level costing call\n\n", sec*1e6)
+		}
+		if sel("memsize") {
+			bytes, err := r.ModelSizeBytes()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("Model set size (§7.3): %.2f KB total across all candidate models\n\n",
+				float64(bytes)/1024)
+		}
+	}
+	if sel("table13") {
+		fmt.Fprintln(os.Stderr, "running table13 (MART training times)...")
+		rows := experiments.Table13(nil, *t13iters)
+		fmt.Println(experiments.FormatTable13(rows, *t13iters))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "resbench:", err)
+	os.Exit(1)
+}

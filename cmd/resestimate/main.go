@@ -1,0 +1,66 @@
+// Command resestimate loads a trained model set and estimates resource
+// usage for freshly generated queries, comparing against the simulator's
+// actual measurements.
+//
+// Usage:
+//
+//	resestimate -model cpu-model.json -schema tpch -n 20
+//	resestimate -model cpu-model.json -schema tpcds -n 20 -pipelines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "model.json", "trained model path (see restrain)")
+		schema    = flag.String("schema", "tpch", "workload schema for test queries")
+		n         = flag.Int("n", 20, "number of test queries")
+		seed      = flag.Uint64("seed", 999, "random seed (use a seed different from training)")
+		pipelines = flag.Bool("pipelines", false, "also print per-pipeline estimates")
+	)
+	flag.Parse()
+
+	est, err := repro.LoadFile(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	qs, err := repro.GenerateWorkload(repro.WorkloadOptions{Schema: *schema, N: *n, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	repro.Execute(qs)
+
+	resName := "CPU ms"
+	if est.Resource() == repro.LogicalIO {
+		resName = "logical reads"
+	}
+	fmt.Printf("%-32s %14s %14s %8s\n", "query", "estimated", "actual", "ratio")
+	var ests, truths []float64
+	for _, q := range qs {
+		pred := est.EstimateQuery(q)
+		truth := q.Plan.TotalActual().Get(est.Resource())
+		ests = append(ests, pred)
+		truths = append(truths, truth)
+		fmt.Printf("%-32s %14.1f %14.1f %8.2f\n", q.Plan.Tag, pred, truth, stats.RatioErr(pred, truth))
+		if *pipelines {
+			for i, v := range est.EstimatePipelines(q.Plan) {
+				fmt.Printf("    pipeline %d: %.1f %s\n", i, v, resName)
+			}
+		}
+	}
+	res := stats.Evaluate(ests, truths)
+	fmt.Printf("\nL1 err %.3f | R<=1.5 %.1f%% | R in (1.5,2] %.1f%% | R>2 %.1f%%\n",
+		res.L1, res.Buckets.LE15*100, res.Buckets.Mid*100, res.Buckets.GT2*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "resestimate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+// Scheduling: the paper's second motivating application (§1, §5.2).
+// Pipelines that do not execute concurrently never compete for
+// resources, so a scheduler can interleave pipelines of different
+// queries at finer granularity than whole queries. This example
+// estimates per-pipeline CPU for a batch of queries, builds a
+// precedence-respecting schedule on a simulated worker pool, and then
+// replays the schedule against the actual measured costs to check how
+// well the plan holds up.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/sched"
+)
+
+func main() {
+	queries, err := repro.GenerateWorkload(repro.WorkloadOptions{
+		Schema:       "tpch",
+		N:            192,
+		ScaleFactors: []float64{1, 2, 4},
+		Seed:         11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	repro.Execute(queries)
+	train, batch := queries[:160], queries[160:176]
+
+	est, err := repro.Train(train, repro.TrainOptions{
+		Resource:           repro.CPUTime,
+		BoostingIterations: 300,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build one chain per query: its pipelines in execution order, with
+	// predicted CPU costs; keep the actual costs for the replay.
+	var chains []sched.Chain
+	actual := map[string][]float64{}
+	var wholeQuery []sched.Chain
+	for _, q := range batch {
+		per := est.EstimatePipelines(q.Plan)
+		chains = append(chains, sched.Chain{ID: q.Plan.Tag, Costs: per})
+		var acts []float64
+		var total float64
+		for _, pl := range q.Plan.Pipelines() {
+			acts = append(acts, pl.TotalActual().CPU)
+		}
+		for _, v := range per {
+			total += v
+		}
+		actual[q.Plan.Tag] = acts
+		// Whole-query scheduling treats each query as one indivisible job.
+		wholeQuery = append(wholeQuery, sched.Chain{ID: q.Plan.Tag, Costs: []float64{total}})
+	}
+	wholeActual := map[string][]float64{}
+	for id, acts := range actual {
+		var sum float64
+		for _, v := range acts {
+			sum += v
+		}
+		wholeActual[id] = []float64{sum}
+	}
+
+	const workers = 4
+	pipePlan, err := sched.ScheduleChains(chains, workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queryPlan, err := sched.ScheduleChains(wholeQuery, workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipeReal, err := sched.EvaluateSchedule(pipePlan, actual)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queryReal, err := sched.EvaluateSchedule(queryPlan, wholeActual)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	nPipes := 0
+	for _, c := range chains {
+		nPipes += len(c.Costs)
+	}
+	fmt.Printf("batch of %d queries decomposed into %d pipelines, %d workers\n",
+		len(batch), nPipes, workers)
+	fmt.Printf("%-26s %14s %14s\n", "granularity", "planned (ms)", "realized (ms)")
+	fmt.Printf("%-26s %14.0f %14.0f\n", "whole-query", queryPlan.Makespan, queryReal)
+	fmt.Printf("%-26s %14.0f %14.0f\n", "pipeline-level", pipePlan.Makespan, pipeReal)
+	fmt.Printf("\npipeline-level realized makespan is %.0f%% of whole-query\n",
+		100*pipeReal/queryReal)
+
+	// Show one query's pipeline breakdown: estimates vs actuals.
+	q := batch[0]
+	fmt.Printf("\npipeline breakdown of %s:\n", q.Plan.Tag)
+	for i, cpu := range est.EstimatePipelines(q.Plan) {
+		pl := q.Plan.Pipelines()[i]
+		fmt.Printf("  pipeline %d (%d operators): estimated %.0f ms, actual %.0f ms\n",
+			i, len(pl.Nodes), cpu, pl.TotalActual().CPU)
+	}
+}

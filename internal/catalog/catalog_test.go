@@ -1,0 +1,204 @@
+package catalog
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func allSchemas() []*Schema {
+	return []*Schema{TPCH(1), TPCDS(1), Real1(1), Real2(1)}
+}
+
+func TestSchemaLookups(t *testing.T) {
+	for _, s := range allSchemas() {
+		for _, name := range s.TableNames() {
+			tbl := s.Table(name)
+			if tbl == nil {
+				t.Fatalf("%s: Table(%q) returned nil", s.Name, name)
+			}
+			if tbl.Name != name {
+				t.Fatalf("%s: Table(%q) returned %q", s.Name, name, tbl.Name)
+			}
+		}
+		if s.Table("no_such_table") != nil {
+			t.Fatalf("%s: lookup of missing table succeeded", s.Name)
+		}
+	}
+}
+
+func TestColumnLookups(t *testing.T) {
+	for _, s := range allSchemas() {
+		for _, tbl := range s.Tables {
+			for i := range tbl.Columns {
+				c := tbl.Column(tbl.Columns[i].Name)
+				if c == nil || c.Name != tbl.Columns[i].Name {
+					t.Fatalf("%s.%s: column lookup failed for %q", s.Name, tbl.Name, tbl.Columns[i].Name)
+				}
+			}
+			if tbl.Column("bogus") != nil {
+				t.Fatalf("%s.%s: lookup of missing column succeeded", s.Name, tbl.Name)
+			}
+		}
+	}
+}
+
+func TestRowsScaleLinearly(t *testing.T) {
+	s := TPCH(1)
+	li := s.Table("lineitem")
+	if li.Rows(1) != 6_000_000 {
+		t.Fatalf("lineitem rows at SF1 = %d", li.Rows(1))
+	}
+	if li.Rows(10) != 60_000_000 {
+		t.Fatalf("lineitem rows at SF10 = %d", li.Rows(10))
+	}
+	nation := s.Table("nation")
+	if nation.Rows(1) != nation.Rows(10) {
+		t.Fatal("fixed-size table scaled with SF")
+	}
+}
+
+func TestRowWidthPositive(t *testing.T) {
+	for _, s := range allSchemas() {
+		for _, tbl := range s.Tables {
+			if w := tbl.RowWidth(); w < 12 {
+				t.Fatalf("%s.%s: row width %d too small", s.Name, tbl.Name, w)
+			}
+		}
+	}
+}
+
+func TestPagesConsistent(t *testing.T) {
+	for _, s := range allSchemas() {
+		for _, tbl := range s.Tables {
+			p1, p4 := tbl.Pages(1), tbl.Pages(4)
+			if p1 < 1 {
+				t.Fatalf("%s.%s: Pages(1) = %d", s.Name, tbl.Name, p1)
+			}
+			if tbl.FixedRows == 0 && p4 < p1 {
+				t.Fatalf("%s.%s: pages shrank with SF: %d -> %d", s.Name, tbl.Name, p1, p4)
+			}
+			// Rows must fit in pages.
+			rowsPerPage := float64(tbl.Rows(1)) / float64(p1)
+			if rowsPerPage*float64(tbl.RowWidth()) > PageSize {
+				t.Fatalf("%s.%s: %f rows/page at width %d overflows a page",
+					s.Name, tbl.Name, rowsPerPage, tbl.RowWidth())
+			}
+		}
+	}
+}
+
+func TestDistinctBounds(t *testing.T) {
+	for _, s := range allSchemas() {
+		for _, tbl := range s.Tables {
+			rows := tbl.Rows(2)
+			for i := range tbl.Columns {
+				d := tbl.Columns[i].Distinct(rows)
+				if d < 1 || d > rows {
+					t.Fatalf("%s.%s.%s: distinct %d out of [1, %d]",
+						s.Name, tbl.Name, tbl.Columns[i].Name, d, rows)
+				}
+			}
+		}
+	}
+}
+
+func TestDistinctCapHolds(t *testing.T) {
+	c := Column{Name: "x", Type: ColInt, DistinctFraction: 1, DistinctCap: 25}
+	if d := c.Distinct(1_000_000); d != 25 {
+		t.Fatalf("capped distinct = %d, want 25", d)
+	}
+	if d := c.Distinct(10); d != 10 {
+		t.Fatalf("distinct with few rows = %d, want 10", d)
+	}
+}
+
+func TestIndexDepthGrowsWithSize(t *testing.T) {
+	s := TPCH(1)
+	li := s.Table("lineitem")
+	nation := s.Table("nation")
+	if li.IndexDepth(10) < nation.IndexDepth(10) {
+		t.Fatal("large table should have deeper index than tiny table")
+	}
+	if d := nation.IndexDepth(1); d < 2 {
+		t.Fatalf("minimum index depth should be 2, got %d", d)
+	}
+	if li.IndexDepth(10) < li.IndexDepth(1) {
+		t.Fatal("index depth decreased with scale")
+	}
+}
+
+func TestEffectiveWidths(t *testing.T) {
+	cases := []struct {
+		c    Column
+		want int
+	}{
+		{Column{Type: ColInt}, 4},
+		{Column{Type: ColBigInt}, 8},
+		{Column{Type: ColDecimal}, 8},
+		{Column{Type: ColDate}, 8},
+		{Column{Type: ColChar, Width: 25}, 25},
+		{Column{Type: ColVarchar, Width: 60}, 60},
+	}
+	for _, c := range cases {
+		if got := c.c.EffectiveWidth(); got != c.want {
+			t.Errorf("EffectiveWidth(%v) = %d, want %d", c.c.Type, got, c.want)
+		}
+	}
+}
+
+func TestColTypeString(t *testing.T) {
+	if ColInt.String() != "int" || ColVarchar.String() != "varchar" {
+		t.Error("ColType.String mismatch")
+	}
+	if ColType(99).String() == "" {
+		t.Error("unknown ColType should still format")
+	}
+}
+
+func TestSchemaSizes(t *testing.T) {
+	// TPC-H at SF 1 is ~1GB; our synthetic approximation should be the
+	// right order of magnitude (0.3–3 GB).
+	s := TPCH(1)
+	bytes := s.TotalBytes(1)
+	if bytes < 300e6 || bytes > 3e9 {
+		t.Fatalf("TPCH SF1 size = %.2f GB, want ~1 GB", float64(bytes)/1e9)
+	}
+	// Real-2 should be bigger than Real-1 at the paper's nominal scales.
+	if Real2(1).TotalBytes(1) <= Real1(1).TotalBytes(1)/2 {
+		t.Fatal("Real2 should not be much smaller than Real1")
+	}
+}
+
+func TestTotalRowsMonotoneInSF(t *testing.T) {
+	s := TPCH(1)
+	f := func(a, b uint8) bool {
+		sfA := 1 + float64(a%10)
+		sfB := sfA + float64(b%10)
+		return s.TotalRows(sfB) >= s.TotalRows(sfA)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexesReferenceRealColumns(t *testing.T) {
+	for _, s := range allSchemas() {
+		for _, tbl := range s.Tables {
+			clustered := 0
+			for _, idx := range tbl.Indexes {
+				if idx.Clustered {
+					clustered++
+				}
+				for _, col := range idx.Columns {
+					if tbl.Column(col) == nil {
+						t.Fatalf("%s.%s index %s references missing column %q",
+							s.Name, tbl.Name, idx.Name, col)
+					}
+				}
+			}
+			if clustered > 1 {
+				t.Fatalf("%s.%s has %d clustered indexes", s.Name, tbl.Name, clustered)
+			}
+		}
+	}
+}

@@ -1,0 +1,471 @@
+package catalog
+
+// The schema constructors below take a skew parameter z (the Zipf
+// exponent used for non-key attributes), mirroring the skewed TPC-H
+// generator of [2] in the paper. Keys stay uniform; join-relevant foreign
+// keys inherit the skew so that join cardinalities vary strongly between
+// parameter choices of the same template — the property the paper relies
+// on to get high within-template variance.
+
+// TPCH returns a TPC-H-like schema with the standard eight tables and
+// row-count ratios. z is the Zipf skew for skewed attributes.
+func TPCH(z float64) *Schema {
+	return &Schema{
+		Name: "tpch",
+		Tables: []*Table{
+			{
+				Name:      "region",
+				FixedRows: 5,
+				Columns: []Column{
+					{Name: "r_regionkey", Type: ColInt, DistinctFraction: 1},
+					{Name: "r_name", Type: ColChar, Width: 25, DistinctFraction: 1},
+					{Name: "r_comment", Type: ColVarchar, Width: 80, DistinctFraction: 1},
+				},
+				Indexes: []Index{{Name: "pk_region", Columns: []string{"r_regionkey"}, Unique: true, Clustered: true}},
+			},
+			{
+				Name:      "nation",
+				FixedRows: 25,
+				Columns: []Column{
+					{Name: "n_nationkey", Type: ColInt, DistinctFraction: 1},
+					{Name: "n_name", Type: ColChar, Width: 25, DistinctFraction: 1},
+					{Name: "n_regionkey", Type: ColInt, DistinctCap: 5, DistinctFraction: 1, Skew: z},
+					{Name: "n_comment", Type: ColVarchar, Width: 90, DistinctFraction: 1},
+				},
+				Indexes: []Index{{Name: "pk_nation", Columns: []string{"n_nationkey"}, Unique: true, Clustered: true}},
+			},
+			{
+				Name:      "supplier",
+				RowsPerSF: 10_000,
+				Columns: []Column{
+					{Name: "s_suppkey", Type: ColInt, DistinctFraction: 1},
+					{Name: "s_name", Type: ColChar, Width: 25, DistinctFraction: 1},
+					{Name: "s_address", Type: ColVarchar, Width: 30, DistinctFraction: 1},
+					{Name: "s_nationkey", Type: ColInt, DistinctCap: 25, DistinctFraction: 1, Skew: z},
+					{Name: "s_phone", Type: ColChar, Width: 15, DistinctFraction: 1},
+					{Name: "s_acctbal", Type: ColDecimal, DistinctFraction: 0.95},
+					{Name: "s_comment", Type: ColVarchar, Width: 60, DistinctFraction: 1},
+				},
+				Indexes: []Index{{Name: "pk_supplier", Columns: []string{"s_suppkey"}, Unique: true, Clustered: true}},
+			},
+			{
+				Name:      "part",
+				RowsPerSF: 200_000,
+				Columns: []Column{
+					{Name: "p_partkey", Type: ColInt, DistinctFraction: 1},
+					{Name: "p_name", Type: ColVarchar, Width: 35, DistinctFraction: 1},
+					{Name: "p_mfgr", Type: ColChar, Width: 25, DistinctCap: 5, DistinctFraction: 1, Skew: z},
+					{Name: "p_brand", Type: ColChar, Width: 10, DistinctCap: 25, DistinctFraction: 1, Skew: z},
+					{Name: "p_type", Type: ColVarchar, Width: 25, DistinctCap: 150, DistinctFraction: 1, Skew: z},
+					{Name: "p_size", Type: ColInt, DistinctCap: 50, DistinctFraction: 1, Skew: z},
+					{Name: "p_container", Type: ColChar, Width: 10, DistinctCap: 40, DistinctFraction: 1, Skew: z},
+					{Name: "p_retailprice", Type: ColDecimal, DistinctFraction: 0.3},
+					{Name: "p_comment", Type: ColVarchar, Width: 14, DistinctFraction: 0.7},
+				},
+				Indexes: []Index{{Name: "pk_part", Columns: []string{"p_partkey"}, Unique: true, Clustered: true}},
+			},
+			{
+				Name:      "partsupp",
+				RowsPerSF: 800_000,
+				Columns: []Column{
+					{Name: "ps_partkey", Type: ColInt, DistinctFraction: 0.25, Skew: z},
+					{Name: "ps_suppkey", Type: ColInt, DistinctFraction: 0.0125, Skew: z},
+					{Name: "ps_availqty", Type: ColInt, DistinctCap: 10_000, DistinctFraction: 1},
+					{Name: "ps_supplycost", Type: ColDecimal, DistinctFraction: 0.12},
+					{Name: "ps_comment", Type: ColVarchar, Width: 120, DistinctFraction: 1},
+				},
+				Indexes: []Index{{Name: "pk_partsupp", Columns: []string{"ps_partkey", "ps_suppkey"}, Unique: true, Clustered: true}},
+			},
+			{
+				Name:      "customer",
+				RowsPerSF: 150_000,
+				Columns: []Column{
+					{Name: "c_custkey", Type: ColInt, DistinctFraction: 1},
+					{Name: "c_name", Type: ColVarchar, Width: 25, DistinctFraction: 1},
+					{Name: "c_address", Type: ColVarchar, Width: 30, DistinctFraction: 1},
+					{Name: "c_nationkey", Type: ColInt, DistinctCap: 25, DistinctFraction: 1, Skew: z},
+					{Name: "c_phone", Type: ColChar, Width: 15, DistinctFraction: 1},
+					{Name: "c_acctbal", Type: ColDecimal, DistinctFraction: 0.9},
+					{Name: "c_mktsegment", Type: ColChar, Width: 10, DistinctCap: 5, DistinctFraction: 1, Skew: z},
+					{Name: "c_comment", Type: ColVarchar, Width: 75, DistinctFraction: 1},
+				},
+				Indexes: []Index{{Name: "pk_customer", Columns: []string{"c_custkey"}, Unique: true, Clustered: true}},
+			},
+			{
+				Name:      "orders",
+				RowsPerSF: 1_500_000,
+				Columns: []Column{
+					{Name: "o_orderkey", Type: ColInt, DistinctFraction: 1},
+					{Name: "o_custkey", Type: ColInt, DistinctFraction: 0.1, Skew: z},
+					{Name: "o_orderstatus", Type: ColChar, Width: 1, DistinctCap: 3, DistinctFraction: 1, Skew: z},
+					{Name: "o_totalprice", Type: ColDecimal, DistinctFraction: 0.9},
+					{Name: "o_orderdate", Type: ColDate, DistinctCap: 2406, DistinctFraction: 1, Skew: z / 2},
+					{Name: "o_orderpriority", Type: ColChar, Width: 15, DistinctCap: 5, DistinctFraction: 1, Skew: z},
+					{Name: "o_clerk", Type: ColChar, Width: 15, DistinctFraction: 0.000667, Skew: z},
+					{Name: "o_shippriority", Type: ColInt, DistinctCap: 1, DistinctFraction: 1},
+					{Name: "o_comment", Type: ColVarchar, Width: 49, DistinctFraction: 1},
+				},
+				Indexes: []Index{
+					{Name: "pk_orders", Columns: []string{"o_orderkey"}, Unique: true, Clustered: true},
+					{Name: "idx_orders_custkey", Columns: []string{"o_custkey"}},
+					{Name: "idx_orders_orderdate", Columns: []string{"o_orderdate"}},
+				},
+			},
+			{
+				Name:      "lineitem",
+				RowsPerSF: 6_000_000,
+				Columns: []Column{
+					{Name: "l_orderkey", Type: ColInt, DistinctFraction: 0.25, Skew: z / 2},
+					{Name: "l_partkey", Type: ColInt, DistinctFraction: 0.033, Skew: z},
+					{Name: "l_suppkey", Type: ColInt, DistinctFraction: 0.00167, Skew: z},
+					{Name: "l_linenumber", Type: ColInt, DistinctCap: 7, DistinctFraction: 1},
+					{Name: "l_quantity", Type: ColDecimal, DistinctCap: 50, DistinctFraction: 1, Skew: z},
+					{Name: "l_extendedprice", Type: ColDecimal, DistinctFraction: 0.6},
+					{Name: "l_discount", Type: ColDecimal, DistinctCap: 11, DistinctFraction: 1, Skew: z},
+					{Name: "l_tax", Type: ColDecimal, DistinctCap: 9, DistinctFraction: 1},
+					{Name: "l_returnflag", Type: ColChar, Width: 1, DistinctCap: 3, DistinctFraction: 1, Skew: z},
+					{Name: "l_linestatus", Type: ColChar, Width: 1, DistinctCap: 2, DistinctFraction: 1},
+					{Name: "l_shipdate", Type: ColDate, DistinctCap: 2526, DistinctFraction: 1, Skew: z / 2},
+					{Name: "l_commitdate", Type: ColDate, DistinctCap: 2466, DistinctFraction: 1},
+					{Name: "l_receiptdate", Type: ColDate, DistinctCap: 2554, DistinctFraction: 1},
+					{Name: "l_shipinstruct", Type: ColChar, Width: 25, DistinctCap: 4, DistinctFraction: 1},
+					{Name: "l_shipmode", Type: ColChar, Width: 10, DistinctCap: 7, DistinctFraction: 1, Skew: z},
+					{Name: "l_comment", Type: ColVarchar, Width: 27, DistinctFraction: 0.7},
+				},
+				Indexes: []Index{
+					{Name: "pk_lineitem", Columns: []string{"l_orderkey", "l_linenumber"}, Unique: true, Clustered: true},
+					{Name: "idx_lineitem_partkey", Columns: []string{"l_partkey"}},
+					{Name: "idx_lineitem_shipdate", Columns: []string{"l_shipdate"}},
+				},
+			},
+		},
+	}
+}
+
+// TPCDS returns a reduced TPC-DS-like star schema: three fact tables and
+// six dimensions, enough to generate plans with different shapes, widths
+// and operators than the TPC-H training set (the Table 6/9/12 scenario).
+func TPCDS(z float64) *Schema {
+	return &Schema{
+		Name: "tpcds",
+		Tables: []*Table{
+			{
+				Name:      "date_dim",
+				FixedRows: 73_049,
+				Columns: []Column{
+					{Name: "d_date_sk", Type: ColInt, DistinctFraction: 1},
+					{Name: "d_date", Type: ColDate, DistinctFraction: 1},
+					{Name: "d_year", Type: ColInt, DistinctCap: 200, DistinctFraction: 1},
+					{Name: "d_moy", Type: ColInt, DistinctCap: 12, DistinctFraction: 1},
+					{Name: "d_dom", Type: ColInt, DistinctCap: 31, DistinctFraction: 1},
+					{Name: "d_day_name", Type: ColChar, Width: 9, DistinctCap: 7, DistinctFraction: 1},
+					{Name: "d_quarter_name", Type: ColChar, Width: 6, DistinctCap: 800, DistinctFraction: 1},
+				},
+				Indexes: []Index{{Name: "pk_date_dim", Columns: []string{"d_date_sk"}, Unique: true, Clustered: true}},
+			},
+			{
+				Name:      "item",
+				RowsPerSF: 18_000,
+				Columns: []Column{
+					{Name: "i_item_sk", Type: ColInt, DistinctFraction: 1},
+					{Name: "i_item_id", Type: ColChar, Width: 16, DistinctFraction: 0.5},
+					{Name: "i_brand", Type: ColChar, Width: 50, DistinctCap: 700, DistinctFraction: 1, Skew: z},
+					{Name: "i_class", Type: ColChar, Width: 50, DistinctCap: 100, DistinctFraction: 1, Skew: z},
+					{Name: "i_category", Type: ColChar, Width: 50, DistinctCap: 10, DistinctFraction: 1, Skew: z},
+					{Name: "i_manufact_id", Type: ColInt, DistinctCap: 1000, DistinctFraction: 1, Skew: z},
+					{Name: "i_current_price", Type: ColDecimal, DistinctFraction: 0.3},
+					{Name: "i_color", Type: ColChar, Width: 20, DistinctCap: 92, DistinctFraction: 1, Skew: z},
+				},
+				Indexes: []Index{{Name: "pk_item", Columns: []string{"i_item_sk"}, Unique: true, Clustered: true}},
+			},
+			{
+				Name:      "customer_ds",
+				RowsPerSF: 100_000,
+				Columns: []Column{
+					{Name: "c_customer_sk", Type: ColInt, DistinctFraction: 1},
+					{Name: "c_customer_id", Type: ColChar, Width: 16, DistinctFraction: 1},
+					{Name: "c_birth_year", Type: ColInt, DistinctCap: 100, DistinctFraction: 1},
+					{Name: "c_birth_country", Type: ColVarchar, Width: 20, DistinctCap: 200, DistinctFraction: 1, Skew: z},
+					{Name: "c_email_address", Type: ColChar, Width: 50, DistinctFraction: 1},
+				},
+				Indexes: []Index{{Name: "pk_customer_ds", Columns: []string{"c_customer_sk"}, Unique: true, Clustered: true}},
+			},
+			{
+				Name:      "store",
+				FixedRows: 1_002,
+				Columns: []Column{
+					{Name: "s_store_sk", Type: ColInt, DistinctFraction: 1},
+					{Name: "s_store_name", Type: ColVarchar, Width: 50, DistinctFraction: 0.5},
+					{Name: "s_state", Type: ColChar, Width: 2, DistinctCap: 50, DistinctFraction: 1, Skew: z},
+					{Name: "s_market_id", Type: ColInt, DistinctCap: 10, DistinctFraction: 1},
+					{Name: "s_number_employees", Type: ColInt, DistinctCap: 300, DistinctFraction: 1},
+				},
+				Indexes: []Index{{Name: "pk_store", Columns: []string{"s_store_sk"}, Unique: true, Clustered: true}},
+			},
+			{
+				Name:      "promotion",
+				FixedRows: 1_500,
+				Columns: []Column{
+					{Name: "p_promo_sk", Type: ColInt, DistinctFraction: 1},
+					{Name: "p_channel_email", Type: ColChar, Width: 1, DistinctCap: 2, DistinctFraction: 1},
+					{Name: "p_channel_tv", Type: ColChar, Width: 1, DistinctCap: 2, DistinctFraction: 1},
+					{Name: "p_cost", Type: ColDecimal, DistinctFraction: 0.5},
+				},
+				Indexes: []Index{{Name: "pk_promotion", Columns: []string{"p_promo_sk"}, Unique: true, Clustered: true}},
+			},
+			{
+				Name:      "household_demographics",
+				FixedRows: 7_200,
+				Columns: []Column{
+					{Name: "hd_demo_sk", Type: ColInt, DistinctFraction: 1},
+					{Name: "hd_income_band_sk", Type: ColInt, DistinctCap: 20, DistinctFraction: 1},
+					{Name: "hd_buy_potential", Type: ColChar, Width: 15, DistinctCap: 6, DistinctFraction: 1, Skew: z},
+					{Name: "hd_dep_count", Type: ColInt, DistinctCap: 10, DistinctFraction: 1},
+				},
+				Indexes: []Index{{Name: "pk_hd", Columns: []string{"hd_demo_sk"}, Unique: true, Clustered: true}},
+			},
+			{
+				Name:      "store_sales",
+				RowsPerSF: 2_880_000,
+				Columns: []Column{
+					{Name: "ss_sold_date_sk", Type: ColInt, DistinctCap: 1_823, DistinctFraction: 1, Skew: z / 2},
+					{Name: "ss_item_sk", Type: ColInt, DistinctFraction: 0.00625, Skew: z},
+					{Name: "ss_customer_sk", Type: ColInt, DistinctFraction: 0.0347, Skew: z},
+					{Name: "ss_store_sk", Type: ColInt, DistinctCap: 1002, DistinctFraction: 1, Skew: z},
+					{Name: "ss_promo_sk", Type: ColInt, DistinctCap: 1500, DistinctFraction: 1, Skew: z},
+					{Name: "ss_hdemo_sk", Type: ColInt, DistinctCap: 7200, DistinctFraction: 1},
+					{Name: "ss_quantity", Type: ColInt, DistinctCap: 100, DistinctFraction: 1},
+					{Name: "ss_sales_price", Type: ColDecimal, DistinctFraction: 0.2},
+					{Name: "ss_ext_sales_price", Type: ColDecimal, DistinctFraction: 0.6},
+					{Name: "ss_net_profit", Type: ColDecimal, DistinctFraction: 0.6},
+				},
+				Indexes: []Index{
+					{Name: "cidx_store_sales", Columns: []string{"ss_sold_date_sk"}, Clustered: true},
+					{Name: "idx_ss_item", Columns: []string{"ss_item_sk"}},
+				},
+			},
+			{
+				Name:      "web_sales",
+				RowsPerSF: 720_000,
+				Columns: []Column{
+					{Name: "ws_sold_date_sk", Type: ColInt, DistinctCap: 1_823, DistinctFraction: 1, Skew: z / 2},
+					{Name: "ws_item_sk", Type: ColInt, DistinctFraction: 0.025, Skew: z},
+					{Name: "ws_bill_customer_sk", Type: ColInt, DistinctFraction: 0.139, Skew: z},
+					{Name: "ws_promo_sk", Type: ColInt, DistinctCap: 1500, DistinctFraction: 1, Skew: z},
+					{Name: "ws_quantity", Type: ColInt, DistinctCap: 100, DistinctFraction: 1},
+					{Name: "ws_sales_price", Type: ColDecimal, DistinctFraction: 0.2},
+					{Name: "ws_net_paid", Type: ColDecimal, DistinctFraction: 0.6},
+				},
+				Indexes: []Index{
+					{Name: "cidx_web_sales", Columns: []string{"ws_sold_date_sk"}, Clustered: true},
+					{Name: "idx_ws_item", Columns: []string{"ws_item_sk"}},
+				},
+			},
+			{
+				Name:      "store_returns",
+				RowsPerSF: 288_000,
+				Columns: []Column{
+					{Name: "sr_returned_date_sk", Type: ColInt, DistinctCap: 1_823, DistinctFraction: 1},
+					{Name: "sr_item_sk", Type: ColInt, DistinctFraction: 0.0625, Skew: z},
+					{Name: "sr_customer_sk", Type: ColInt, DistinctFraction: 0.347, Skew: z},
+					{Name: "sr_return_quantity", Type: ColInt, DistinctCap: 100, DistinctFraction: 1},
+					{Name: "sr_return_amt", Type: ColDecimal, DistinctFraction: 0.5},
+				},
+				Indexes: []Index{
+					{Name: "cidx_store_returns", Columns: []string{"sr_returned_date_sk"}, Clustered: true},
+				},
+			},
+		},
+	}
+}
+
+// Real1 returns a synthetic 9 GB-class sales/reporting schema standing in
+// for the paper's proprietary "Real-1" workload (222 queries, 5–8 way
+// joins). Column widths are deliberately much larger than TPC-H so that
+// per-tuple CPU and I/O characteristics differ from the training data.
+func Real1(z float64) *Schema {
+	return &Schema{
+		Name: "real1",
+		Tables: []*Table{
+			{
+				Name:      "dim_product",
+				RowsPerSF: 75_000,
+				Columns: []Column{
+					{Name: "prod_id", Type: ColInt, DistinctFraction: 1},
+					{Name: "prod_name", Type: ColVarchar, Width: 60, DistinctFraction: 1},
+					{Name: "prod_category", Type: ColVarchar, Width: 40, DistinctCap: 48, DistinctFraction: 1, Skew: z},
+					{Name: "prod_subcategory", Type: ColVarchar, Width: 40, DistinctCap: 300, DistinctFraction: 1, Skew: z},
+					{Name: "prod_list_price", Type: ColDecimal, DistinctFraction: 0.4},
+					{Name: "prod_description", Type: ColVarchar, Width: 220, DistinctFraction: 1},
+				},
+				Indexes: []Index{{Name: "pk_dim_product", Columns: []string{"prod_id"}, Unique: true, Clustered: true}},
+			},
+			{
+				Name:      "dim_store",
+				FixedRows: 4_500,
+				Columns: []Column{
+					{Name: "store_id", Type: ColInt, DistinctFraction: 1},
+					{Name: "store_region", Type: ColVarchar, Width: 30, DistinctCap: 12, DistinctFraction: 1, Skew: z},
+					{Name: "store_district", Type: ColVarchar, Width: 30, DistinctCap: 120, DistinctFraction: 1, Skew: z},
+					{Name: "store_format", Type: ColVarchar, Width: 20, DistinctCap: 6, DistinctFraction: 1},
+					{Name: "store_sqft", Type: ColInt, DistinctFraction: 0.5},
+				},
+				Indexes: []Index{{Name: "pk_dim_store", Columns: []string{"store_id"}, Unique: true, Clustered: true}},
+			},
+			{
+				Name:      "dim_time",
+				FixedRows: 3_700,
+				Columns: []Column{
+					{Name: "time_id", Type: ColInt, DistinctFraction: 1},
+					{Name: "fiscal_week", Type: ColInt, DistinctCap: 53, DistinctFraction: 1},
+					{Name: "fiscal_period", Type: ColInt, DistinctCap: 13, DistinctFraction: 1},
+					{Name: "fiscal_year", Type: ColInt, DistinctCap: 10, DistinctFraction: 1},
+				},
+				Indexes: []Index{{Name: "pk_dim_time", Columns: []string{"time_id"}, Unique: true, Clustered: true}},
+			},
+			{
+				Name:      "dim_promotion",
+				FixedRows: 2_200,
+				Columns: []Column{
+					{Name: "promo_id", Type: ColInt, DistinctFraction: 1},
+					{Name: "promo_type", Type: ColVarchar, Width: 30, DistinctCap: 14, DistinctFraction: 1, Skew: z},
+					{Name: "promo_discount_pct", Type: ColDecimal, DistinctCap: 40, DistinctFraction: 1},
+				},
+				Indexes: []Index{{Name: "pk_dim_promotion", Columns: []string{"promo_id"}, Unique: true, Clustered: true}},
+			},
+			{
+				Name:      "dim_vendor",
+				RowsPerSF: 8_000,
+				Columns: []Column{
+					{Name: "vendor_id", Type: ColInt, DistinctFraction: 1},
+					{Name: "vendor_name", Type: ColVarchar, Width: 50, DistinctFraction: 1},
+					{Name: "vendor_tier", Type: ColChar, Width: 8, DistinctCap: 4, DistinctFraction: 1, Skew: z},
+				},
+				Indexes: []Index{{Name: "pk_dim_vendor", Columns: []string{"vendor_id"}, Unique: true, Clustered: true}},
+			},
+			{
+				Name:      "fact_sales",
+				RowsPerSF: 3_600_000,
+				Columns: []Column{
+					{Name: "fs_time_id", Type: ColInt, DistinctCap: 3_700, DistinctFraction: 1, Skew: z / 2},
+					{Name: "fs_store_id", Type: ColInt, DistinctCap: 4_500, DistinctFraction: 1, Skew: z},
+					{Name: "fs_prod_id", Type: ColInt, DistinctFraction: 0.0208, Skew: z},
+					{Name: "fs_promo_id", Type: ColInt, DistinctCap: 2_200, DistinctFraction: 1, Skew: z},
+					{Name: "fs_vendor_id", Type: ColInt, DistinctFraction: 0.00222, Skew: z},
+					{Name: "fs_units", Type: ColInt, DistinctCap: 500, DistinctFraction: 1, Skew: z},
+					{Name: "fs_revenue", Type: ColDecimal, DistinctFraction: 0.7},
+					{Name: "fs_cost", Type: ColDecimal, DistinctFraction: 0.7},
+					{Name: "fs_margin", Type: ColDecimal, DistinctFraction: 0.7},
+					{Name: "fs_basket_id", Type: ColBigInt, DistinctFraction: 0.4},
+					{Name: "fs_notes", Type: ColVarchar, Width: 90, DistinctFraction: 0.2},
+				},
+				Indexes: []Index{
+					{Name: "cidx_fact_sales", Columns: []string{"fs_time_id"}, Clustered: true},
+					{Name: "idx_fs_prod", Columns: []string{"fs_prod_id"}},
+					{Name: "idx_fs_store", Columns: []string{"fs_store_id"}},
+				},
+			},
+			{
+				Name:      "fact_inventory",
+				RowsPerSF: 1_400_000,
+				Columns: []Column{
+					{Name: "fi_time_id", Type: ColInt, DistinctCap: 3_700, DistinctFraction: 1},
+					{Name: "fi_store_id", Type: ColInt, DistinctCap: 4_500, DistinctFraction: 1, Skew: z},
+					{Name: "fi_prod_id", Type: ColInt, DistinctFraction: 0.0536, Skew: z},
+					{Name: "fi_on_hand", Type: ColInt, DistinctCap: 2_000, DistinctFraction: 1},
+					{Name: "fi_on_order", Type: ColInt, DistinctCap: 1_000, DistinctFraction: 1},
+					{Name: "fi_valuation", Type: ColDecimal, DistinctFraction: 0.6},
+				},
+				Indexes: []Index{
+					{Name: "cidx_fact_inventory", Columns: []string{"fi_time_id"}, Clustered: true},
+					{Name: "idx_fi_prod", Columns: []string{"fi_prod_id"}},
+				},
+			},
+		},
+	}
+}
+
+// Real2 returns a larger (12 GB-class) synthetic ERP-style schema standing
+// in for "Real-2" (887 queries, ~12-way joins): more tables, narrower
+// dimensions, a wide header/detail pair of fact tables.
+func Real2(z float64) *Schema {
+	dims := []struct {
+		name string
+		rows int64
+		card int64
+	}{
+		{"d_account", 60_000, 0},
+		{"d_costcenter", 9_000, 0},
+		{"d_company", 450, 0},
+		{"d_currency", 180, 0},
+		{"d_project", 40_000, 0},
+		{"d_employee", 85_000, 0},
+		{"d_material", 140_000, 0},
+		{"d_plant", 1_300, 0},
+		{"d_profitcenter", 5_200, 0},
+		{"d_version", 60, 0},
+	}
+	s := &Schema{Name: "real2"}
+	for _, d := range dims {
+		t := &Table{
+			Name: d.name,
+			Columns: []Column{
+				{Name: d.name + "_id", Type: ColInt, DistinctFraction: 1},
+				{Name: d.name + "_code", Type: ColChar, Width: 12, DistinctFraction: 1},
+				{Name: d.name + "_name", Type: ColVarchar, Width: 45, DistinctFraction: 1},
+				{Name: d.name + "_group", Type: ColVarchar, Width: 25, DistinctCap: 40, DistinctFraction: 1, Skew: z},
+				{Name: d.name + "_flag", Type: ColChar, Width: 2, DistinctCap: 4, DistinctFraction: 1, Skew: z},
+			},
+			Indexes: []Index{{Name: "pk_" + d.name, Columns: []string{d.name + "_id"}, Unique: true, Clustered: true}},
+		}
+		if d.rows >= 10_000 {
+			t.RowsPerSF = d.rows
+		} else {
+			t.FixedRows = d.rows
+		}
+		s.Tables = append(s.Tables, t)
+	}
+	header := &Table{
+		Name:      "fact_gl_header",
+		RowsPerSF: 900_000,
+		Columns: []Column{
+			{Name: "glh_id", Type: ColBigInt, DistinctFraction: 1},
+			{Name: "glh_company_id", Type: ColInt, DistinctCap: 450, DistinctFraction: 1, Skew: z},
+			{Name: "glh_currency_id", Type: ColInt, DistinctCap: 180, DistinctFraction: 1, Skew: z},
+			{Name: "glh_version_id", Type: ColInt, DistinctCap: 60, DistinctFraction: 1, Skew: z},
+			{Name: "glh_posting_date", Type: ColDate, DistinctCap: 3_000, DistinctFraction: 1, Skew: z / 2},
+			{Name: "glh_doc_type", Type: ColChar, Width: 4, DistinctCap: 30, DistinctFraction: 1, Skew: z},
+			{Name: "glh_reference", Type: ColVarchar, Width: 35, DistinctFraction: 0.8},
+		},
+		Indexes: []Index{
+			{Name: "pk_fact_gl_header", Columns: []string{"glh_id"}, Unique: true, Clustered: true},
+			{Name: "idx_glh_date", Columns: []string{"glh_posting_date"}},
+		},
+	}
+	detail := &Table{
+		Name:      "fact_gl_detail",
+		RowsPerSF: 5_200_000,
+		Columns: []Column{
+			{Name: "gld_header_id", Type: ColBigInt, DistinctFraction: 0.173, Skew: z / 2},
+			{Name: "gld_line_no", Type: ColInt, DistinctCap: 25, DistinctFraction: 1},
+			{Name: "gld_account_id", Type: ColInt, DistinctFraction: 0.0115, Skew: z},
+			{Name: "gld_costcenter_id", Type: ColInt, DistinctCap: 9_000, DistinctFraction: 1, Skew: z},
+			{Name: "gld_project_id", Type: ColInt, DistinctFraction: 0.0077, Skew: z},
+			{Name: "gld_employee_id", Type: ColInt, DistinctFraction: 0.0163, Skew: z},
+			{Name: "gld_material_id", Type: ColInt, DistinctFraction: 0.0269, Skew: z},
+			{Name: "gld_plant_id", Type: ColInt, DistinctCap: 1_300, DistinctFraction: 1, Skew: z},
+			{Name: "gld_profitcenter_id", Type: ColInt, DistinctCap: 5_200, DistinctFraction: 1, Skew: z},
+			{Name: "gld_amount", Type: ColDecimal, DistinctFraction: 0.8},
+			{Name: "gld_amount_local", Type: ColDecimal, DistinctFraction: 0.8},
+			{Name: "gld_quantity", Type: ColDecimal, DistinctCap: 10_000, DistinctFraction: 1},
+			{Name: "gld_text", Type: ColVarchar, Width: 60, DistinctFraction: 0.3},
+		},
+		Indexes: []Index{
+			{Name: "pk_fact_gl_detail", Columns: []string{"gld_header_id", "gld_line_no"}, Unique: true, Clustered: true},
+			{Name: "idx_gld_account", Columns: []string{"gld_account_id"}},
+			{Name: "idx_gld_project", Columns: []string{"gld_project_id"}},
+		},
+	}
+	s.Tables = append(s.Tables, header, detail)
+	return s
+}

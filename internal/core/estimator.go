@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/features"
+	"repro/internal/mart"
+	"repro/internal/plan"
+)
+
+// Config controls estimator training.
+type Config struct {
+	// Mart configures the underlying boosted-tree training.
+	Mart mart.Config
+	// Mode selects exact or optimizer-estimated input features.
+	Mode features.Mode
+	// DisableScaling turns the estimator into the plain MART baseline
+	// (default models only, no combined candidates) — used for the MART
+	// rows of the tables and the ablations.
+	DisableScaling bool
+	// DisableNormalization skips dependent-feature normalization
+	// (ablation of §6.1 modification 3).
+	DisableNormalization bool
+}
+
+// DefaultConfig returns the standard training setup. Experiments lower
+// the iteration count when training many models.
+func DefaultConfig() Config {
+	return Config{Mart: mart.DefaultConfig(), Mode: features.Exact}
+}
+
+// Estimator is the full SCALING resource estimator: one OperatorModels
+// per physical operator type for a single resource.
+type Estimator struct {
+	Resource plan.ResourceKind
+	Mode     features.Mode
+	Ops      map[plan.OpKind]*OperatorModels
+	// fallbackMean is the mean per-operator resource over all training
+	// samples, used for operator kinds never seen in training.
+	fallbackMean float64
+}
+
+// CollectSamples extracts per-operator training samples from executed
+// plans (their Actual resources must be filled in by the engine).
+func CollectSamples(plans []*plan.Plan, r plan.ResourceKind, mode features.Mode) map[plan.OpKind][]Sample {
+	out := make(map[plan.OpKind][]Sample)
+	for _, p := range plans {
+		vecs := features.ExtractPlan(p, mode)
+		for i, n := range p.Nodes() {
+			out[n.Kind] = append(out[n.Kind], Sample{X: vecs[i], Y: n.Actual.Get(r)})
+		}
+	}
+	return out
+}
+
+// Train fits the estimator on executed training plans. The scale table
+// supplies the §6.2-selected scaling-function forms (nil = all linear).
+func Train(plans []*plan.Plan, r plan.ResourceKind, t *ScaleTable, cfg Config) (*Estimator, error) {
+	if len(plans) == 0 {
+		return nil, errors.New("core: no training plans")
+	}
+	if t == nil {
+		t = NewScaleTable()
+	}
+	byOp := CollectSamples(plans, r, cfg.Mode)
+	e := &Estimator{Resource: r, Mode: cfg.Mode, Ops: make(map[plan.OpKind]*OperatorModels, len(byOp))}
+	var sum float64
+	var n int
+	for op, samples := range byOp {
+		var om *OperatorModels
+		var err error
+		if cfg.DisableScaling {
+			om, err = trainUnscaled(op, r, samples, cfg)
+		} else {
+			om, err = TrainOperator(op, r, samples, t, cfg)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", op, err)
+		}
+		e.Ops[op] = om
+		for _, s := range samples {
+			sum += s.Y
+			n++
+		}
+	}
+	if n > 0 {
+		e.fallbackMean = sum / float64(n)
+	}
+	return e, nil
+}
+
+// trainUnscaled trains only the no-scaling candidate (plain MART).
+func trainUnscaled(op plan.OpKind, r plan.ResourceKind, samples []Sample, cfg Config) (*OperatorModels, error) {
+	m, err := TrainCombined(op, r, nil, samples, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &OperatorModels{
+		Op: op, Resource: r,
+		Candidates: []*CombinedModel{m},
+		Default:    m,
+		NSamples:   len(samples),
+	}, nil
+}
+
+// PredictNode estimates one operator's resource usage. parent may be
+// nil for roots.
+func (e *Estimator) PredictNode(n *plan.Node, parent *plan.Node) float64 {
+	v := features.Extract(n, parent, e.Mode)
+	om, ok := e.Ops[n.Kind]
+	if !ok {
+		return e.fallbackMean
+	}
+	return om.PredictVector(&v)
+}
+
+// PredictPlan estimates the plan-level resource usage: the sum of the
+// per-operator estimates, mirroring how the paper aggregates operator
+// models to queries.
+func (e *Estimator) PredictPlan(p *plan.Plan) float64 {
+	vecs := features.ExtractPlan(p, e.Mode)
+	var total float64
+	for i, n := range p.Nodes() {
+		om, ok := e.Ops[n.Kind]
+		if !ok {
+			total += e.fallbackMean
+			continue
+		}
+		total += om.PredictVector(&vecs[i])
+	}
+	return total
+}
+
+// PredictPipelines estimates per-pipeline resource usage — the
+// scheduling granularity §5.2 motivates operator-level modeling with.
+// The result is parallel to p.Pipelines().
+func (e *Estimator) PredictPipelines(p *plan.Plan) []float64 {
+	vecs := features.ExtractPlan(p, e.Mode)
+	byNode := make(map[*plan.Node]float64, len(vecs))
+	for i, n := range p.Nodes() {
+		if om, ok := e.Ops[n.Kind]; ok {
+			byNode[n] = om.PredictVector(&vecs[i])
+		} else {
+			byNode[n] = e.fallbackMean
+		}
+	}
+	pipes := p.Pipelines()
+	out := make([]float64, len(pipes))
+	for i, pl := range pipes {
+		for _, n := range pl.Nodes {
+			out[i] += byNode[n]
+		}
+	}
+	return out
+}
+
+// NumModels returns the total number of trained candidate models.
+func (e *Estimator) NumModels() int {
+	n := 0
+	for _, om := range e.Ops {
+		n += len(om.Candidates)
+	}
+	return n
+}

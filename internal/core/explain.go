@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/features"
+	"repro/internal/plan"
+)
+
+// NodeExplanation describes which model was selected for one operator
+// and why — the §6.3 decision made inspectable.
+type NodeExplanation struct {
+	Kind       plan.OpKind
+	Table      string
+	Model      string  // selected model's Name()
+	IsDefault  bool    // the operator's default model was used
+	OutRatio   float64 // default model's max out-of-range ratio
+	Estimate   float64
+	NumScaled  int // scaling features in the selected model
+	Candidates int
+}
+
+// Explanation is the per-operator trace of one plan estimation.
+type Explanation struct {
+	Resource plan.ResourceKind
+	Total    float64
+	Nodes    []NodeExplanation
+}
+
+// Explain estimates the plan like PredictPlan while recording, per
+// operator, which candidate model served the estimate and how far the
+// default model's features were out of the training range.
+func (e *Estimator) Explain(p *plan.Plan) *Explanation {
+	vecs := features.ExtractPlan(p, e.Mode)
+	out := &Explanation{Resource: e.Resource}
+	for i, n := range p.Nodes() {
+		ne := NodeExplanation{Kind: n.Kind, Table: n.Table}
+		om, ok := e.Ops[n.Kind]
+		if !ok {
+			ne.Model = "(fallback mean)"
+			ne.Estimate = e.fallbackMean
+		} else {
+			sel := om.Select(&vecs[i])
+			ne.Model = sel.Name()
+			ne.IsDefault = sel == om.Default
+			ne.OutRatio = om.Default.OutRatio(&vecs[i])
+			ne.Estimate = sel.PredictVector(&vecs[i])
+			ne.NumScaled = sel.NumScales()
+			ne.Candidates = len(om.Candidates)
+		}
+		out.Total += ne.Estimate
+		out.Nodes = append(out.Nodes, ne)
+	}
+	return out
+}
+
+// String renders the explanation as a table.
+func (x *Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "estimated %s total: %.2f\n", x.Resource, x.Total)
+	fmt.Fprintf(&b, "%-16s %-12s %-42s %10s %9s\n",
+		"operator", "table", "model", "estimate", "out_ratio")
+	for _, n := range x.Nodes {
+		mark := " "
+		if !n.IsDefault {
+			mark = "*" // a scaled (non-default) model was selected
+		}
+		fmt.Fprintf(&b, "%-16s %-12s %-42s %10.2f %8.2f%s\n",
+			n.Kind, n.Table, n.Model, n.Estimate, n.OutRatio, mark)
+	}
+	return b.String()
+}
+
+// ScaledCount returns how many operators used a non-default model —
+// a quick robustness indicator (0 means the plan was fully in-range).
+func (x *Explanation) ScaledCount() int {
+	c := 0
+	for _, n := range x.Nodes {
+		if !n.IsDefault {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+func TestExplainMatchesPredict(t *testing.T) {
+	est, test := trainedEstimator(t)
+	for _, p := range test[:6] {
+		x := est.Explain(p)
+		if math.Abs(x.Total-est.PredictPlan(p)) > 1e-9*(x.Total+1) {
+			t.Fatalf("Explain total %v != PredictPlan %v", x.Total, est.PredictPlan(p))
+		}
+		if len(x.Nodes) != p.NumNodes() {
+			t.Fatalf("explanation covers %d of %d nodes", len(x.Nodes), p.NumNodes())
+		}
+		for _, ne := range x.Nodes {
+			if ne.Model == "" {
+				t.Fatal("node without model name")
+			}
+		}
+	}
+}
+
+func TestExplainInRangeUsesDefaults(t *testing.T) {
+	est, test := trainedEstimator(t)
+	// In-distribution queries should mostly use default models.
+	totalScaled, totalNodes := 0, 0
+	for _, p := range test {
+		x := est.Explain(p)
+		totalScaled += x.ScaledCount()
+		totalNodes += len(x.Nodes)
+	}
+	if totalScaled > totalNodes/4 {
+		t.Fatalf("%d/%d in-distribution operators used non-default models", totalScaled, totalNodes)
+	}
+}
+
+func TestExplainOutOfRangeUsesScaled(t *testing.T) {
+	est, _ := trainedEstimator(t) // trained at SF 1-2
+	big := workload.GenTPCH(workload.Config{Seed: 63, N: 12, SFs: []float64{10}, Z: 2, Corr: 0.85})
+	eng := engine.New(nil)
+	scaled := 0
+	for _, q := range big {
+		eng.Run(q.Plan)
+		scaled += est.Explain(q.Plan).ScaledCount()
+	}
+	if scaled == 0 {
+		t.Fatal("no SF-10 operator triggered a scaled model after SF 1-2 training")
+	}
+}
+
+func TestExplainString(t *testing.T) {
+	est, test := trainedEstimator(t)
+	s := est.Explain(test[0]).String()
+	for _, want := range []string{"operator", "model", "out_ratio", "estimated CPU total"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("explanation output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestExplainFallbackForUnknownOp(t *testing.T) {
+	est, _ := trainedEstimator(t)
+	// Remove one operator family to force the fallback path.
+	delete(est.Ops, plan.Top)
+	qs := workload.GenTPCH(workload.Config{Seed: 65, N: 24, SFs: []float64{1}, Z: 2, Corr: 0.85})
+	eng := engine.New(nil)
+	found := false
+	for _, q := range qs {
+		eng.Run(q.Plan)
+		for _, ne := range est.Explain(q.Plan).Nodes {
+			if ne.Kind == plan.Top {
+				found = true
+				if ne.Model != "(fallback mean)" {
+					t.Fatalf("Top node used %q, want fallback", ne.Model)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Skip("no Top operator in sample")
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/features"
+	"repro/internal/plan"
+)
+
+// candidateScaleFeatures returns the curated scaling-feature candidates
+// per operator: the magnitude features whose out-of-range values the
+// combined models must extrapolate over. Filtered by the §6.2
+// non-scaling rules via features.Scalable.
+func candidateScaleFeatures(op plan.OpKind, r plan.ResourceKind) []features.ID {
+	var ids []features.ID
+	switch op {
+	case plan.TableScan, plan.IndexScan:
+		ids = []features.ID{features.TSize, features.SOutAvg, features.COut}
+	case plan.IndexSeek:
+		ids = []features.ID{features.COut, features.TSize, features.SOutAvg}
+	case plan.Filter:
+		ids = []features.ID{features.CIn1, features.SInAvg1, features.COut}
+	case plan.Sort:
+		ids = []features.ID{features.CIn1, features.SInAvg1, features.MinComp}
+	case plan.HashJoin:
+		ids = []features.ID{features.CIn1, features.CIn2, features.COut}
+	case plan.MergeJoin:
+		ids = []features.ID{features.CIn1, features.CIn2, features.SInSum}
+	case plan.NestedLoopJoin:
+		ids = []features.ID{features.CIn1, features.SSeekTable, features.COut}
+	case plan.HashAggregate:
+		ids = []features.ID{features.CIn1, features.COut, features.HashOpTot}
+	case plan.StreamAggregate, plan.ComputeScalar, plan.Top:
+		ids = []features.ID{features.CIn1, features.SInAvg1}
+	}
+	out := ids[:0]
+	for _, id := range ids {
+		if features.Scalable(id, r) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// candidateScaleSets enumerates the scale-function sets to train for an
+// operator: the default (no scaling), one single-feature combined model
+// per candidate feature (using the §6.2-selected form), the pairwise
+// compositions of the first two candidates, and — for joins — the
+// special two-input forms.
+func candidateScaleSets(op plan.OpKind, r plan.ResourceKind, t *ScaleTable) [][]ScaleFn {
+	singles := candidateScaleFeatures(op, r)
+	sets := [][]ScaleFn{nil} // the unscaled default candidate
+	for _, f := range singles {
+		sets = append(sets, []ScaleFn{{Kind: t.Get(op, f, r), F1: f}})
+	}
+	// Pairwise composition (§6.1 "Scaling by Multiple Features"): scale
+	// by one feature, then repeat the construction for the next — e.g.
+	// the paper's log2(TSIZE) × SOUTAVG index-seek example. Composition
+	// multiplies the two scaling functions, which is only meaningful for
+	// a cardinality × tuple-width pair (work = tuples × per-byte cost);
+	// two cardinality features combine additively and are covered by the
+	// dedicated two-input forms below instead.
+	for i := 0; i < len(singles); i++ {
+		for j := i + 1; j < len(singles); j++ {
+			f1, f2 := singles[i], singles[j]
+			if dependent(f1, f2) {
+				continue // normalization would cancel the second scale
+			}
+			if isWidthFeature(f1) == isWidthFeature(f2) {
+				continue // need one cardinality and one width feature
+			}
+			sets = append(sets, []ScaleFn{
+				{Kind: t.Get(op, f1, r), F1: f1},
+				{Kind: t.Get(op, f2, r), F1: f2},
+			})
+		}
+	}
+	if op.IsJoin() && r == plan.CPUTime {
+		switch op {
+		case plan.MergeJoin:
+			sets = append(sets, []ScaleFn{{Kind: ScaleSum2, F1: features.CIn1, F2: features.CIn2}})
+		case plan.NestedLoopJoin:
+			sets = append(sets, []ScaleFn{{Kind: ScaleXLogY, F1: features.CIn1, F2: features.SSeekTable}})
+		case plan.HashJoin:
+			sets = append(sets, []ScaleFn{{Kind: ScaleSum2, F1: features.CIn1, F2: features.CIn2}})
+		}
+	}
+	return sets
+}
+
+// isWidthFeature reports whether the feature measures tuple width
+// (bytes per row) rather than a cardinality/volume.
+func isWidthFeature(f features.ID) bool {
+	return f == features.SOutAvg || f == features.SInAvg1 || f == features.SInAvg2
+}
+
+// dependent reports whether either feature normalizes the other.
+func dependent(a, b features.ID) bool {
+	for _, d := range features.Dependents(a) {
+		if d == b {
+			return true
+		}
+	}
+	for _, d := range features.Dependents(b) {
+		if d == a {
+			return true
+		}
+	}
+	return false
+}
+
+// OperatorModels holds every trained candidate for one operator and
+// resource, plus the selected default.
+type OperatorModels struct {
+	Op         plan.OpKind
+	Resource   plan.ResourceKind
+	Candidates []*CombinedModel
+	Default    *CombinedModel
+	NSamples   int
+}
+
+// TrainOperator trains all candidate combined models for one operator
+// from its samples and selects the default (§6.1: the candidate with the
+// minimum estimation error on the training queries).
+func TrainOperator(op plan.OpKind, r plan.ResourceKind, samples []Sample,
+	t *ScaleTable, cfg Config) (*OperatorModels, error) {
+
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: no samples for %s", op)
+	}
+	om := &OperatorModels{Op: op, Resource: r, NSamples: len(samples)}
+	for _, scales := range candidateScaleSets(op, r, t) {
+		m, err := TrainCombined(op, r, scales, samples, cfg)
+		if err != nil {
+			return nil, err
+		}
+		om.Candidates = append(om.Candidates, m)
+	}
+	best := om.Candidates[0]
+	for _, c := range om.Candidates[1:] {
+		if c.TrainErr < best.TrainErr {
+			best = c
+		}
+	}
+	om.Default = best
+	return om, nil
+}
+
+// Select picks the model for a feature vector per §6.3: the default if
+// all its features are in the training range, otherwise the candidate
+// with the smallest maximum out-ratio, ties broken by fewer scale
+// features and then by the second-largest out-ratio.
+func (om *OperatorModels) Select(v *features.Vector) *CombinedModel {
+	// The default wins outright when all its features are in range —
+	// but a default that itself scales (§6.1 allows this) must also see
+	// its scaled-by features within their validated range.
+	if om.Default.OutRatio(v) == 0 && om.Default.belowScalePenalty(v) == 0 {
+		return om.Default
+	}
+	type scored struct {
+		m             *CombinedModel
+		first, second float64
+	}
+	best := scored{m: nil, first: -1}
+	const eps = 1e-12
+	for _, c := range om.Candidates {
+		f, s := c.topTwoOutRatios(v)
+		f += c.belowScalePenalty(v)
+		cand := scored{m: c, first: f, second: s}
+		if best.m == nil {
+			best = cand
+			continue
+		}
+		switch {
+		case cand.first < best.first-eps:
+			best = cand
+		case cand.first > best.first+eps:
+			// keep best
+		case cand.m.NumScales() < best.m.NumScales():
+			best = cand
+		case cand.m.NumScales() == best.m.NumScales() && cand.second < best.second-eps:
+			best = cand
+		}
+	}
+	return best.m
+}
+
+// PredictVector estimates the operator's resource usage, selecting the
+// model per vector.
+func (om *OperatorModels) PredictVector(v *features.Vector) float64 {
+	return om.Select(v).PredictVector(v)
+}
+
+// CandidateNames lists the trained candidates (for reports/debugging).
+func (om *OperatorModels) CandidateNames() []string {
+	out := make([]string, len(om.Candidates))
+	for i, c := range om.Candidates {
+		out[i] = c.Name()
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/features"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+func TestScaleKindEval(t *testing.T) {
+	cases := []struct {
+		k    ScaleKind
+		v1   float64
+		v2   float64
+		want float64
+	}{
+		{ScaleLinear, 8, 0, 8},
+		{ScaleNLogN, 8, 0, 8 * math.Log2(10)},
+		{ScaleLog, 6, 0, 3},
+		{ScaleSqrt, 16, 0, 4},
+		{ScaleQuadratic, 5, 0, 25},
+		{ScaleSum2, 3, 4, 7},
+		{ScaleProd2, 3, 4, 12},
+		{ScaleXLogY, 5, 6, 5 * 3},
+	}
+	for _, c := range cases {
+		if got := c.k.evalForm(c.v1, c.v2); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s(%v,%v) = %v, want %v", c.k, c.v1, c.v2, got, c.want)
+		}
+	}
+	// Negative values clamp to 0.
+	if got := ScaleLinear.evalForm(-5, 0); got != 0 {
+		t.Errorf("negative input gave %v", got)
+	}
+}
+
+func TestScaleFnEvalNeverZero(t *testing.T) {
+	var v features.Vector
+	fn := ScaleFn{Kind: ScaleLinear, F1: features.CIn1}
+	if got := fn.Eval(&v); got <= 0 {
+		t.Fatalf("zero-feature scale factor = %v, must be positive", got)
+	}
+}
+
+func TestScaleFnScaledBy(t *testing.T) {
+	single := ScaleFn{Kind: ScaleNLogN, F1: features.CIn1}
+	if got := single.ScaledBy(); len(got) != 1 || got[0] != features.CIn1 {
+		t.Fatalf("single ScaledBy = %v", got)
+	}
+	pair := ScaleFn{Kind: ScaleXLogY, F1: features.CIn1, F2: features.SSeekTable}
+	if got := pair.ScaledBy(); len(got) != 2 {
+		t.Fatalf("pair ScaledBy = %v", got)
+	}
+	if !strings.Contains(pair.String(), "SSEEKTABLE") {
+		t.Fatalf("pair String = %q", pair.String())
+	}
+}
+
+func TestFitCurveIdentifiesNLogN(t *testing.T) {
+	// Synthetic sort curve: y = 0.3·n·log2(n) (+ small offset).
+	var vals, ys []float64
+	for _, n := range workload.GeometricSizes(1e3, 1e6, 12) {
+		vals = append(vals, n)
+		ys = append(ys, 0.3*n*math.Log2(n)+50)
+	}
+	fits := FitCurve(vals, ys)
+	if fits[0].Kind != ScaleNLogN {
+		t.Fatalf("best fit = %s, want nlogn (fits: %+v)", fits[0].Kind, fits)
+	}
+	if fits[0].RelL2 > 0.01 {
+		t.Fatalf("nlogn fit error %v too high", fits[0].RelL2)
+	}
+}
+
+func TestFitCurveIdentifiesLinearAndQuadratic(t *testing.T) {
+	var vals, lin, quad []float64
+	for _, n := range workload.GeometricSizes(10, 1e5, 10) {
+		vals = append(vals, n)
+		lin = append(lin, 2*n+7)
+		quad = append(quad, 0.001*n*n)
+	}
+	if got := FitCurve(vals, lin)[0].Kind; got != ScaleLinear {
+		t.Fatalf("linear curve identified as %s", got)
+	}
+	if got := FitCurve(vals, quad)[0].Kind; got != ScaleQuadratic {
+		t.Fatalf("quadratic curve identified as %s", got)
+	}
+}
+
+func TestFitCurveIdentifiesLog(t *testing.T) {
+	var vals, ys []float64
+	for _, n := range workload.GeometricSizes(1e2, 1e8, 14) {
+		vals = append(vals, n)
+		ys = append(ys, 12*math.Log2(n+2)+3)
+	}
+	if got := FitCurve(vals, ys)[0].Kind; got != ScaleLog {
+		t.Fatalf("log curve identified as %s", got)
+	}
+}
+
+func TestSelectScaleFunctions(t *testing.T) {
+	// The §6.2 experiments over the engine must recover the asymptotics
+	// the engine implements: n·log n sorts (Figure 7), linear filters,
+	// log-growing seek cost in the inner table size (Figure 8).
+	prof := engine.DefaultProfile()
+	prof.NoiseCV = 0.02
+	eng := engine.New(prof)
+	b := workload.NewBuilder(workload.DBFor("tpch", 1, 1), 1)
+	tbl := SelectScaleFunctions(eng, b)
+
+	if got := tbl.Get(plan.Sort, features.CIn1, plan.CPUTime); got != ScaleNLogN {
+		t.Errorf("Sort/CIN1 scaling = %s, want nlogn", got)
+	}
+	if got := tbl.Get(plan.Filter, features.CIn1, plan.CPUTime); got != ScaleLinear {
+		t.Errorf("Filter/CIN1 scaling = %s, want linear", got)
+	}
+	if got := tbl.Get(plan.TableScan, features.TSize, plan.CPUTime); got != ScaleLinear {
+		t.Errorf("Scan/TSIZE scaling = %s, want linear", got)
+	}
+	if got := tbl.Get(plan.NestedLoopJoin, features.CIn1, plan.CPUTime); got != ScaleLinear {
+		t.Errorf("NL/CIN1(outer) scaling = %s, want linear", got)
+	}
+	if got := tbl.Get(plan.NestedLoopJoin, features.SSeekTable, plan.CPUTime); got != ScaleLog {
+		t.Errorf("NL/SSEEKTABLE scaling = %s, want log", got)
+	}
+	if got := tbl.Get(plan.TableScan, features.TSize, plan.LogicalIO); got != ScaleLinear {
+		t.Errorf("Scan/TSIZE IO scaling = %s, want linear", got)
+	}
+	// Unswept combinations default to linear.
+	if got := tbl.Get(plan.Top, features.CIn1, plan.CPUTime); got != ScaleLinear {
+		t.Errorf("unswept combination = %s, want linear default", got)
+	}
+	if tbl.Len() == 0 || tbl.String() == "" {
+		t.Error("scale table empty")
+	}
+	tbl.MirrorScanKinds()
+	if got := tbl.Get(plan.IndexScan, features.TSize, plan.CPUTime); got != ScaleLinear {
+		t.Errorf("mirrored IndexScan scaling = %s", got)
+	}
+}

@@ -1,0 +1,288 @@
+// Package data materializes statistical synopses of the synthetic
+// databases: per-column distinct counts and Zipf value-frequency
+// distributions at a chosen scale factor and skew.
+//
+// The repository never materializes actual rows. All downstream behaviour
+// (true cardinalities, resource consumption, optimizer estimates) is a
+// function of these synopses:
+//
+//   - "true" selectivities follow the skewed Zipf distribution exactly,
+//   - "optimizer" selectivities apply textbook uniformity and
+//     independence assumptions, yielding the systematic cardinality bias
+//     the paper's optimizer-estimated-features experiments exercise.
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/xrand"
+)
+
+// ColumnStats is the synopsis of one column at a fixed scale factor.
+type ColumnStats struct {
+	Col      *catalog.Column
+	Distinct int64
+	// Zipf is the value-frequency distribution over ranks 1..Distinct
+	// (rank 1 = most frequent). Nil means uniform.
+	Zipf *xrand.Zipf
+}
+
+// Freq returns the true fraction of rows holding the value of the given
+// frequency rank.
+func (c *ColumnStats) Freq(rank int64) float64 {
+	if rank < 1 || rank > c.Distinct {
+		return 0
+	}
+	if c.Zipf == nil {
+		return 1 / float64(c.Distinct)
+	}
+	return c.Zipf.Freq(rank)
+}
+
+// TopFreq returns the true fraction of rows whose value rank is <= m.
+func (c *ColumnStats) TopFreq(m int64) float64 {
+	if m <= 0 {
+		return 0
+	}
+	if m >= c.Distinct {
+		return 1
+	}
+	if c.Zipf == nil {
+		return float64(m) / float64(c.Distinct)
+	}
+	return c.Zipf.TopFreq(m)
+}
+
+// TableStats is the synopsis of one table at a fixed scale factor.
+type TableStats struct {
+	Table   *catalog.Table
+	Rows    int64
+	Pages   int64
+	Columns map[string]*ColumnStats
+}
+
+// Column returns the synopsis for the named column or panics; callers
+// always hold names taken from the same catalog.
+func (t *TableStats) Column(name string) *ColumnStats {
+	c, ok := t.Columns[name]
+	if !ok {
+		panic(fmt.Sprintf("data: table %s has no column %s", t.Table.Name, name))
+	}
+	return c
+}
+
+// DB bundles the synopses for every table of a schema at one scale
+// factor.
+type DB struct {
+	Schema *catalog.Schema
+	SF     float64
+	Tables map[string]*TableStats
+}
+
+// NewDB builds synopses for schema at scale factor sf.
+func NewDB(schema *catalog.Schema, sf float64) *DB {
+	db := &DB{Schema: schema, SF: sf, Tables: make(map[string]*TableStats, len(schema.Tables))}
+	for _, tbl := range schema.Tables {
+		rows := tbl.Rows(sf)
+		ts := &TableStats{
+			Table:   tbl,
+			Rows:    rows,
+			Pages:   tbl.Pages(sf),
+			Columns: make(map[string]*ColumnStats, len(tbl.Columns)),
+		}
+		for i := range tbl.Columns {
+			col := &tbl.Columns[i]
+			cs := &ColumnStats{Col: col, Distinct: col.Distinct(rows)}
+			if col.Skew > 0 && cs.Distinct > 1 {
+				cs.Zipf = xrand.NewZipf(cs.Distinct, col.Skew)
+			}
+			ts.Columns[col.Name] = cs
+		}
+		db.Tables[tbl.Name] = ts
+	}
+	return db
+}
+
+// Table returns the synopsis for the named table or panics.
+func (db *DB) Table(name string) *TableStats {
+	t, ok := db.Tables[name]
+	if !ok {
+		panic(fmt.Sprintf("data: schema %s has no table %s", db.Schema.Name, name))
+	}
+	return t
+}
+
+// Selectivity describes the effect of a predicate on a column, carrying
+// both the true row fraction and the optimizer's estimate of it.
+type Selectivity struct {
+	True float64
+	Est  float64
+}
+
+// estBiasCap bounds how far any single predicate's optimizer estimate
+// deviates from the truth: production optimizers keep (coarse) frequency
+// histograms, so even on heavily skewed columns per-predicate errors stay
+// within roughly an order of magnitude; errors still compound across
+// predicates and joins.
+const estBiasCap = 8
+
+// capEst clamps an estimate to within estBiasCap of the truth.
+func capEst(est, truth float64) float64 {
+	if truth <= 0 {
+		return est
+	}
+	if est > truth*estBiasCap {
+		return truth * estBiasCap
+	}
+	if est < truth/estBiasCap {
+		return truth / estBiasCap
+	}
+	return est
+}
+
+// EqSelectivity returns the selectivity of "col = value" where the value
+// is the one with frequency rank `rank`. The optimizer estimate is the
+// classic 1/NDV (capped at estBiasCap of the truth); the truth follows
+// the skewed distribution, so equality on a frequent value of a skewed
+// column is underestimated.
+func (t *TableStats) EqSelectivity(col string, rank int64) Selectivity {
+	c := t.Column(col)
+	truth := c.Freq(rank)
+	return Selectivity{
+		True: truth,
+		Est:  capEst(1/float64(c.Distinct), truth),
+	}
+}
+
+// RangeSelectivity returns the selectivity of a range predicate covering
+// the m most frequent value ranks. The optimizer estimates the covered
+// fraction of the value domain (uniformity assumption, as an equi-width
+// histogram would); the truth is the actual probability mass.
+func (t *TableStats) RangeSelectivity(col string, m int64) Selectivity {
+	c := t.Column(col)
+	if m < 0 {
+		m = 0
+	}
+	if m > c.Distinct {
+		m = c.Distinct
+	}
+	truth := c.TopFreq(m)
+	return Selectivity{
+		True: truth,
+		Est:  capEst(float64(m)/float64(c.Distinct), truth),
+	}
+}
+
+// InSelectivity returns the selectivity of an IN-list over k values with
+// the given starting rank (ranks start..start+k-1).
+func (t *TableStats) InSelectivity(col string, start, k int64) Selectivity {
+	c := t.Column(col)
+	if start < 1 {
+		start = 1
+	}
+	end := start + k - 1
+	if end > c.Distinct {
+		end = c.Distinct
+	}
+	if end < start {
+		return Selectivity{}
+	}
+	truth := c.TopFreq(end) - c.TopFreq(start-1)
+	return Selectivity{
+		True: truth,
+		Est:  capEst(float64(end-start+1)/float64(c.Distinct), truth),
+	}
+}
+
+// CombineConjunction combines per-predicate selectivities of a
+// conjunction. The optimizer multiplies them (independence assumption).
+// The truth applies a correlation exponent: corr = 1 reproduces
+// independence; corr < 1 models positively correlated predicates, the
+// common real-world case that makes optimizers underestimate. The
+// exponent applies to the product of the trailing predicates.
+func CombineConjunction(sels []Selectivity, corr float64) Selectivity {
+	if len(sels) == 0 {
+		return Selectivity{True: 1, Est: 1}
+	}
+	out := sels[0]
+	for _, s := range sels[1:] {
+		out.Est *= s.Est
+		out.True *= pow(s.True, corr)
+	}
+	if out.True > 1 {
+		out.True = 1
+	}
+	return out
+}
+
+func pow(x, p float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if p == 1 {
+		return x
+	}
+	return math.Pow(x, p)
+}
+
+// JoinSelectivity returns the fraction of the (filtered) cross product
+// surviving an equi-join between a foreign-key column and a (unique) key.
+// Both sides use 1/max(d1, d2); the truth additionally reflects skew: a
+// skewed FK column joined against a rank-restricted key set carries the
+// actual probability mass of the surviving ranks.
+//
+// keyFraction is the fraction of distinct key values that survive the
+// filters on the key side (1 if unfiltered); keyRankBias selects whether
+// the surviving keys are the frequent ones (+1), infrequent ones (-1) or
+// a representative mix (0) with respect to the FK's skew.
+func (t *TableStats) JoinSelectivity(fkCol string, keyDistinct int64, keyFraction float64, keyRankBias int) Selectivity {
+	c := t.Column(fkCol)
+	d := c.Distinct
+	if keyDistinct > d {
+		d = keyDistinct
+	}
+	if d < 1 {
+		d = 1
+	}
+	est := 1 / float64(d)
+
+	// True fraction of FK rows whose key survives.
+	var trueMatch float64
+	m := int64(keyFraction * float64(c.Distinct))
+	if m < 0 {
+		m = 0
+	}
+	if m > c.Distinct {
+		m = c.Distinct
+	}
+	// biasCap bounds how far the skew-induced truth may deviate from the
+	// uniform expectation: real optimizer join errors are typically
+	// within an order of magnitude, and uncapped Zipf(2) head mass would
+	// produce 100x chains that no technique could rank meaningfully.
+	const biasCap = 8
+	switch {
+	case keyFraction >= 1:
+		trueMatch = 1
+	case keyRankBias > 0:
+		trueMatch = math.Min(c.TopFreq(m), keyFraction*biasCap) // frequent keys survive
+	case keyRankBias < 0:
+		trueMatch = math.Max(1-c.TopFreq(c.Distinct-m), keyFraction/biasCap) // tail keys
+	default:
+		trueMatch = keyFraction // representative subset
+	}
+	if trueMatch > 1 {
+		trueMatch = 1
+	}
+	// Convert row-match fraction into a cross-product fraction: the
+	// filtered key side holds keyFraction*keyDistinct rows (keys unique),
+	// so |join| = |fk rows|*trueMatch and the cross product is
+	// |fk rows| * keyFraction*keyDistinct.
+	denom := keyFraction * float64(keyDistinct)
+	tr := est
+	if denom > 0 {
+		tr = trueMatch / denom
+	}
+	return Selectivity{True: tr, Est: est}
+}

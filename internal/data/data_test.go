@@ -1,0 +1,257 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+)
+
+func testDB(t *testing.T, z, sf float64) *DB {
+	t.Helper()
+	return NewDB(catalog.TPCH(z), sf)
+}
+
+func TestNewDBCoversAllTables(t *testing.T) {
+	db := testDB(t, 1, 1)
+	if len(db.Tables) != len(db.Schema.Tables) {
+		t.Fatalf("synopses for %d tables, schema has %d", len(db.Tables), len(db.Schema.Tables))
+	}
+	li := db.Table("lineitem")
+	if li.Rows != 6_000_000 {
+		t.Fatalf("lineitem rows = %d", li.Rows)
+	}
+	if li.Pages <= 0 {
+		t.Fatal("lineitem pages not positive")
+	}
+	if len(li.Columns) != 16 {
+		t.Fatalf("lineitem column synopses = %d", len(li.Columns))
+	}
+}
+
+func TestSkewedColumnsGetZipf(t *testing.T) {
+	db := testDB(t, 2, 1)
+	if db.Table("lineitem").Column("l_shipmode").Zipf == nil {
+		t.Fatal("skewed column lacks Zipf synopsis")
+	}
+	if db.Table("lineitem").Column("l_linestatus").Zipf != nil {
+		t.Fatal("unskewed column has a Zipf synopsis")
+	}
+	// Zero skew everywhere -> no Zipf anywhere.
+	db0 := testDB(t, 0, 1)
+	for _, ts := range db0.Tables {
+		for name, cs := range ts.Columns {
+			if cs.Zipf != nil {
+				t.Fatalf("z=0 column %s.%s has Zipf", ts.Table.Name, name)
+			}
+		}
+	}
+}
+
+func TestEqSelectivitySkewBias(t *testing.T) {
+	db := testDB(t, 2, 1)
+	li := db.Table("lineitem")
+	s := li.EqSelectivity("l_shipmode", 1)
+	// Most frequent of 7 values under heavy skew: truth far above 1/7.
+	if s.True <= s.Est {
+		t.Fatalf("skewed equality: true %v should exceed est %v", s.True, s.Est)
+	}
+	tail := li.EqSelectivity("l_shipmode", 7)
+	if tail.True >= tail.Est {
+		t.Fatalf("tail value: true %v should be below est %v", tail.True, tail.Est)
+	}
+	// The estimate errs by at most the histogram-bounded factor.
+	for rank := int64(1); rank <= 7; rank++ {
+		s := li.EqSelectivity("l_shipmode", rank)
+		r := s.Est / s.True
+		if r < 1.0/8.01 || r > 8.01 {
+			t.Fatalf("rank %d: est/true ratio %v outside the 8x cap", rank, r)
+		}
+	}
+}
+
+func TestEqSelectivityUniformNoBias(t *testing.T) {
+	db := testDB(t, 0, 1)
+	s := db.Table("lineitem").EqSelectivity("l_shipmode", 3)
+	if math.Abs(s.True-s.Est) > 1e-12 {
+		t.Fatalf("uniform column: true %v != est %v", s.True, s.Est)
+	}
+}
+
+func TestRangeSelectivityBounds(t *testing.T) {
+	db := testDB(t, 1, 1)
+	li := db.Table("lineitem")
+	full := li.RangeSelectivity("l_shipdate", 1<<40)
+	if full.True != 1 || full.Est != 1 {
+		t.Fatalf("full range selectivity = %+v", full)
+	}
+	empty := li.RangeSelectivity("l_shipdate", 0)
+	if empty.True != 0 || empty.Est != 0 {
+		t.Fatalf("empty range selectivity = %+v", empty)
+	}
+	neg := li.RangeSelectivity("l_shipdate", -5)
+	if neg.True != 0 {
+		t.Fatalf("negative range selectivity = %+v", neg)
+	}
+}
+
+func TestRangeSelectivityMonotone(t *testing.T) {
+	db := testDB(t, 2, 1)
+	li := db.Table("lineitem")
+	c := li.Column("l_shipdate")
+	f := func(a, b uint16) bool {
+		m1 := int64(a) % c.Distinct
+		m2 := m1 + int64(b)%c.Distinct
+		s1 := li.RangeSelectivity("l_shipdate", m1)
+		s2 := li.RangeSelectivity("l_shipdate", m2)
+		return s2.True >= s1.True-1e-12 && s2.Est >= s1.Est-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInSelectivity(t *testing.T) {
+	db := testDB(t, 2, 1)
+	li := db.Table("lineitem")
+	s := li.InSelectivity("l_shipmode", 1, 3)
+	c := li.Column("l_shipmode")
+	wantTrue := c.TopFreq(3)
+	if math.Abs(s.True-wantTrue) > 1e-12 {
+		t.Fatalf("IN-list true sel %v, want %v", s.True, wantTrue)
+	}
+	if math.Abs(s.Est-3.0/float64(c.Distinct)) > 1e-12 {
+		t.Fatalf("IN-list est sel %v", s.Est)
+	}
+	// Clipping past the end of the domain.
+	s = li.InSelectivity("l_shipmode", 6, 100)
+	if s.Est <= 0 || s.True <= 0 {
+		t.Fatalf("clipped IN-list = %+v", s)
+	}
+	if s2 := li.InSelectivity("l_shipmode", 100, 5); s2.True != 0 || s2.Est != 0 {
+		t.Fatalf("out-of-domain IN-list = %+v", s2)
+	}
+}
+
+func TestCombineConjunctionIndependence(t *testing.T) {
+	sels := []Selectivity{{True: 0.1, Est: 0.1}, {True: 0.2, Est: 0.2}}
+	ind := CombineConjunction(sels, 1)
+	if math.Abs(ind.Est-0.02) > 1e-12 || math.Abs(ind.True-0.02) > 1e-12 {
+		t.Fatalf("corr=1 combination = %+v", ind)
+	}
+	// Positive correlation: truth above independent product, estimate
+	// unchanged (the optimizer always assumes independence).
+	corr := CombineConjunction(sels, 0.5)
+	if corr.True <= ind.True {
+		t.Fatalf("correlated truth %v should exceed independent %v", corr.True, ind.True)
+	}
+	if corr.Est != ind.Est {
+		t.Fatal("estimate must not depend on the true correlation")
+	}
+}
+
+func TestCombineConjunctionEdge(t *testing.T) {
+	if got := CombineConjunction(nil, 1); got.True != 1 || got.Est != 1 {
+		t.Fatalf("empty conjunction = %+v", got)
+	}
+	one := []Selectivity{{True: 0.3, Est: 0.4}}
+	if got := CombineConjunction(one, 0.5); got != one[0] {
+		t.Fatalf("single conjunct = %+v", got)
+	}
+	capped := CombineConjunction([]Selectivity{{True: 1, Est: 1}, {True: 1, Est: 1}}, 0.01)
+	if capped.True > 1 {
+		t.Fatalf("true selectivity exceeded 1: %v", capped.True)
+	}
+}
+
+func TestJoinSelectivityUnfiltered(t *testing.T) {
+	db := testDB(t, 2, 1)
+	ord := db.Table("orders")
+	cust := db.Table("customer")
+	custKeys := cust.Column("c_custkey").Distinct
+	s := ord.JoinSelectivity("o_custkey", custKeys, 1, 0)
+	if math.Abs(s.Est-1/float64(custKeys)) > 1e-15 {
+		t.Fatalf("join est = %v, want 1/%d", s.Est, custKeys)
+	}
+	// Unfiltered key side: every FK row matches, so true == est when the
+	// key side dominates the distinct count.
+	if math.Abs(s.True-s.Est) > 1e-12 {
+		t.Fatalf("unfiltered join: true %v, est %v", s.True, s.Est)
+	}
+}
+
+func TestJoinSelectivitySkewBias(t *testing.T) {
+	db := testDB(t, 2, 1)
+	ord := db.Table("orders")
+	custKeys := db.Table("customer").Column("c_custkey").Distinct
+	// Keep only 1% of keys. If the surviving keys are the *frequent*
+	// ones, far more than 1% of orders survive -> truth above estimate.
+	top := ord.JoinSelectivity("o_custkey", custKeys, 0.01, +1)
+	bot := ord.JoinSelectivity("o_custkey", custKeys, 0.01, -1)
+	mid := ord.JoinSelectivity("o_custkey", custKeys, 0.01, 0)
+	if top.True <= mid.True {
+		t.Fatalf("frequent-key join truth %v should exceed representative %v", top.True, mid.True)
+	}
+	if bot.True >= mid.True {
+		t.Fatalf("tail-key join truth %v should be below representative %v", bot.True, mid.True)
+	}
+	if top.Est != bot.Est || top.Est != mid.Est {
+		t.Fatal("join estimate must not depend on which keys survive")
+	}
+}
+
+func TestFreqTopFreqConsistency(t *testing.T) {
+	db := testDB(t, 1.5, 1)
+	c := db.Table("lineitem").Column("l_shipmode")
+	var sum float64
+	for k := int64(1); k <= c.Distinct; k++ {
+		sum += c.Freq(k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("frequencies sum to %v", sum)
+	}
+	if math.Abs(c.TopFreq(c.Distinct)-1) > 1e-12 {
+		t.Fatalf("TopFreq(all) = %v", c.TopFreq(c.Distinct))
+	}
+	if c.Freq(0) != 0 || c.Freq(c.Distinct+1) != 0 {
+		t.Fatal("out-of-range Freq should be 0")
+	}
+}
+
+func TestDBScalesWithSF(t *testing.T) {
+	small := testDB(t, 1, 1)
+	large := testDB(t, 1, 8)
+	if large.Table("lineitem").Rows != 8*small.Table("lineitem").Rows {
+		t.Fatal("rows did not scale by 8")
+	}
+	if large.Table("nation").Rows != small.Table("nation").Rows {
+		t.Fatal("fixed table scaled")
+	}
+	// Distinct counts of capped columns stay fixed; fractional ones scale.
+	if large.Table("lineitem").Column("l_shipmode").Distinct !=
+		small.Table("lineitem").Column("l_shipmode").Distinct {
+		t.Fatal("capped distinct scaled with SF")
+	}
+	if large.Table("orders").Column("o_custkey").Distinct <=
+		small.Table("orders").Column("o_custkey").Distinct {
+		t.Fatal("fractional distinct did not scale")
+	}
+}
+
+func TestPanicsOnUnknownNames(t *testing.T) {
+	db := testDB(t, 1, 1)
+	for _, fn := range []func(){
+		func() { db.Table("nope") },
+		func() { db.Table("lineitem").Column("nope") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic for unknown name")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,314 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+func scanNode(table string, rows, pages, width float64) *plan.Node {
+	n := plan.NewLeaf(plan.TableScan, table)
+	n.TableRows, n.TablePages, n.TableCols = rows, pages, 8
+	n.Out = plan.Cardinality{Rows: rows, Width: width}
+	return n
+}
+
+func runSingle(t *testing.T, n *plan.Node, tag string) plan.Resources {
+	t.Helper()
+	p := plan.New(n, tag)
+	e := New(nil)
+	return e.Run(p)
+}
+
+func TestRunDeterministic(t *testing.T) {
+	mk := func() *plan.Plan { return plan.New(scanNode("t", 100000, 1000, 100), "q1") }
+	e1, e2 := New(nil), New(nil)
+	r1 := e1.Run(mk())
+	r2 := e2.Run(mk())
+	if r1 != r2 {
+		t.Fatalf("same plan produced different measurements: %+v vs %+v", r1, r2)
+	}
+	// A different tag gives different noise but similar magnitude.
+	r3 := New(nil).Run(plan.New(scanNode("t", 100000, 1000, 100), "q2"))
+	if r3.CPU == r1.CPU {
+		t.Fatal("distinct queries should observe independent noise")
+	}
+	if r3.CPU < r1.CPU*0.5 || r3.CPU > r1.CPU*2 {
+		t.Fatalf("noise too violent: %v vs %v", r3.CPU, r1.CPU)
+	}
+}
+
+func TestScanLinearInRows(t *testing.T) {
+	small := runSingle(t, scanNode("t", 100_000, 1_000, 100), "a")
+	big := runSingle(t, scanNode("t", 1_000_000, 10_000, 100), "a")
+	ratio := big.CPU / small.CPU
+	if ratio < 8 || ratio > 12.5 {
+		t.Fatalf("scan CPU scaled by %v for 10x rows, want ~10", ratio)
+	}
+	if big.IO != 10*small.IO {
+		t.Fatalf("scan IO %v vs %v, want exactly 10x", big.IO, small.IO)
+	}
+}
+
+func TestScanWidthNonlinearity(t *testing.T) {
+	// CPU per byte must be higher beyond the wide-row threshold:
+	// cost(200B) - cost(100B) > cost(96B) - cost(~0B) despite equal
+	// byte deltas being compared... use exact three points.
+	p := DefaultProfile()
+	narrow := p.rowByteCPU(48)
+	mid := p.rowByteCPU(96)
+	wide := p.rowByteCPU(144)
+	lowSlope := (mid - narrow) / 48
+	highSlope := (wide - mid) / 48
+	if highSlope <= lowSlope*1.5 {
+		t.Fatalf("wide-row slope %v not steeper than narrow slope %v", highSlope, lowSlope)
+	}
+}
+
+func TestIndexSeekCost(t *testing.T) {
+	seek := plan.NewLeaf(plan.IndexSeek, "t")
+	seek.TableRows, seek.TablePages = 1_000_000, 20_000
+	seek.IndexDepth = 3
+	seek.Out = plan.Cardinality{Rows: 100, Width: 50}
+	r := runSingle(t, seek, "seek1")
+	if r.CPU <= 0 {
+		t.Fatal("seek CPU not positive")
+	}
+	// IO = one descent + leaf pages.
+	wantIO := 3.0 + math.Ceil(100/DefaultProfile().TuplesPerIOPage)
+	if r.IO != wantIO {
+		t.Fatalf("seek IO = %v, want %v", r.IO, wantIO)
+	}
+}
+
+// mkNL builds a nested loop join with the given outer row count over a
+// fixed inner table.
+func mkNL(outerRows float64) *plan.Node {
+	outer := scanNode("o", outerRows, outerRows/50, 40)
+	inner := plan.NewLeaf(plan.IndexSeek, "i")
+	inner.TableRows, inner.TablePages = 1_000_000, 20_000
+	inner.IndexDepth = 3
+	inner.Executions = outerRows
+	inner.Out = plan.Cardinality{Rows: outerRows, Width: 50}
+	nl := plan.NewJoin(plan.NestedLoopJoin, outer, inner)
+	nl.Out = plan.Cardinality{Rows: outerRows, Width: 80}
+	return nl
+}
+
+func TestNestedLoopDescentsOnJoinNode(t *testing.T) {
+	p := DefaultProfile()
+	p.NoiseCV = 0
+	e := New(p)
+	pl1 := plan.New(mkNL(100), "x")
+	pl2 := plan.New(mkNL(10_000), "x")
+	e.Run(pl1)
+	e.Run(pl2)
+	nl1, nl2 := pl1.Nodes()[0], pl2.Nodes()[0]
+	// The join node carries the per-outer-row descents: IO scales with
+	// the outer cardinality.
+	if nl2.Actual.IO <= nl1.Actual.IO*50 {
+		t.Fatalf("NL IO %v vs %v: descents must scale with outer rows", nl2.Actual.IO, nl1.Actual.IO)
+	}
+	// The seek child's cost no longer grows with executions (beyond the
+	// fetched rows themselves).
+	seek1, seek2 := pl1.Nodes()[2], pl2.Nodes()[2]
+	if seek2.Actual.IO > seek1.Actual.IO*110 {
+		t.Fatalf("seek IO %v vs %v should track fetched rows, not executions", seek2.Actual.IO, seek1.Actual.IO)
+	}
+}
+
+func TestBatchSortDiscount(t *testing.T) {
+	p := DefaultProfile()
+	p.NoiseCV = 0
+	e := New(p)
+	nlCPU := func(outer float64) float64 {
+		pl := plan.New(mkNL(outer), "b")
+		e.Run(pl)
+		return pl.Nodes()[0].Actual.CPU
+	}
+	below := nlCPU(p.BatchThreshold - 1)
+	above := nlCPU(p.BatchThreshold + 1)
+	// Per-outer-row CPU must drop across the batch threshold.
+	perBelow := below / (p.BatchThreshold - 1)
+	perAbove := above / (p.BatchThreshold + 1)
+	if perAbove >= perBelow {
+		t.Fatalf("batch discount missing: %v/row below vs %v/row above", perBelow, perAbove)
+	}
+}
+
+func TestSortNLogNShape(t *testing.T) {
+	p := DefaultProfile()
+	p.NoiseCV = 0
+	e := New(p)
+	sortCPU := func(rows float64) float64 {
+		scan := scanNode("t", rows, rows/50, 40)
+		srt := plan.NewUnary(plan.Sort, scan)
+		srt.SortCols = 1
+		srt.Out = plan.Cardinality{Rows: rows, Width: 40}
+		pl := plan.New(srt, "s")
+		e.Run(pl)
+		return pl.Nodes()[0].Actual.CPU
+	}
+	// Keep both sizes within the in-memory regime (40B * rows < 16MB).
+	small := sortCPU(50_000)
+	big := sortCPU(400_000)
+	ratio := big / small
+	// n log n growth for 8x rows: 8 * log(400k)/log(50k) ≈ 9.5; linear
+	// would be 8. Demand clearly super-linear.
+	if ratio < 8.6 {
+		t.Fatalf("sort CPU ratio %v for 8x rows, want super-linear (~9.5)", ratio)
+	}
+}
+
+func TestSortSpillSteps(t *testing.T) {
+	p := DefaultProfile()
+	p.NoiseCV = 0
+	e := New(p)
+	sortRes := func(rows float64) plan.Resources {
+		scan := scanNode("t", rows, rows/50, 100)
+		srt := plan.NewUnary(plan.Sort, scan)
+		srt.Out = plan.Cardinality{Rows: rows, Width: 100}
+		pl := plan.New(srt, "s")
+		e.Run(pl)
+		return pl.Nodes()[0].Actual
+	}
+	inMem := sortRes(100_000) // 10 MB < 16 MB budget
+	spill := sortRes(400_000) // 40 MB > budget
+	if inMem.IO != 0 {
+		t.Fatalf("in-memory sort did I/O: %v", inMem.IO)
+	}
+	if spill.IO <= 0 {
+		t.Fatal("spilling sort did no I/O")
+	}
+	// The spill also costs a CPU step beyond the n log n growth.
+	perRowInMem := inMem.CPU / 100_000
+	perRowSpill := spill.CPU / 400_000
+	if perRowSpill <= perRowInMem {
+		t.Fatal("spill should raise per-row CPU")
+	}
+}
+
+func TestHashJoinSpill(t *testing.T) {
+	p := DefaultProfile()
+	p.NoiseCV = 0
+	e := New(p)
+	join := func(buildRows float64) plan.Resources {
+		build := scanNode("b", buildRows, buildRows/50, 100)
+		probe := scanNode("p", 1_000_000, 20_000, 100)
+		hj := plan.NewJoin(plan.HashJoin, build, probe)
+		hj.HashOpAvg = 1
+		hj.Out = plan.Cardinality{Rows: 1_000_000, Width: 150}
+		pl := plan.New(hj, "hj")
+		e.Run(pl)
+		return pl.Nodes()[0].Actual
+	}
+	small := join(50_000)  // 5 MB build: in memory
+	large := join(500_000) // 50 MB build: spills
+	if small.IO != 0 {
+		t.Fatalf("in-memory hash join did I/O: %v", small.IO)
+	}
+	if large.IO <= 0 {
+		t.Fatal("oversized hash join build did not spill")
+	}
+}
+
+func TestFilterLinear(t *testing.T) {
+	p := DefaultProfile()
+	p.NoiseCV = 0
+	e := New(p)
+	filterCPU := func(rows float64) float64 {
+		scan := scanNode("t", rows, rows/50, 80)
+		f := plan.NewUnary(plan.Filter, scan)
+		f.Out = plan.Cardinality{Rows: rows / 10, Width: 80}
+		pl := plan.New(f, "f")
+		e.Run(pl)
+		return pl.Nodes()[0].Actual.CPU
+	}
+	r := filterCPU(1_000_000) / filterCPU(100_000)
+	if r < 9.5 || r > 10.5 {
+		t.Fatalf("filter CPU ratio %v for 10x input, want 10", r)
+	}
+}
+
+func TestAllOperatorsProduceCost(t *testing.T) {
+	p := DefaultProfile()
+	p.NoiseCV = 0
+	e := New(p)
+	scan := func() *plan.Node { return scanNode("t", 10_000, 200, 60) }
+	seek := func() *plan.Node {
+		s := plan.NewLeaf(plan.IndexSeek, "t")
+		s.TableRows, s.TablePages, s.IndexDepth = 10_000, 200, 3
+		s.Out = plan.Cardinality{Rows: 100, Width: 60}
+		return s
+	}
+	nodes := []*plan.Node{
+		scan(),
+		func() *plan.Node {
+			s := plan.NewLeaf(plan.IndexScan, "t")
+			s.TableRows, s.TablePages = 10_000, 200
+			s.Out = plan.Cardinality{Rows: 10_000, Width: 30}
+			return s
+		}(),
+		seek(),
+		plan.NewUnary(plan.Filter, scan()),
+		plan.NewUnary(plan.Sort, scan()),
+		plan.NewJoin(plan.HashJoin, scan(), scan()),
+		plan.NewJoin(plan.MergeJoin, scan(), scan()),
+		plan.NewJoin(plan.NestedLoopJoin, scan(), seek()),
+		plan.NewUnary(plan.HashAggregate, scan()),
+		plan.NewUnary(plan.StreamAggregate, scan()),
+		plan.NewUnary(plan.ComputeScalar, scan()),
+		plan.NewUnary(plan.Top, scan()),
+	}
+	for _, n := range nodes {
+		if len(n.Children) > 0 && n.Out.Rows == 0 {
+			n.Out = plan.Cardinality{Rows: 1000, Width: 60}
+		}
+		pl := plan.New(n, "all")
+		e.Run(pl)
+		if n.Actual.CPU <= 0 {
+			t.Errorf("%s: zero CPU", n.Kind)
+		}
+		if n.Actual.IO < 0 {
+			t.Errorf("%s: negative IO", n.Kind)
+		}
+	}
+}
+
+func TestPlanTotalsSumChildren(t *testing.T) {
+	scan1 := scanNode("a", 50_000, 1_000, 80)
+	scan2 := scanNode("b", 60_000, 1_200, 90)
+	hj := plan.NewJoin(plan.HashJoin, scan1, scan2)
+	hj.Out = plan.Cardinality{Rows: 60_000, Width: 120}
+	pl := plan.New(hj, "sum")
+	tot := New(nil).Run(pl)
+	var manual plan.Resources
+	pl.Walk(func(n *plan.Node) { manual.Add(n.Actual) })
+	if tot != manual {
+		t.Fatalf("Run total %+v != node sum %+v", tot, manual)
+	}
+	if tot.CPU <= 0 || tot.IO <= 0 {
+		t.Fatalf("plan totals not positive: %+v", tot)
+	}
+}
+
+func TestNoiseIsBounded(t *testing.T) {
+	// With CV=6%, 1000 independent queries should have CPU within ±40%
+	// of the noise-free cost essentially always.
+	p := DefaultProfile()
+	noiseless := DefaultProfile()
+	noiseless.NoiseCV = 0
+	en, e0 := New(p), New(noiseless)
+	for i := 0; i < 1000; i++ {
+		tag := string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune(i))
+		n1 := scanNode("t", 100_000, 2_000, 80)
+		n2 := scanNode("t", 100_000, 2_000, 80)
+		r1 := en.Run(plan.New(n1, tag))
+		r0 := e0.Run(plan.New(n2, tag))
+		ratio := r1.CPU / r0.CPU
+		if ratio < 0.6 || ratio > 1.67 {
+			t.Fatalf("noise ratio %v out of bounds at query %d", ratio, i)
+		}
+	}
+}

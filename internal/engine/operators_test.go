@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// noiselessEngine returns an engine with deterministic costs.
+func noiselessEngine() *Engine {
+	p := DefaultProfile()
+	p.NoiseCV = 0
+	return New(p)
+}
+
+func runNode(e *Engine, n *plan.Node, tag string) plan.Resources {
+	pl := plan.New(n, tag)
+	e.Run(pl)
+	return pl.Root.Actual
+}
+
+func TestMergeJoinLinearInInputs(t *testing.T) {
+	e := noiselessEngine()
+	mk := func(l, r float64) plan.Resources {
+		left := scanNode("l", l, l/50, 40)
+		right := scanNode("r", r, r/50, 40)
+		mj := plan.NewJoin(plan.MergeJoin, left, right)
+		mj.InnerCols = 1
+		mj.Out = plan.Cardinality{Rows: math.Min(l, r), Width: 72}
+		return runNode(e, mj, "mj")
+	}
+	base := mk(100_000, 100_000)
+	double := mk(200_000, 200_000)
+	ratio := double.CPU / base.CPU
+	if ratio < 1.9 || ratio > 2.3 {
+		t.Fatalf("merge join CPU ratio %v for 2x inputs, want ~2", ratio)
+	}
+	if base.IO != 0 {
+		t.Fatalf("merge join did I/O: %v", base.IO)
+	}
+}
+
+func TestMergeJoinMoreColumnsCostMore(t *testing.T) {
+	e := noiselessEngine()
+	mk := func(cols int) plan.Resources {
+		left := scanNode("l", 200_000, 4_000, 40)
+		right := scanNode("r", 200_000, 4_000, 40)
+		mj := plan.NewJoin(plan.MergeJoin, left, right)
+		mj.InnerCols = cols
+		mj.Out = plan.Cardinality{Rows: 200_000, Width: 72}
+		return runNode(e, mj, "mjc")
+	}
+	if mk(3).CPU <= mk(1).CPU {
+		t.Fatal("3-column merge join should cost more than 1-column")
+	}
+}
+
+func TestHashAggregateSpill(t *testing.T) {
+	e := noiselessEngine()
+	mk := func(groups float64, width float64) plan.Resources {
+		scan := scanNode("t", 2_000_000, 40_000, 80)
+		agg := plan.NewUnary(plan.HashAggregate, scan)
+		agg.HashOpAvg = 1
+		agg.Out = plan.Cardinality{Rows: groups, Width: width}
+		return runNode(e, agg, "agg")
+	}
+	small := mk(1_000, 64) // 64 KB of groups: in memory
+	big := mk(1_000_000, 64)
+	if small.IO != 0 {
+		t.Fatalf("in-memory aggregate did I/O: %v", small.IO)
+	}
+	if big.IO <= 0 {
+		t.Fatal("oversized aggregate state did not spill")
+	}
+}
+
+func TestStreamAggregateLinear(t *testing.T) {
+	e := noiselessEngine()
+	mk := func(rows float64) plan.Resources {
+		scan := scanNode("t", rows, rows/50, 60)
+		agg := plan.NewUnary(plan.StreamAggregate, scan)
+		agg.Out = plan.Cardinality{Rows: 1, Width: 16}
+		return runNode(e, agg, "sagg")
+	}
+	r := mk(1_000_000).CPU / mk(100_000).CPU
+	if r < 9.5 || r > 10.5 {
+		t.Fatalf("stream aggregate CPU ratio %v for 10x input, want 10", r)
+	}
+}
+
+func TestHashJoinProbeVsBuildCosts(t *testing.T) {
+	// Build rows cost more per tuple than probe rows (insert vs probe).
+	e := noiselessEngine()
+	mk := func(build, probe float64) float64 {
+		b := scanNode("b", build, build/50, 40)
+		p := scanNode("p", probe, probe/50, 40)
+		hj := plan.NewJoin(plan.HashJoin, b, p)
+		hj.HashOpAvg = 1
+		hj.Out = plan.Cardinality{Rows: probe, Width: 72}
+		return runNode(e, hj, "hj").CPU
+	}
+	buildHeavy := mk(400_000, 100_000)
+	probeHeavy := mk(100_000, 400_000)
+	if buildHeavy <= probeHeavy {
+		t.Fatalf("build-heavy join (%v) should cost more than probe-heavy (%v)",
+			buildHeavy, probeHeavy)
+	}
+}
+
+func TestIndexScanCheaperThanTableScanPages(t *testing.T) {
+	e := noiselessEngine()
+	ts := scanNode("t", 500_000, 10_000, 30)
+	tsRes := runNode(e, ts, "ts")
+	is := plan.NewLeaf(plan.IndexScan, "t")
+	is.TableRows, is.TablePages = 500_000, 10_000
+	is.Out = plan.Cardinality{Rows: 500_000, Width: 30}
+	isRes := runNode(e, is, "is")
+	if isRes.IO >= tsRes.IO {
+		t.Fatalf("index scan IO %v should be below table scan IO %v (narrower leaf)",
+			isRes.IO, tsRes.IO)
+	}
+}
+
+func TestComputeScalarAndTopAreCheap(t *testing.T) {
+	e := noiselessEngine()
+	scan := scanNode("t", 1_000_000, 20_000, 60)
+	scanRes := runNode(e, scan, "s")
+
+	scan2 := scanNode("t", 1_000_000, 20_000, 60)
+	cs := plan.NewUnary(plan.ComputeScalar, scan2)
+	cs.Out = scan2.Out
+	pl := plan.New(cs, "cs")
+	e.Run(pl)
+	if pl.Root.Actual.CPU >= scanRes.CPU {
+		t.Fatal("compute scalar should be cheaper than the scan feeding it")
+	}
+
+	scan3 := scanNode("t", 1_000_000, 20_000, 60)
+	top := plan.NewUnary(plan.Top, scan3)
+	top.Out = plan.Cardinality{Rows: 100, Width: 60}
+	pl2 := plan.New(top, "top")
+	e.Run(pl2)
+	if pl2.Root.Actual.CPU >= scanRes.CPU {
+		t.Fatal("top should be cheaper than the scan feeding it")
+	}
+}
+
+func TestSortColumnsRaiseCPU(t *testing.T) {
+	e := noiselessEngine()
+	mk := func(cols int) float64 {
+		scan := scanNode("t", 300_000, 6_000, 50)
+		srt := plan.NewUnary(plan.Sort, scan)
+		srt.SortCols = cols
+		srt.Out = scan.Out
+		pl := plan.New(srt, "sc")
+		e.Run(pl)
+		return pl.Root.Actual.CPU
+	}
+	if mk(4) <= mk(1) {
+		t.Fatal("sorting on more columns should cost more CPU")
+	}
+}
+
+func TestProfileIndependence(t *testing.T) {
+	// Two engines with different profiles give different measurements;
+	// the profile is respected.
+	fast := DefaultProfile()
+	fast.NoiseCV = 0
+	slow := DefaultProfile()
+	slow.NoiseCV = 0
+	slow.ScanTupleCPU *= 3
+	n1 := scanNode("t", 100_000, 2_000, 40)
+	n2 := scanNode("t", 100_000, 2_000, 40)
+	r1 := New(fast).Run(plan.New(n1, "x"))
+	r2 := New(slow).Run(plan.New(n2, "x"))
+	if r2.CPU <= r1.CPU {
+		t.Fatal("tripled per-tuple cost did not raise scan CPU")
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/stats"
+)
+
+// RelatedWorkKCCA reproduces the §1.1/§2 argument against the
+// plan-template nearest-neighbour estimator of [15]: trained on
+// small-scale-factor TPC-H queries and applied to queries with much
+// larger resource usage, its estimates are bounded by the largest
+// training observation, so every sufficiently large query is
+// underestimated. Returns the (in-distribution, out-of-distribution)
+// evaluation results plus the bound-violation count.
+type KCCAResult struct {
+	InDist    stats.EvalResult
+	OutDist   stats.EvalResult
+	TrainMax  float64
+	OutAbove  int // out-of-distribution queries whose truth exceeds TrainMax
+	OutCapped int // ... all of which receive estimates <= TrainMax
+}
+
+// RelatedWorkKCCA runs the experiment on the runner's workloads.
+func (r *Runner) RelatedWorkKCCA() (*KCCAResult, error) {
+	small, large := r.SplitBySF()
+	cut := len(small) * 8 / 10
+	train, inTest := small[:cut], small[cut:]
+	ts, err := TrainTechniques(train, TrainConfig{
+		Resource:   plan.CPUTime,
+		Techniques: []string{TechKCCA},
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := ts.Models[TechKCCA]
+
+	evalOn := func(set []*plan.Plan) stats.EvalResult {
+		var est, truth []float64
+		for _, p := range set {
+			e := m.PredictPlan(p)
+			if e <= 0 {
+				e = 1e-6
+			}
+			est = append(est, e)
+			truth = append(truth, p.TotalActual().CPU)
+		}
+		return stats.Evaluate(est, truth)
+	}
+
+	var trainMax float64
+	for _, p := range train {
+		if c := p.TotalActual().CPU; c > trainMax {
+			trainMax = c
+		}
+	}
+	res := &KCCAResult{
+		InDist:   evalOn(inTest),
+		OutDist:  evalOn(large),
+		TrainMax: trainMax,
+	}
+	for _, p := range large {
+		if p.TotalActual().CPU <= trainMax {
+			continue
+		}
+		res.OutAbove++
+		if m.PredictPlan(p) <= trainMax*1.0000001 {
+			res.OutCapped++
+		}
+	}
+	return res, nil
+}
+
+// Format renders the experiment summary.
+func (k *KCCAResult) Format() string {
+	return fmt.Sprintf(
+		"KCCA-style template kNN ([15], §2):\n"+
+			"  in-distribution:  L1=%.2f, R<=1.5: %.1f%%\n"+
+			"  out-of-distribution (larger data): L1=%.2f, R>2: %.1f%%\n"+
+			"  %d/%d queries above the training max (%.0f ms) — all %d capped at it\n",
+		k.InDist.L1, k.InDist.Buckets.LE15*100,
+		k.OutDist.L1, k.OutDist.Buckets.GT2*100,
+		k.OutCapped, k.OutAbove, k.TrainMax, k.OutCapped)
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/mart"
+	"repro/internal/plan"
+	"repro/internal/xrand"
+)
+
+// Table4 — training and testing on TPC-H with exact features (CPU).
+func (r *Runner) Table4() (*Table, error) {
+	train, test := r.SplitTPCH()
+	return r.runTable("Table 4", "Training and Testing on TPC-H (exact features)",
+		train, map[string][]*plan.Plan{"TPC-H": test},
+		r.cfgFor(plan.CPUTime, features.Exact, cpuTechniques(features.Exact)))
+}
+
+// Table5 — train small scale factors / test large and the reverse,
+// exact features (CPU).
+func (r *Runner) Table5() (*Table, error) {
+	small, large := r.SplitBySF()
+	cfg := r.cfgFor(plan.CPUTime, features.Exact, cpuTechniques(features.Exact))
+	t1, err := r.runTable("", "", small, map[string][]*plan.Plan{"Large": large}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t2, err := r.runTable("", "", large, map[string][]*plan.Plan{"Small": small}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table{
+		Name:  "Table 5",
+		Title: "Training on TPC-H, Testing with different Data Distributions (exact features)",
+		Rows:  append(t1.Rows, t2.Rows...),
+	}
+	return out, nil
+}
+
+// Table6 — train on TPC-H, test on TPC-DS / Real-1 / Real-2, exact
+// features (CPU).
+func (r *Runner) Table6() (*Table, error) {
+	return r.runTable("Table 6", "Training on TPC-H, Testing on different Workloads/Data (exact features)",
+		Plans(r.W.TPCH), map[string][]*plan.Plan{
+			"TPC-DS": Plans(r.W.TPCDS),
+			"Real-1": Plans(r.W.Real1),
+			"Real-2": Plans(r.W.Real2),
+		},
+		r.cfgFor(plan.CPUTime, features.Exact, cpuTechniques(features.Exact)))
+}
+
+// Table7 — Table 4 with optimizer-estimated features (adds OPT).
+func (r *Runner) Table7() (*Table, error) {
+	train, test := r.SplitTPCH()
+	return r.runTable("Table 7", "Training and Testing on TPC-H (optimizer-estimated features)",
+		train, map[string][]*plan.Plan{"TPC-H": test},
+		r.cfgFor(plan.CPUTime, features.Estimated, cpuTechniques(features.Estimated)))
+}
+
+// Table8 — Table 5 with optimizer-estimated features.
+func (r *Runner) Table8() (*Table, error) {
+	small, large := r.SplitBySF()
+	cfg := r.cfgFor(plan.CPUTime, features.Estimated, cpuTechniques(features.Estimated))
+	t1, err := r.runTable("", "", small, map[string][]*plan.Plan{"Large": large}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t2, err := r.runTable("", "", large, map[string][]*plan.Plan{"Small": small}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{
+		Name:  "Table 8",
+		Title: "Training on TPC-H, Testing with different Data Distributions (optimizer-estimated features)",
+		Rows:  append(t1.Rows, t2.Rows...),
+	}, nil
+}
+
+// Table9 — Table 6 with optimizer-estimated features.
+func (r *Runner) Table9() (*Table, error) {
+	return r.runTable("Table 9", "Training on TPC-H, Testing on different Workloads/Data (optimizer-estimated features)",
+		Plans(r.W.TPCH), map[string][]*plan.Plan{
+			"TPC-DS": Plans(r.W.TPCDS),
+			"Real-1": Plans(r.W.Real1),
+			"Real-2": Plans(r.W.Real2),
+		},
+		r.cfgFor(plan.CPUTime, features.Estimated, cpuTechniques(features.Estimated)))
+}
+
+// Table10 — training and testing on TPC-H, logical I/O (estimated
+// features, the §7.2 setup).
+func (r *Runner) Table10() (*Table, error) {
+	train, test := r.SplitTPCH()
+	return r.runTable("Table 10", "Training and Testing on TPC-H (I/O operations)",
+		train, map[string][]*plan.Plan{"TPC-H": test},
+		r.cfgFor(plan.LogicalIO, features.Estimated, ioTechniques()))
+}
+
+// Table11 — I/O with the small/large data-distribution split.
+func (r *Runner) Table11() (*Table, error) {
+	small, large := r.SplitBySF()
+	cfg := r.cfgFor(plan.LogicalIO, features.Estimated, ioTechniques())
+	t1, err := r.runTable("", "", small, map[string][]*plan.Plan{"Large": large}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t2, err := r.runTable("", "", large, map[string][]*plan.Plan{"Small": small}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{
+		Name:  "Table 11",
+		Title: "Training on TPC-H, Testing with different Data Distributions (I/O operations)",
+		Rows:  append(t1.Rows, t2.Rows...),
+	}, nil
+}
+
+// Table12 — I/O, cross-workload generalization.
+func (r *Runner) Table12() (*Table, error) {
+	return r.runTable("Table 12", "Training on TPC-H, Testing on different Workloads/Data (I/O operations)",
+		Plans(r.W.TPCH), map[string][]*plan.Plan{
+			"TPC-DS": Plans(r.W.TPCDS),
+			"Real-1": Plans(r.W.Real1),
+			"Real-2": Plans(r.W.Real2),
+		},
+		r.cfgFor(plan.LogicalIO, features.Estimated, ioTechniques()))
+}
+
+// Table13Result is one row of the training-time table.
+type Table13Result struct {
+	Examples int
+	Seconds  float64
+}
+
+// Table13 — MART training times vs number of training examples (§7.3).
+// sizes defaults to the paper's 5K..160K doubling series; iterations to
+// the paper's M = 1K.
+func Table13(sizes []int, iterations int) []Table13Result {
+	if len(sizes) == 0 {
+		sizes = []int{5000, 10000, 20000, 40000, 80000, 160000}
+	}
+	if iterations <= 0 {
+		iterations = 1000
+	}
+	// Synthetic operator-like training data: 10 features, a nonlinear
+	// target, matching the dimensionality of the operator models.
+	rng := xrand.New(99)
+	gen := func(n int) ([][]float64, []float64) {
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			row := make([]float64, 10)
+			for f := range row {
+				row[f] = rng.Range(0, 1000)
+			}
+			xs[i] = row
+			ys[i] = row[0]*2 + row[1]*row[1]/500 + row[2]
+			if row[3] > 500 {
+				ys[i] += 300
+			}
+		}
+		return xs, ys
+	}
+	var out []Table13Result
+	for _, n := range sizes {
+		xs, ys := gen(n)
+		cfg := mart.DefaultConfig()
+		cfg.Iterations = iterations
+		start := time.Now()
+		if _, err := mart.Train(xs, ys, cfg); err != nil {
+			panic(err)
+		}
+		out = append(out, Table13Result{Examples: n, Seconds: time.Since(start).Seconds()})
+	}
+	return out
+}
+
+// FormatTable13 renders the training-time rows.
+func FormatTable13(rows []Table13Result, iterations int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 13 — Training Times (seconds) for M=%d boosting iterations\n", iterations)
+	fmt.Fprintf(&b, "%-12s", "Examples")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%9d", r.Examples)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-12s", "Time (s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%9.2f", r.Seconds)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package features
+
+import "repro/internal/plan"
+
+// ForOperator returns the feature IDs applicable to an operator kind:
+// the global features of Table 1 restricted to the operator's child
+// count, plus the operator-specific features of Table 2.
+func ForOperator(k plan.OpKind) []ID {
+	ids := []ID{COut, SOutAvg, SOutTot, OutputUsage}
+	switch k.NumChildren() {
+	case 1:
+		ids = append(ids, CIn1, SInAvg1, SInTot1)
+	case 2:
+		ids = append(ids, CIn1, SInAvg1, SInTot1, CIn2, SInAvg2, SInTot2)
+	}
+	switch k {
+	case plan.TableScan, plan.IndexScan:
+		ids = append(ids, TSize, Pages, TColumns, EstIOCost)
+	case plan.IndexSeek:
+		ids = append(ids, TSize, Pages, TColumns, EstIOCost, IndexDepth)
+	case plan.HashJoin:
+		ids = append(ids, HashOpAvg, HashOpTot, CInnerCol, COuterCol)
+	case plan.HashAggregate:
+		ids = append(ids, HashOpAvg, HashOpTot, CHashCol)
+	case plan.MergeJoin:
+		ids = append(ids, CInnerCol, COuterCol, SInSum)
+	case plan.NestedLoopJoin:
+		ids = append(ids, CInnerCol, COuterCol, SSeekTable)
+	case plan.Sort:
+		ids = append(ids, MinComp, CSortCol)
+	}
+	return ids
+}
+
+// Scalable reports whether a feature may be used as a scaling feature
+// for the given resource. §6.2: OUTPUTUSAGE (categorical) and the small
+// column-count features never scale; for I/O, hashing-effort features
+// and sort-comparison features model second-order effects only and are
+// excluded (the paper lists HASHOPAVG, HASHOPTOT, CHASHCOL, CINNERCOL,
+// COUTERCOL, MINCOMP, CSORTCOL).
+func Scalable(id ID, resource plan.ResourceKind) bool {
+	switch id {
+	case OutputUsage, TColumns, CHashCol, CInnerCol, COuterCol, CSortCol, HashOpAvg:
+		return false
+	}
+	if resource == plan.LogicalIO {
+		switch id {
+		case HashOpTot, MinComp:
+			return false
+		}
+	}
+	return true
+}
+
+// Dependents returns the features whose value changes when the given
+// feature's value changes — Table 3 of the paper, reconstructed from the
+// arithmetic relations between the features (the published table is an
+// image; the paper defines dependence as "a change in the value of the
+// outlier implies a change in the value of the dependent feature", e.g.
+// CIN and SINTOT are dependent while CIN and SINAVG are not).
+//
+// When a combined model scales by feature F, every feature in
+// Dependents(F) is divided by F during training and prediction (§6.1,
+// modification 3).
+func Dependents(f ID) []ID {
+	switch f {
+	case COut:
+		// More output tuples ⇒ more output bytes.
+		return []ID{SOutTot}
+	case SOutAvg:
+		return []ID{SOutTot}
+	case CIn1:
+		// More input tuples ⇒ more input bytes, more hashing work, more
+		// sort comparisons, more output tuples/bytes, larger merged
+		// input. For joins the two input cardinalities co-vary with the
+		// underlying data size, so the sibling input counts as dependent
+		// too: scaling by one side turns the other into a scale-free
+		// ratio the per-unit model can extrapolate with.
+		return []ID{SInTot1, HashOpTot, MinComp, COut, SOutTot, SInSum, CIn2, SInTot2}
+	case SInAvg1:
+		// Wider input rows ⇒ more input bytes; output rows typically
+		// carry the same columns, so output width/bytes follow.
+		return []ID{SInTot1, SOutAvg, SOutTot, SInSum}
+	case SInTot1:
+		return []ID{SInSum}
+	case CIn2:
+		return []ID{SInTot2, HashOpTot, COut, SOutTot, SInSum, CIn1, SInTot1}
+	case SInAvg2:
+		return []ID{SInTot2, SInSum}
+	case SInTot2:
+		return []ID{SInSum}
+	case TSize:
+		// A bigger table has more pages, deeper indexes, larger scan
+		// output and I/O cost estimates.
+		return []ID{Pages, IndexDepth, EstIOCost, COut, SOutTot}
+	case Pages:
+		return []ID{EstIOCost}
+	case HashOpTot:
+		return nil
+	case SSeekTable:
+		return nil
+	case MinComp:
+		return nil
+	case SInSum:
+		return nil
+	case EstIOCost, IndexDepth, TColumns, HashOpAvg,
+		CHashCol, CInnerCol, COuterCol, CSortCol, OutputUsage:
+		return nil
+	}
+	return nil
+}
+
+// DependentsWithin filters Dependents(f) to the features applicable to
+// operator kind k.
+func DependentsWithin(f ID, k plan.OpKind) []ID {
+	app := map[ID]bool{}
+	for _, id := range ForOperator(k) {
+		app[id] = true
+	}
+	var out []ID
+	for _, d := range Dependents(f) {
+		if app[d] {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+package features
+
+import (
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+func sampleQueries(t *testing.T, n int) []*workload.Query {
+	t.Helper()
+	cfg := workload.Config{Seed: 21, N: n, SFs: []float64{1, 2}, Z: 2, Corr: 0.85}
+	return workload.GenTPCH(cfg)
+}
+
+func TestExtractPlanShapes(t *testing.T) {
+	for _, q := range sampleQueries(t, 24) {
+		vs := ExtractPlan(q.Plan, Exact)
+		nodes := q.Plan.Nodes()
+		if len(vs) != len(nodes) {
+			t.Fatalf("%s: %d vectors for %d nodes", q.Template, len(vs), len(nodes))
+		}
+		for i, n := range nodes {
+			v := vs[i]
+			if v[COut] != n.Out.Rows {
+				t.Fatalf("%s %s: COUT %v != %v", q.Template, n.Kind, v[COut], n.Out.Rows)
+			}
+			if v[SOutAvg] != n.Out.Width {
+				t.Fatalf("%s %s: SOUTAVG mismatch", q.Template, n.Kind)
+			}
+			if v[SOutTot] != n.Out.Rows*n.Out.Width {
+				t.Fatalf("%s %s: SOUTTOT not rows*width", q.Template, n.Kind)
+			}
+		}
+	}
+}
+
+func TestEstimatedModeUsesEstimates(t *testing.T) {
+	for _, q := range sampleQueries(t, 24) {
+		ex := ExtractPlan(q.Plan, Exact)
+		es := ExtractPlan(q.Plan, Estimated)
+		nodes := q.Plan.Nodes()
+		for i, n := range nodes {
+			if es[i][COut] != n.EstOut.Rows {
+				t.Fatalf("estimated COUT %v != EstOut %v", es[i][COut], n.EstOut.Rows)
+			}
+			// Leaf catalog features are identical in both modes.
+			if n.Kind.IsLeaf() {
+				for _, id := range []ID{TSize, Pages, TColumns, EstIOCost} {
+					if ex[i][id] != es[i][id] {
+						t.Fatalf("leaf feature %s differs between modes", id)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestChildFeatures(t *testing.T) {
+	scanA := plan.NewLeaf(plan.TableScan, "a")
+	scanA.TableRows, scanA.TablePages = 100, 10
+	scanA.Out = plan.Cardinality{Rows: 100, Width: 20}
+	scanA.EstOut = scanA.Out
+	scanB := plan.NewLeaf(plan.TableScan, "b")
+	scanB.TableRows, scanB.TablePages = 200, 20
+	scanB.Out = plan.Cardinality{Rows: 200, Width: 30}
+	scanB.EstOut = scanB.Out
+	j := plan.NewJoin(plan.MergeJoin, scanA, scanB)
+	j.Out = plan.Cardinality{Rows: 200, Width: 42}
+	j.EstOut = j.Out
+	p := plan.New(j, "t")
+
+	v := Extract(p.Root, nil, Exact)
+	if v[CIn1] != 100 || v[CIn2] != 200 {
+		t.Fatalf("CIN1/CIN2 = %v/%v", v[CIn1], v[CIn2])
+	}
+	if v[SInAvg1] != 20 || v[SInAvg2] != 30 {
+		t.Fatalf("SINAVG1/2 = %v/%v", v[SInAvg1], v[SInAvg2])
+	}
+	if v[SInTot1] != 2000 || v[SInTot2] != 6000 {
+		t.Fatalf("SINTOT1/2 = %v/%v", v[SInTot1], v[SInTot2])
+	}
+	if v[SInSum] != 8000 {
+		t.Fatalf("SINSUM = %v, want 8000", v[SInSum])
+	}
+	if v[OutputUsage] != 0 {
+		t.Fatalf("root OUTPUTUSAGE = %v, want 0", v[OutputUsage])
+	}
+	// Child vector sees the join as its parent.
+	cv := Extract(scanA, p.Root, Exact)
+	if cv[OutputUsage] != float64(plan.MergeJoin)+1 {
+		t.Fatalf("child OUTPUTUSAGE = %v", cv[OutputUsage])
+	}
+}
+
+func TestSortFeatures(t *testing.T) {
+	scan := plan.NewLeaf(plan.TableScan, "t")
+	scan.TableRows, scan.TablePages = 1000, 100
+	scan.Out = plan.Cardinality{Rows: 1000, Width: 50}
+	scan.EstOut = scan.Out
+	s := plan.NewUnary(plan.Sort, scan)
+	s.SortCols = 3
+	s.Out = scan.Out
+	s.EstOut = scan.Out
+	plan.New(s, "t")
+	v := Extract(s, nil, Exact)
+	if v[CSortCol] != 3 {
+		t.Fatalf("CSORTCOL = %v", v[CSortCol])
+	}
+	if v[MinComp] != 3000 {
+		t.Fatalf("MINCOMP = %v, want CIN*cols = 3000", v[MinComp])
+	}
+}
+
+func TestNestedLoopSeekTable(t *testing.T) {
+	outer := plan.NewLeaf(plan.TableScan, "o")
+	outer.TableRows, outer.TablePages = 500, 50
+	outer.Out = plan.Cardinality{Rows: 500, Width: 30}
+	inner := plan.NewLeaf(plan.IndexSeek, "i")
+	inner.TableRows, inner.TablePages, inner.IndexDepth = 90_000, 2000, 3
+	inner.Out = plan.Cardinality{Rows: 500, Width: 40}
+	nl := plan.NewJoin(plan.NestedLoopJoin, outer, inner)
+	nl.Out = plan.Cardinality{Rows: 500, Width: 62}
+	plan.New(nl, "t")
+	v := Extract(nl, nil, Exact)
+	if v[SSeekTable] != 90_000 {
+		t.Fatalf("SSEEKTABLE = %v", v[SSeekTable])
+	}
+	iv := Extract(inner, nl, Exact)
+	if iv[IndexDepth] != 3 {
+		t.Fatalf("INDEXDEPTH = %v", iv[IndexDepth])
+	}
+}
+
+func TestHashFeatures(t *testing.T) {
+	for _, q := range sampleQueries(t, 36) {
+		vs := ExtractPlan(q.Plan, Exact)
+		for i, n := range q.Plan.Nodes() {
+			switch n.Kind {
+			case plan.HashJoin, plan.HashAggregate:
+				if vs[i][HashOpAvg] < 1 {
+					t.Fatalf("%s: HASHOPAVG = %v", n.Kind, vs[i][HashOpAvg])
+				}
+				wantTot := vs[i][HashOpAvg] * (vs[i][CIn1] + vs[i][CIn2])
+				if diff := vs[i][HashOpTot] - wantTot; diff > 1e-6 || diff < -1e-6 {
+					t.Fatalf("%s: HASHOPTOT %v, want %v", n.Kind, vs[i][HashOpTot], wantTot)
+				}
+			}
+		}
+	}
+}
+
+func TestForOperatorApplicability(t *testing.T) {
+	for _, k := range plan.Kinds() {
+		ids := ForOperator(k)
+		seen := map[ID]bool{}
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("%s: duplicate feature %s", k, id)
+			}
+			seen[id] = true
+		}
+		// Child-slot features must match arity.
+		if k.NumChildren() == 0 && (seen[CIn1] || seen[CIn2]) {
+			t.Fatalf("%s: leaf with child features", k)
+		}
+		if k.NumChildren() == 1 && seen[CIn2] {
+			t.Fatalf("%s: unary with second-child features", k)
+		}
+		if k.NumChildren() == 2 && !seen[CIn2] {
+			t.Fatalf("%s: join missing second-child features", k)
+		}
+	}
+	// Spot checks per Table 2.
+	has := func(k plan.OpKind, id ID) bool {
+		for _, x := range ForOperator(k) {
+			if x == id {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(plan.IndexSeek, IndexDepth) || has(plan.TableScan, IndexDepth) {
+		t.Fatal("INDEXDEPTH applicability wrong")
+	}
+	if !has(plan.Sort, MinComp) || !has(plan.Sort, CSortCol) {
+		t.Fatal("sort features missing")
+	}
+	if !has(plan.MergeJoin, SInSum) || has(plan.HashJoin, SInSum) {
+		t.Fatal("SINSUM applicability wrong")
+	}
+	if !has(plan.NestedLoopJoin, SSeekTable) {
+		t.Fatal("SSEEKTABLE missing on NL join")
+	}
+	if !has(plan.HashAggregate, CHashCol) || has(plan.HashJoin, CHashCol) {
+		t.Fatal("CHASHCOL applicability wrong")
+	}
+}
+
+func TestScalable(t *testing.T) {
+	// Categorical / small-count features never scale.
+	for _, id := range []ID{OutputUsage, TColumns, CHashCol, CInnerCol, COuterCol, CSortCol, HashOpAvg} {
+		if Scalable(id, plan.CPUTime) || Scalable(id, plan.LogicalIO) {
+			t.Fatalf("%s should never be scalable", id)
+		}
+	}
+	// §6.2: extra I/O exclusions.
+	for _, id := range []ID{HashOpTot, MinComp} {
+		if Scalable(id, plan.LogicalIO) {
+			t.Fatalf("%s should not scale for I/O", id)
+		}
+		if !Scalable(id, plan.CPUTime) {
+			t.Fatalf("%s should scale for CPU", id)
+		}
+	}
+	for _, id := range []ID{COut, CIn1, TSize, SInAvg1} {
+		if !Scalable(id, plan.CPUTime) {
+			t.Fatalf("%s should be scalable", id)
+		}
+	}
+}
+
+func TestDependents(t *testing.T) {
+	contains := func(ids []ID, want ID) bool {
+		for _, id := range ids {
+			if id == want {
+				return true
+			}
+		}
+		return false
+	}
+	// The paper's worked examples: CIN and SINTOT are dependent, CIN and
+	// SINAVG are not.
+	if !contains(Dependents(CIn1), SInTot1) {
+		t.Fatal("CIN1 must depend to SINTOT1")
+	}
+	if contains(Dependents(CIn1), SInAvg1) {
+		t.Fatal("CIN1 must not normalize SINAVG1")
+	}
+	// TSIZE drives PAGES and ESTIOCOST (the index-seek example of §6.1).
+	if !contains(Dependents(TSize), Pages) || !contains(Dependents(TSize), EstIOCost) {
+		t.Fatal("TSIZE dependents missing")
+	}
+	// No feature depends on itself.
+	for id := ID(0); id < NumFeatures; id++ {
+		if contains(Dependents(id), id) {
+			t.Fatalf("%s depends on itself", id)
+		}
+	}
+}
+
+func TestDependentsWithin(t *testing.T) {
+	// For a Sort, CIN1's dependents include MINCOMP but not SINSUM
+	// (merge-join only).
+	ds := DependentsWithin(CIn1, plan.Sort)
+	hasMin, hasSum := false, false
+	for _, d := range ds {
+		if d == MinComp {
+			hasMin = true
+		}
+		if d == SInSum {
+			hasSum = true
+		}
+	}
+	if !hasMin {
+		t.Fatal("Sort CIN1 dependents missing MINCOMP")
+	}
+	if hasSum {
+		t.Fatal("Sort CIN1 dependents include SINSUM")
+	}
+}
+
+func TestFeatureNames(t *testing.T) {
+	seen := map[string]bool{}
+	for id := ID(0); id < NumFeatures; id++ {
+		s := id.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate name for feature %d: %q", id, s)
+		}
+		seen[s] = true
+	}
+	if ID(99).String() != "ID(99)" {
+		t.Fatal("out-of-range name")
+	}
+}

@@ -1,0 +1,255 @@
+// Package mart implements Multiple Additive Regression-Trees (MART):
+// stochastic gradient boosting of small regression trees in the sense of
+// Friedman [14] and Wu et al. [21], the paper's base learning method.
+//
+// Trees are grown leaf-wise with histogram-based split finding (feature
+// values are pre-bucketed into ≤ 255 quantile bins), which keeps training
+// linear in rows × features per tree. Each boosting iteration fits the
+// residual error of the current ensemble on a random subsample, matching
+// the paper's setup of M = 1K iterations and ≤ 10 leaves per tree.
+package mart
+
+import (
+	"math"
+	"sort"
+)
+
+// treeNode is one node of a regression tree. Leaves have Feature == -1.
+type treeNode struct {
+	Feature   int32   // split feature, -1 for leaves
+	Threshold float64 // go left if x[Feature] <= Threshold
+	Left      int32   // child indexes within Tree.nodes
+	Right     int32
+	Value     float64 // prediction at leaves
+}
+
+// Tree is a single regression tree.
+type Tree struct {
+	nodes []treeNode
+}
+
+// Predict returns the tree's regression value for x.
+func (t *Tree) Predict(x []float64) float64 {
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.Feature < 0 {
+			return n.Value
+		}
+		if x[n.Feature] <= n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// NumLeaves returns the number of terminal nodes.
+func (t *Tree) NumLeaves() int {
+	c := 0
+	for i := range t.nodes {
+		if t.nodes[i].Feature < 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// binner maps raw feature values to quantile bin indexes. Bin boundaries
+// (upper edges) are computed once from the training matrix.
+type binner struct {
+	// edges[f] holds ascending upper edges; value v falls in the first
+	// bin whose edge >= v. len(edges[f]) <= maxBins.
+	edges [][]float64
+}
+
+const maxBins = 64
+
+// newBinner computes quantile-based bin edges for each feature column.
+func newBinner(x [][]float64, nFeatures int) *binner {
+	b := &binner{edges: make([][]float64, nFeatures)}
+	vals := make([]float64, len(x))
+	for f := 0; f < nFeatures; f++ {
+		for i := range x {
+			vals[i] = x[i][f]
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		// Distinct quantile edges.
+		var edges []float64
+		for k := 1; k <= maxBins; k++ {
+			idx := k*len(sorted)/maxBins - 1
+			if idx < 0 {
+				idx = 0
+			}
+			v := sorted[idx]
+			if len(edges) == 0 || v > edges[len(edges)-1] {
+				edges = append(edges, v)
+			}
+		}
+		b.edges[f] = edges
+	}
+	return b
+}
+
+// binOf returns the bin index of value v for feature f.
+func (b *binner) binOf(f int, v float64) int {
+	e := b.edges[f]
+	lo, hi := 0, len(e)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// binMatrix converts the raw matrix into per-row bin indexes.
+func (b *binner) binMatrix(x [][]float64) [][]uint8 {
+	out := make([][]uint8, len(x))
+	for i, row := range x {
+		r := make([]uint8, len(row))
+		for f, v := range row {
+			r[f] = uint8(b.binOf(f, v))
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// growTree fits one regression tree to the residuals of the sampled rows
+// using histogram split finding. rows are indexes into binned/resid.
+func growTree(binned [][]uint8, resid []float64, rows []int, b *binner,
+	maxLeaves, minLeaf int) Tree {
+
+	nFeatures := len(b.edges)
+	type leaf struct {
+		rows     []int
+		sum      float64
+		nodeIdx  int32
+		bestGain float64
+		bestFeat int
+		bestBin  int
+	}
+	var t Tree
+	mkLeafValue := func(sum float64, n int) float64 {
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+
+	var rootSum float64
+	for _, r := range rows {
+		rootSum += resid[r]
+	}
+	t.nodes = append(t.nodes, treeNode{Feature: -1, Value: mkLeafValue(rootSum, len(rows))})
+	leaves := []*leaf{{rows: rows, sum: rootSum, nodeIdx: 0}}
+
+	// findBest computes the best split of a leaf via histograms.
+	histSum := make([]float64, maxBins)
+	histCnt := make([]int, maxBins)
+	findBest := func(lf *leaf) {
+		lf.bestGain = 0
+		lf.bestFeat = -1
+		n := len(lf.rows)
+		if n < 2*minLeaf {
+			return
+		}
+		total := lf.sum
+		parentScore := total * total / float64(n)
+		for f := 0; f < nFeatures; f++ {
+			nb := len(b.edges[f])
+			if nb < 2 {
+				continue
+			}
+			for k := 0; k < nb; k++ {
+				histSum[k] = 0
+				histCnt[k] = 0
+			}
+			for _, r := range lf.rows {
+				bin := binned[r][f]
+				histSum[bin] += resid[r]
+				histCnt[bin]++
+			}
+			var leftSum float64
+			leftCnt := 0
+			for k := 0; k < nb-1; k++ {
+				leftSum += histSum[k]
+				leftCnt += histCnt[k]
+				rightCnt := n - leftCnt
+				if leftCnt < minLeaf || rightCnt < minLeaf {
+					continue
+				}
+				rightSum := total - leftSum
+				gain := leftSum*leftSum/float64(leftCnt) +
+					rightSum*rightSum/float64(rightCnt) - parentScore
+				if gain > lf.bestGain {
+					lf.bestGain = gain
+					lf.bestFeat = f
+					lf.bestBin = k
+				}
+			}
+		}
+	}
+
+	findBest(leaves[0])
+	for len(leaves) < maxLeaves {
+		// Split the leaf with the highest gain.
+		bi := -1
+		for i, lf := range leaves {
+			if lf.bestFeat >= 0 && (bi < 0 || lf.bestGain > leaves[bi].bestGain) {
+				bi = i
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		lf := leaves[bi]
+		f, bin := lf.bestFeat, lf.bestBin
+		thr := b.edges[f][bin]
+		var lrows, rrows []int
+		var lsum, rsum float64
+		for _, r := range lf.rows {
+			if int(binned[r][f]) <= bin {
+				lrows = append(lrows, r)
+				lsum += resid[r]
+			} else {
+				rrows = append(rrows, r)
+				rsum += resid[r]
+			}
+		}
+		if len(lrows) == 0 || len(rrows) == 0 {
+			lf.bestFeat = -1 // degenerate; stop splitting this leaf
+			continue
+		}
+		// Materialize the split: current node becomes internal.
+		li := int32(len(t.nodes))
+		t.nodes = append(t.nodes, treeNode{Feature: -1, Value: mkLeafValue(lsum, len(lrows))})
+		ri := int32(len(t.nodes))
+		t.nodes = append(t.nodes, treeNode{Feature: -1, Value: mkLeafValue(rsum, len(rrows))})
+		nd := &t.nodes[lf.nodeIdx]
+		nd.Feature = int32(f)
+		nd.Threshold = thr
+		nd.Left, nd.Right = li, ri
+
+		left := &leaf{rows: lrows, sum: lsum, nodeIdx: li}
+		right := &leaf{rows: rrows, sum: rsum, nodeIdx: ri}
+		leaves[bi] = left
+		leaves = append(leaves, right)
+		findBest(left)
+		findBest(right)
+	}
+	return t
+}
+
+// clampFinite protects leaf values against numeric blowups.
+func clampFinite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,78 @@
+package optimizer
+
+import (
+	"repro/internal/plan"
+)
+
+// Adjusted is the OPT baseline of §7: the optimizer's cost estimate
+// multiplied by a per-operator-type adjustment factor α fitted on the
+// training workload by least squares (the "skew of the regression line in
+// Figure 1"). A different factor is fitted per operator type and per
+// resource, exactly as the paper describes.
+type Adjusted struct {
+	Model    *Model
+	Resource plan.ResourceKind
+	// Alpha maps operator kind to the fitted cost→resource conversion.
+	Alpha map[plan.OpKind]float64
+	// fallback is used for operator kinds unseen during fitting.
+	fallback float64
+}
+
+// costOf extracts the resource-relevant cost component. CPU predictions
+// convert the model's CPU cost; logical-I/O predictions convert its I/O
+// cost. Operators whose relevant component is zero contribute nothing,
+// matching how an optimizer's I/O cost attributes I/O to leaves only.
+func (a *Adjusted) costOf(n *plan.Node) float64 {
+	c := a.Model.NodeCost(n)
+	if a.Resource == plan.CPUTime {
+		return c.CPU
+	}
+	return c.IO
+}
+
+// FitAdjusted fits per-operator adjustment factors on executed training
+// plans (their Actual resources must be filled in).
+func FitAdjusted(model *Model, train []*plan.Plan, resource plan.ResourceKind) *Adjusted {
+	a := &Adjusted{Model: model, Resource: resource, Alpha: make(map[plan.OpKind]float64)}
+	// α_k = Σ cost·actual / Σ cost² per operator kind: the least-squares
+	// solution of actual ≈ α·cost.
+	num := make(map[plan.OpKind]float64)
+	den := make(map[plan.OpKind]float64)
+	var totNum, totDen float64
+	for _, p := range train {
+		p.Walk(func(n *plan.Node) {
+			cost := a.costOf(n)
+			act := n.Actual.Get(resource)
+			num[n.Kind] += cost * act
+			den[n.Kind] += cost * cost
+			totNum += cost * act
+			totDen += cost * cost
+		})
+	}
+	for k, d := range den {
+		if d > 0 {
+			a.Alpha[k] = num[k] / d
+		}
+	}
+	if totDen > 0 {
+		a.fallback = totNum / totDen
+	}
+	return a
+}
+
+// PredictNode returns the adjusted resource estimate for one operator.
+func (a *Adjusted) PredictNode(n *plan.Node) float64 {
+	cost := a.costOf(n)
+	alpha, ok := a.Alpha[n.Kind]
+	if !ok || alpha <= 0 {
+		alpha = a.fallback
+	}
+	return alpha * cost
+}
+
+// PredictPlan returns the adjusted resource estimate for a whole plan.
+func (a *Adjusted) PredictPlan(p *plan.Plan) float64 {
+	var tot float64
+	p.Walk(func(n *plan.Node) { tot += a.PredictNode(n) })
+	return tot
+}

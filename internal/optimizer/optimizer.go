@@ -1,0 +1,139 @@
+// Package optimizer provides the query optimizer's view of a plan: cost
+// estimates computed from *estimated* cardinalities with a classic
+// hand-constructed cost model. It stands in for the SQL Server optimizer
+// in two roles:
+//
+//   - the OPT baseline of §7 (optimizer cost × per-operator adjustment
+//     factor fitted on training data), and
+//   - the ESTIOCOST feature of Table 2.
+//
+// The model is intentionally simpler than the execution simulator in
+// internal/engine: costs are linear in rows and bytes, know nothing about
+// cache steps, spill passes or batch-sort optimizations, and consume the
+// biased cardinality estimates embedded in each node's EstOut. The gap
+// between this model and the engine is exactly the modeling error that
+// Figure 1 of the paper visualizes.
+package optimizer
+
+import (
+	"math"
+
+	"repro/internal/plan"
+)
+
+// Cost is an optimizer cost estimate in abstract optimizer units (not
+// milliseconds — the OPT baseline learns a per-operator conversion).
+type Cost struct {
+	CPU float64
+	IO  float64
+}
+
+// Add accumulates c2 into c.
+func (c *Cost) Add(c2 Cost) {
+	c.CPU += c2.CPU
+	c.IO += c2.IO
+}
+
+// Model holds the optimizer's cost-model constants, in the spirit of the
+// classic System-R weights: one abstract unit per page I/O, a small
+// fraction of that per tuple of CPU.
+type Model struct {
+	TupleCPU   float64 // per processed tuple
+	ByteCPU    float64 // per processed byte
+	CmpCPU     float64 // per comparison (sorts, merges)
+	HashCPU    float64 // per hashed tuple
+	SeekIO     float64 // per B-tree descent
+	PageIO     float64 // per page read
+	RandomPage float64 // random-access penalty multiplier
+}
+
+// DefaultModel returns the standard cost-model constants.
+func DefaultModel() *Model {
+	return &Model{
+		TupleCPU:   0.0001,
+		ByteCPU:    0.0000005,
+		CmpCPU:     0.00012,
+		HashCPU:    0.00015,
+		SeekIO:     1,
+		PageIO:     1,
+		RandomPage: 4,
+	}
+}
+
+// estCard returns the estimated output cardinality of child i.
+func estCard(n *plan.Node, i int) plan.Cardinality {
+	if i < len(n.Children) {
+		return n.Children[i].EstOut
+	}
+	return plan.Cardinality{}
+}
+
+// NodeCost returns the optimizer's cost estimate for a single operator,
+// computed purely from estimated cardinalities and catalog metadata.
+func (m *Model) NodeCost(n *plan.Node) Cost {
+	out := n.EstOut
+	switch n.Kind {
+	case plan.TableScan:
+		return Cost{
+			CPU: n.TableRows*m.TupleCPU + out.Bytes()*m.ByteCPU,
+			IO:  n.TablePages * m.PageIO,
+		}
+	case plan.IndexScan:
+		return Cost{
+			CPU: n.TableRows * m.TupleCPU,
+			IO:  math.Ceil(n.TablePages*0.7) * m.PageIO,
+		}
+	case plan.IndexSeek:
+		execs := math.Max(n.EstExecutions, 1)
+		return Cost{
+			CPU: out.Rows * m.TupleCPU,
+			IO:  execs*n.IndexDepth*m.SeekIO*m.RandomPage + out.Rows/50*m.PageIO,
+		}
+	case plan.Filter:
+		in := estCard(n, 0)
+		return Cost{CPU: in.Rows * m.TupleCPU}
+	case plan.Sort:
+		in := estCard(n, 0)
+		rows := math.Max(in.Rows, 1)
+		return Cost{CPU: rows * math.Log2(rows+1) * m.CmpCPU}
+	case plan.HashJoin:
+		build, probe := estCard(n, 0), estCard(n, 1)
+		return Cost{CPU: (build.Rows+probe.Rows)*m.HashCPU + out.Rows*m.TupleCPU}
+	case plan.MergeJoin:
+		l, r := estCard(n, 0), estCard(n, 1)
+		return Cost{CPU: (l.Rows+r.Rows)*m.CmpCPU + out.Rows*m.TupleCPU}
+	case plan.NestedLoopJoin:
+		outer := estCard(n, 0)
+		return Cost{CPU: outer.Rows*m.TupleCPU + out.Rows*m.TupleCPU}
+	case plan.HashAggregate:
+		in := estCard(n, 0)
+		return Cost{CPU: in.Rows*m.HashCPU + out.Rows*m.TupleCPU}
+	case plan.StreamAggregate:
+		in := estCard(n, 0)
+		return Cost{CPU: in.Rows * m.TupleCPU}
+	case plan.ComputeScalar:
+		in := estCard(n, 0)
+		return Cost{CPU: in.Rows * m.TupleCPU * 0.5}
+	case plan.Top:
+		in := estCard(n, 0)
+		return Cost{CPU: in.Rows * m.TupleCPU * 0.2}
+	}
+	return Cost{}
+}
+
+// PlanCost sums NodeCost over the plan.
+func (m *Model) PlanCost(p *plan.Plan) Cost {
+	var c Cost
+	p.Walk(func(n *plan.Node) { c.Add(m.NodeCost(n)) })
+	return c
+}
+
+// Annotate fills the ESTIOCOST feature on every leaf operator of the
+// plan. Workload generators call this once after constructing a plan.
+func (m *Model) Annotate(p *plan.Plan) {
+	p.Walk(func(n *plan.Node) {
+		if n.Kind.IsLeaf() {
+			n.EstIOCost = m.NodeCost(n).IO
+		}
+	})
+}

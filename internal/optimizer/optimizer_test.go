@@ -1,0 +1,176 @@
+package optimizer_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+func executedQueries(t *testing.T, n int) []*workload.Query {
+	t.Helper()
+	cfg := workload.Config{Seed: 51, N: n, SFs: []float64{1, 2, 4}, Z: 2, Corr: 0.85}
+	qs := workload.GenTPCH(cfg)
+	eng := engine.New(nil)
+	for _, q := range qs {
+		eng.Run(q.Plan)
+	}
+	return qs
+}
+
+func TestNodeCostPositive(t *testing.T) {
+	m := optimizer.DefaultModel()
+	for _, q := range executedQueries(t, 24) {
+		q.Plan.Walk(func(n *plan.Node) {
+			c := m.NodeCost(n)
+			if c.CPU < 0 || c.IO < 0 {
+				t.Fatalf("%s: negative cost %+v", n.Kind, c)
+			}
+			if c.CPU == 0 && c.IO == 0 && n.EstOut.Rows > 0 {
+				t.Fatalf("%s: zero cost for non-empty operator", n.Kind)
+			}
+		})
+	}
+}
+
+func TestPlanCostSumsNodes(t *testing.T) {
+	m := optimizer.DefaultModel()
+	for _, q := range executedQueries(t, 8) {
+		var manual optimizer.Cost
+		q.Plan.Walk(func(n *plan.Node) { manual.Add(m.NodeCost(n)) })
+		got := m.PlanCost(q.Plan)
+		if math.Abs(got.CPU-manual.CPU) > 1e-9 || math.Abs(got.IO-manual.IO) > 1e-9 {
+			t.Fatalf("PlanCost %+v != node sum %+v", got, manual)
+		}
+	}
+}
+
+func TestCostUsesEstimatedCardinalities(t *testing.T) {
+	m := optimizer.DefaultModel()
+	scan := plan.NewLeaf(plan.TableScan, "t")
+	scan.TableRows, scan.TablePages = 1000, 100
+	scan.Out = plan.Cardinality{Rows: 1000, Width: 50}
+	scan.EstOut = scan.Out
+	f := plan.NewUnary(plan.Filter, scan)
+	f.Out = plan.Cardinality{Rows: 900, Width: 50}
+	f.EstOut = plan.Cardinality{Rows: 10, Width: 50}
+	plan.New(f, "t")
+	// The filter's cost depends on the child's estimated rows, so biased
+	// estimates flow into the cost — the Figure 1 error source.
+	sortNode := plan.NewUnary(plan.Sort, f)
+	sortNode.EstOut = f.EstOut
+	sortNode.Out = f.Out
+	plan.New(sortNode, "t2")
+	costLowEst := m.NodeCost(sortNode)
+	f.EstOut = plan.Cardinality{Rows: 900, Width: 50}
+	costTrueEst := m.NodeCost(sortNode)
+	if costLowEst.CPU >= costTrueEst.CPU {
+		t.Fatalf("sort cost should grow with estimated input rows: %v vs %v",
+			costLowEst.CPU, costTrueEst.CPU)
+	}
+}
+
+func TestAnnotateSetsESTIOCOST(t *testing.T) {
+	qs := executedQueries(t, 8)
+	for _, q := range qs {
+		q.Plan.Walk(func(n *plan.Node) {
+			if n.Kind.IsLeaf() && n.EstIOCost <= 0 {
+				t.Fatalf("leaf %s missing ESTIOCOST after workload build", n.Table)
+			}
+		})
+	}
+}
+
+func TestFitAdjustedImprovesRawCost(t *testing.T) {
+	qs := executedQueries(t, 96)
+	var train, test []*plan.Plan
+	for i, q := range qs {
+		if i%4 == 0 {
+			test = append(test, q.Plan)
+		} else {
+			train = append(train, q.Plan)
+		}
+	}
+	m := optimizer.DefaultModel()
+	adj := optimizer.FitAdjusted(m, train, plan.CPUTime)
+	if len(adj.Alpha) == 0 {
+		t.Fatal("no adjustment factors fitted")
+	}
+	// Adjusted estimates should be in the right ballpark for most test
+	// queries (raw cost units are arbitrary).
+	good := 0
+	for _, p := range test {
+		pred := adj.PredictPlan(p)
+		truth := p.TotalActual().CPU
+		r := pred / truth
+		if r > 1 {
+			r = 1 / r
+		}
+		if r > 0.2 {
+			good++
+		}
+	}
+	if good < len(test)*6/10 {
+		t.Fatalf("only %d/%d adjusted estimates within 5x", good, len(test))
+	}
+}
+
+func TestFitAdjustedPerOperatorAlphas(t *testing.T) {
+	qs := executedQueries(t, 48)
+	var train []*plan.Plan
+	for _, q := range qs {
+		train = append(train, q.Plan)
+	}
+	adj := optimizer.FitAdjusted(optimizer.DefaultModel(), train, plan.CPUTime)
+	// Different operator types get different conversion factors.
+	seen := map[float64]bool{}
+	for _, a := range adj.Alpha {
+		seen[math.Round(a*1e6)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("all operator alphas identical; fitting is degenerate")
+	}
+}
+
+func TestFitAdjustedIO(t *testing.T) {
+	qs := executedQueries(t, 48)
+	var train []*plan.Plan
+	for _, q := range qs {
+		train = append(train, q.Plan)
+	}
+	adj := optimizer.FitAdjusted(optimizer.DefaultModel(), train, plan.LogicalIO)
+	pred := adj.PredictPlan(train[0])
+	if pred < 0 {
+		t.Fatalf("negative I/O prediction %v", pred)
+	}
+	truth := train[0].TotalActual().IO
+	if truth > 0 && pred <= 0 {
+		t.Fatal("zero I/O prediction for I/O-consuming plan")
+	}
+}
+
+func TestFallbackAlphaForUnseenKinds(t *testing.T) {
+	// Train only on scans, predict a sort-bearing plan.
+	scan := plan.NewLeaf(plan.TableScan, "t")
+	scan.TableRows, scan.TablePages = 10_000, 200
+	scan.Out = plan.Cardinality{Rows: 10_000, Width: 40}
+	scan.EstOut = scan.Out
+	scan.Actual = plan.Resources{CPU: 100}
+	trainPlan := plan.New(scan, "train")
+	adj := optimizer.FitAdjusted(optimizer.DefaultModel(), []*plan.Plan{trainPlan}, plan.CPUTime)
+
+	scan2 := plan.NewLeaf(plan.TableScan, "t")
+	scan2.TableRows, scan2.TablePages = 10_000, 200
+	scan2.Out = scan.Out
+	scan2.EstOut = scan.Out
+	srt := plan.NewUnary(plan.Sort, scan2)
+	srt.Out = scan.Out
+	srt.EstOut = scan.Out
+	testPlan := plan.New(srt, "test")
+	if pred := adj.PredictPlan(testPlan); pred <= 0 {
+		t.Fatalf("fallback prediction %v", pred)
+	}
+}

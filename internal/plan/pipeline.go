@@ -1,0 +1,79 @@
+package plan
+
+// Pipeline is a maximal set of concurrently executing operators — the
+// scheduling granularity the paper motivates operator-level modeling
+// with (§5.2). Pipelines are separated by blocking operator inputs
+// (sorts, hash builds, hash aggregation): the subtree feeding a blocking
+// input finishes before the consumer starts producing.
+type Pipeline struct {
+	ID    int
+	Nodes []*Node
+}
+
+// TotalActual sums the measured resource usage over the pipeline.
+func (pl *Pipeline) TotalActual() Resources {
+	var r Resources
+	for _, n := range pl.Nodes {
+		r.Add(n.Actual)
+	}
+	return r
+}
+
+// Pipelines decomposes the plan into pipelines. The algorithm assigns
+// each node to the same pipeline as its parent unless the edge from the
+// parent is a blocking input, in which case the child subtree starts a
+// new pipeline. Pipelines are returned in execution order: a pipeline
+// feeding a blocking input completes before the consumer's pipeline, so
+// children-first ordering is a valid schedule.
+func (p *Plan) Pipelines() []*Pipeline {
+	var out []*Pipeline
+	// newPipeline allocates in discovery order; we re-number afterwards
+	// in execution order.
+	byNode := make(map[*Node]int)
+	var rec func(n *Node, cur int)
+	makePipe := func() int {
+		out = append(out, &Pipeline{})
+		return len(out) - 1
+	}
+	// A child starts a new pipeline when the edge from its parent is a
+	// materialization boundary: either the child is itself a full
+	// blocking operator (Sort, HashAggregate — it consumes its whole
+	// input before the parent sees a row, so the operator executes with
+	// its input pipeline), or the child feeds a blocking *input* of the
+	// parent (the build side of a hash join).
+	startsNew := func(parent *Node, childIdx int, child *Node) bool {
+		switch child.Kind {
+		case Sort, HashAggregate:
+			// The blocking operator runs with its input pipeline; its
+			// parent reads the materialized result.
+			return true
+		}
+		// The hash join's build input is drained before probing starts.
+		return parent.Kind == HashJoin && childIdx == 0
+	}
+	rec = func(n *Node, cur int) {
+		byNode[n] = cur
+		out[cur].Nodes = append(out[cur].Nodes, n)
+		for i, c := range n.Children {
+			if startsNew(n, i, c) {
+				rec(c, makePipe())
+			} else {
+				rec(c, cur)
+			}
+		}
+	}
+	if p.Root == nil {
+		return nil
+	}
+	rec(p.Root, makePipe())
+	// Execution order: a pipeline runs after every pipeline it blocks
+	// on. Since children were discovered after parents, reversing the
+	// discovery order yields leaves-to-root execution order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	for i := range out {
+		out[i].ID = i
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+// Package regtree implements the REGTREE baseline of §7: a boosting
+// approach in the spirit of transform regression [18, 22], where each
+// stage fits a piecewise-linear model in a single feature to the
+// residual error of the previous stages. Unlike plain regression trees,
+// the edge segments extend linearly, so the model extrapolates (with a
+// fixed linear form) beyond the training range.
+package regtree
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Config controls training.
+type Config struct {
+	Stages       int     // boosting stages
+	Segments     int     // piecewise segments per stage
+	LearningRate float64 // shrinkage
+	MinSegment   int     // minimum rows per segment
+}
+
+// DefaultConfig returns the standard setup.
+func DefaultConfig() Config {
+	return Config{Stages: 60, Segments: 6, LearningRate: 0.5, MinSegment: 8}
+}
+
+// segment is one linear piece: y = A + B·x for x in (Lo, Hi].
+type segment struct {
+	Lo, Hi float64 // Lo exclusive, Hi inclusive; edges are ±Inf
+	A, B   float64
+}
+
+// stage is a piecewise-linear transform of one feature.
+type stage struct {
+	Feature  int
+	Segments []segment
+}
+
+func (s *stage) eval(x []float64) float64 {
+	v := x[s.Feature]
+	for i := range s.Segments {
+		if v <= s.Segments[i].Hi {
+			return s.Segments[i].A + s.Segments[i].B*v
+		}
+	}
+	last := s.Segments[len(s.Segments)-1]
+	return last.A + last.B*v
+}
+
+// Model is a boosted sequence of single-feature piecewise-linear stages.
+type Model struct {
+	Base   float64
+	Rate   float64
+	Stages []stage
+}
+
+// Train fits the model. Deterministic.
+func Train(x [][]float64, y []float64, cfg Config) (*Model, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, errors.New("regtree: empty or mismatched training data")
+	}
+	if cfg.Stages <= 0 || cfg.Segments < 1 {
+		return nil, errors.New("regtree: invalid config")
+	}
+	k := len(x[0])
+	m := &Model{Base: stats.Mean(y), Rate: cfg.LearningRate}
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = m.Base
+	}
+	resid := make([]float64, n)
+
+	order := make([][]int, k) // row indexes sorted by feature value
+	for f := 0; f < k; f++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return x[idx[a]][f] < x[idx[b]][f] })
+		order[f] = idx
+	}
+
+	for it := 0; it < cfg.Stages; it++ {
+		for i := range resid {
+			resid[i] = y[i] - pred[i]
+		}
+		best := stage{Feature: -1}
+		bestSSE := math.Inf(1)
+		for f := 0; f < k; f++ {
+			st, sse, ok := fitStage(x, resid, order[f], f, cfg)
+			if ok && sse < bestSSE {
+				bestSSE = sse
+				best = st
+			}
+		}
+		if best.Feature < 0 {
+			break
+		}
+		m.Stages = append(m.Stages, best)
+		var improved float64
+		for i := range pred {
+			d := cfg.LearningRate * best.eval(x[i])
+			pred[i] += d
+			improved += math.Abs(d)
+		}
+		if improved/float64(n) < 1e-10 {
+			break
+		}
+	}
+	return m, nil
+}
+
+// fitStage fits a piecewise-linear transform of feature f to the
+// residuals, splitting the sorted rows into equal-count segments.
+func fitStage(x [][]float64, resid []float64, idx []int, f int, cfg Config) (stage, float64, bool) {
+	n := len(idx)
+	nSeg := cfg.Segments
+	if n/nSeg < cfg.MinSegment {
+		nSeg = n / cfg.MinSegment
+		if nSeg < 1 {
+			return stage{}, 0, false
+		}
+	}
+	st := stage{Feature: f}
+	var sse float64
+	for s := 0; s < nSeg; s++ {
+		lo := s * n / nSeg
+		hi := (s + 1) * n / nSeg
+		if hi <= lo {
+			continue
+		}
+		rows := idx[lo:hi]
+		a, bcoef := fitLine(x, resid, rows, f)
+		seg := segment{A: a, B: bcoef, Lo: math.Inf(-1), Hi: math.Inf(1)}
+		if s > 0 {
+			seg.Lo = x[idx[lo-1]][f]
+		}
+		if s < nSeg-1 {
+			seg.Hi = x[idx[hi-1]][f]
+		}
+		// Segments bordering equal feature values can degenerate
+		// (Lo == Hi); they simply never match and the next segment
+		// covers the value.
+		st.Segments = append(st.Segments, seg)
+		for _, r := range rows {
+			d := resid[r] - (a + bcoef*x[r][f])
+			sse += d * d
+		}
+	}
+	if len(st.Segments) == 0 {
+		return stage{}, 0, false
+	}
+	return st, sse, true
+}
+
+// fitLine fits resid ≈ a + b·x[f] over the given rows by least squares.
+func fitLine(x [][]float64, resid []float64, rows []int, f int) (a, b float64) {
+	n := float64(len(rows))
+	var sx, sy, sxx, sxy float64
+	for _, r := range rows {
+		v := x[r][f]
+		sx += v
+		sy += resid[r]
+		sxx += v * v
+		sxy += v * resid[r]
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-12 {
+		return sy / n, 0
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+		return sy / n, 0
+	}
+	return a, b
+}
+
+// Predict evaluates the model on a feature vector.
+func (m *Model) Predict(x []float64) float64 {
+	y := m.Base
+	for i := range m.Stages {
+		y += m.Rate * m.Stages[i].eval(x)
+	}
+	return y
+}

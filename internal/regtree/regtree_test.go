@@ -1,0 +1,123 @@
+package regtree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func gen(n int, seed uint64, fn func([]float64) float64) ([][]float64, []float64) {
+	rng := xrand.New(seed)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Range(0, 100), rng.Range(0, 10)}
+		xs = append(xs, x)
+		ys = append(ys, fn(x))
+	}
+	return xs, ys
+}
+
+func meanRelErr(m *Model, xs [][]float64, ys []float64) float64 {
+	var s float64
+	for i := range xs {
+		s += math.Abs(m.Predict(xs[i])-ys[i]) / math.Max(math.Abs(ys[i]), 1)
+	}
+	return s / float64(len(xs))
+}
+
+func TestFitsPiecewiseLinear(t *testing.T) {
+	fn := func(x []float64) float64 {
+		if x[0] < 50 {
+			return 2 * x[0]
+		}
+		return 100 + 8*(x[0]-50)
+	}
+	xs, ys := gen(1000, 1, fn)
+	m, err := Train(xs, ys, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := meanRelErr(m, xs, ys); e > 0.1 {
+		t.Fatalf("piecewise-linear training error %v", e)
+	}
+}
+
+func TestFitsSmoothNonlinear(t *testing.T) {
+	fn := func(x []float64) float64 { return x[0]*x[0]/10 + 3*x[1] }
+	xs, ys := gen(1500, 2, fn)
+	m, err := Train(xs, ys, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := meanRelErr(m, xs, ys); e > 0.12 {
+		t.Fatalf("quadratic training error %v", e)
+	}
+}
+
+func TestExtrapolatesLinearly(t *testing.T) {
+	// Transform regression's edge segments extend linearly — better than
+	// trees, but with a fixed (possibly wrong) slope.
+	xs, ys := gen(800, 3, func(x []float64) float64 { return 5 * x[0] })
+	m, err := Train(xs, ys, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Predict([]float64{300, 5}) // 3x the training max
+	want := 1500.0
+	if math.Abs(got-want)/want > 0.25 {
+		t.Fatalf("extrapolation = %v, want ~%v", got, want)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	xs, ys := gen(300, 4, func(x []float64) float64 { return x[0] + x[1] })
+	m1, _ := Train(xs, ys, DefaultConfig())
+	m2, _ := Train(xs, ys, DefaultConfig())
+	p := []float64{42, 3}
+	if m1.Predict(p) != m2.Predict(p) {
+		t.Fatal("training not deterministic")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Train(nil, nil, DefaultConfig()); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	bad := DefaultConfig()
+	bad.Stages = 0
+	if _, err := Train([][]float64{{1}}, []float64{1}, bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	xs, _ := gen(100, 5, func([]float64) float64 { return 0 })
+	ys := make([]float64, 100)
+	for i := range ys {
+		ys[i] = 9
+	}
+	m, err := Train(xs, ys, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{50, 5}); math.Abs(got-9) > 0.01 {
+		t.Fatalf("constant prediction = %v", got)
+	}
+	if len(m.Stages) > 2 {
+		t.Fatalf("constant target used %d stages", len(m.Stages))
+	}
+}
+
+func TestTinyDataset(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}, {4}}
+	ys := []float64{2, 4, 6, 8}
+	m, err := Train(xs, ys, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{2.5}); math.Abs(got-5) > 1.5 {
+		t.Fatalf("tiny-data prediction = %v, want ~5", got)
+	}
+}

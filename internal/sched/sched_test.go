@@ -1,0 +1,222 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestAdmissionBasics(t *testing.T) {
+	a, err := NewAdmissionController(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := a.TryAdmit("q1", 60)
+	if err != nil || !ok {
+		t.Fatalf("admit q1: %v %v", ok, err)
+	}
+	ok, err = a.TryAdmit("q2", 50)
+	if err != nil || ok {
+		t.Fatalf("q2 should not fit: %v %v", ok, err)
+	}
+	ok, err = a.TryAdmit("q3", 40)
+	if err != nil || !ok {
+		t.Fatalf("q3 should fit: %v %v", ok, err)
+	}
+	if a.Used() != 100 || a.Free() != 0 || a.Admitted() != 2 {
+		t.Fatalf("state: used=%v free=%v n=%d", a.Used(), a.Free(), a.Admitted())
+	}
+	if err := a.Release("q1"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Free() != 60 {
+		t.Fatalf("free after release = %v", a.Free())
+	}
+	if err := a.Release("q1"); err == nil {
+		t.Fatal("double release accepted")
+	}
+}
+
+func TestAdmissionSafetyFactor(t *testing.T) {
+	a, _ := NewAdmissionController(100, 2)
+	if ok, _ := a.TryAdmit("q", 60); ok {
+		t.Fatal("safety factor 2 should reject predicted 60 on capacity 100")
+	}
+	if ok, _ := a.TryAdmit("q", 50); !ok {
+		t.Fatal("predicted 50 at safety 2 exactly fits capacity 100")
+	}
+}
+
+func TestAdmissionErrors(t *testing.T) {
+	if _, err := NewAdmissionController(0, 1); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	a, _ := NewAdmissionController(10, 1)
+	a.TryAdmit("q", 1)
+	if _, err := a.TryAdmit("q", 1); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if _, err := a.TryAdmit("neg", -1); err == nil {
+		t.Fatal("negative prediction accepted")
+	}
+}
+
+func TestScheduleSingleChainSequential(t *testing.T) {
+	s, err := ScheduleChains([]Chain{{ID: "q", Costs: []float64{10, 20, 5}}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One chain cannot parallelize: makespan = sum regardless of workers.
+	if s.Makespan != 35 {
+		t.Fatalf("makespan %v, want 35", s.Makespan)
+	}
+	// Precedence: assignments in pipeline order with no overlap.
+	for i := 1; i < len(s.Assignments); i++ {
+		if s.Assignments[i].Start < s.Assignments[i-1].End {
+			t.Fatal("chain pipelines overlap")
+		}
+	}
+}
+
+func TestScheduleParallelChains(t *testing.T) {
+	chains := []Chain{
+		{ID: "a", Costs: []float64{30}},
+		{ID: "b", Costs: []float64{30}},
+		{ID: "c", Costs: []float64{30}},
+		{ID: "d", Costs: []float64{30}},
+	}
+	s, err := ScheduleChains(chains, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 60 {
+		t.Fatalf("makespan %v, want 60 (2 workers, 4x30)", s.Makespan)
+	}
+	s1, _ := ScheduleChains(chains, 4)
+	if s1.Makespan != 30 {
+		t.Fatalf("4 workers makespan %v, want 30", s1.Makespan)
+	}
+}
+
+func TestScheduleRespectsPrecedenceAcrossWorkers(t *testing.T) {
+	chains := []Chain{
+		{ID: "a", Costs: []float64{10, 10}},
+		{ID: "b", Costs: []float64{5}},
+	}
+	s, err := ScheduleChains(chains, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ends = map[string]map[int]float64{}
+	for _, as := range s.Assignments {
+		if ends[as.Chain] == nil {
+			ends[as.Chain] = map[int]float64{}
+		}
+		ends[as.Chain][as.Pipeline] = as.End
+		if as.Pipeline > 0 {
+			prevEnd := ends[as.Chain][as.Pipeline-1]
+			if as.Start < prevEnd {
+				t.Fatalf("pipeline %d of %s started before predecessor ended", as.Pipeline, as.Chain)
+			}
+		}
+	}
+}
+
+func TestScheduleEdgeCases(t *testing.T) {
+	if _, err := ScheduleChains(nil, 0); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if _, err := ScheduleChains([]Chain{{ID: "x", Costs: []float64{-1}}}, 1); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+	s, err := ScheduleChains(nil, 2)
+	if err != nil || s.Makespan != 0 {
+		t.Fatalf("empty schedule: %v %v", s, err)
+	}
+}
+
+func TestEvaluateScheduleWithActuals(t *testing.T) {
+	chains := []Chain{
+		{ID: "a", Costs: []float64{10, 10}},
+		{ID: "b", Costs: []float64{15}},
+	}
+	s, err := ScheduleChains(chains, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfect predictions: replay reproduces the planned makespan.
+	actual := map[string][]float64{"a": {10, 10}, "b": {15}}
+	got, err := EvaluateSchedule(s, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-s.Makespan) > 1e-9 {
+		t.Fatalf("replay makespan %v != planned %v", got, s.Makespan)
+	}
+	// Underestimated chain a: realized makespan grows.
+	worse, err := EvaluateSchedule(s, map[string][]float64{"a": {30, 30}, "b": {15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worse <= s.Makespan {
+		t.Fatalf("realized makespan %v should exceed planned %v", worse, s.Makespan)
+	}
+	// Missing actuals are an error.
+	if _, err := EvaluateSchedule(s, map[string][]float64{"a": {1, 1}}); err == nil {
+		t.Fatal("missing chain accepted")
+	}
+}
+
+func TestScheduleAllWorkLands(t *testing.T) {
+	rng := xrand.New(5)
+	f := func(seed uint64) bool {
+		r := rng.SplitN(seed)
+		var chains []Chain
+		total := 0.0
+		n := r.IntRange(1, 8)
+		for i := 0; i < n; i++ {
+			k := r.IntRange(1, 4)
+			c := Chain{ID: string(rune('a' + i))}
+			for j := 0; j < k; j++ {
+				v := r.Range(1, 100)
+				c.Costs = append(c.Costs, v)
+				total += v
+			}
+			chains = append(chains, c)
+		}
+		workers := r.IntRange(1, 4)
+		s, err := ScheduleChains(chains, workers)
+		if err != nil {
+			return false
+		}
+		// Every pipeline scheduled exactly once.
+		count := 0
+		var load float64
+		for _, a := range s.Assignments {
+			count++
+			load += a.End - a.Start
+		}
+		want := 0
+		for _, c := range chains {
+			want += len(c.Costs)
+		}
+		// Makespan bounds: at least total/workers, at least the longest
+		// chain, at most the serial total.
+		lb := total / float64(workers)
+		longest := 0.0
+		for _, c := range chains {
+			if ct := c.Total(); ct > longest {
+				longest = ct
+			}
+		}
+		if s.Makespan < lb-1e-9 || s.Makespan < longest-1e-9 || s.Makespan > total+1e-9 {
+			return false
+		}
+		return count == want && math.Abs(load-total) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+package svm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func gen(n int, seed uint64, fn func([]float64) float64) ([][]float64, []float64) {
+	rng := xrand.New(seed)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Range(0, 10), rng.Range(0, 5)}
+		xs = append(xs, x)
+		ys = append(ys, fn(x))
+	}
+	return xs, ys
+}
+
+func relErr(m *Model, xs [][]float64, ys []float64) float64 {
+	var s float64
+	for i := range xs {
+		s += math.Abs(m.Predict(xs[i])-ys[i]) / math.Max(math.Abs(ys[i]), 1)
+	}
+	return s / float64(len(xs))
+}
+
+func TestLinearKernelFitsLine(t *testing.T) {
+	xs, ys := gen(300, 1, func(x []float64) float64 { return 3*x[0] - 2*x[1] + 5 })
+	cfg := DefaultConfig()
+	m, err := Train(xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(m, xs, ys); e > 0.08 {
+		t.Fatalf("linear-kernel training error %v", e)
+	}
+}
+
+func TestPolyKernelFitsQuadratic(t *testing.T) {
+	xs, ys := gen(300, 2, func(x []float64) float64 { return x[0]*x[0] + x[1] })
+	cfg := DefaultConfig()
+	cfg.Kernel = PolyKernel{Degree: 2}
+	cfg.C = 50
+	cfg.Epsilon = 0.01
+	cfg.Iters = 80
+	m, err := Train(xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(m, xs, ys); e > 0.08 {
+		t.Fatalf("poly-2 training error %v", e)
+	}
+}
+
+func TestRBFKernelFitsNonlinear(t *testing.T) {
+	xs, ys := gen(400, 3, func(x []float64) float64 {
+		return 10*math.Sin(x[0]) + x[1]*x[1]
+	})
+	cfg := DefaultConfig()
+	cfg.Kernel = RBFKernel{Gamma: 0.5}
+	cfg.C = 50
+	cfg.Iters = 80
+	m, err := Train(xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RBF is a universal approximator; in-sample error should be small.
+	var mse float64
+	for i := range xs {
+		d := m.Predict(xs[i]) - ys[i]
+		mse += d * d
+	}
+	mse /= float64(len(xs))
+	if mse > 2 {
+		t.Fatalf("RBF training MSE %v too high", mse)
+	}
+}
+
+func TestAllKernelsTrainAndPredictFinite(t *testing.T) {
+	xs, ys := gen(200, 4, func(x []float64) float64 { return 2*x[0] + x[1] })
+	kernels := []Kernel{
+		PolyKernel{Degree: 1},
+		PolyKernel{Degree: 3},
+		NormalizedPolyKernel{Degree: 2},
+		RBFKernel{Gamma: 0.1},
+		Puk{Omega: 1, Sigma: 1},
+	}
+	for _, k := range kernels {
+		cfg := DefaultConfig()
+		cfg.Kernel = k
+		m, err := Train(xs, ys, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name(), err)
+		}
+		p := m.Predict([]float64{5, 2.5})
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatalf("%s: prediction %v", k.Name(), p)
+		}
+		if k.Name() == "" {
+			t.Fatal("kernel has empty name")
+		}
+	}
+}
+
+func TestKernelProperties(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, -1}
+	// Symmetry.
+	ks := []Kernel{PolyKernel{Degree: 2}, NormalizedPolyKernel{Degree: 2},
+		RBFKernel{Gamma: 0.3}, Puk{Omega: 1, Sigma: 2}}
+	for _, k := range ks {
+		if math.Abs(k.Eval(a, b)-k.Eval(b, a)) > 1e-12 {
+			t.Fatalf("%s not symmetric", k.Name())
+		}
+	}
+	// Normalized kernels are 1 on the diagonal.
+	if v := (NormalizedPolyKernel{Degree: 3}).Eval(a, a); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("normalized poly diagonal = %v", v)
+	}
+	if v := (RBFKernel{Gamma: 1}).Eval(a, a); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("RBF diagonal = %v", v)
+	}
+	if v := (Puk{Omega: 1, Sigma: 1}).Eval(a, a); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("Puk diagonal = %v", v)
+	}
+}
+
+func TestMaxTrainSubsampling(t *testing.T) {
+	xs, ys := gen(500, 5, func(x []float64) float64 { return x[0] })
+	cfg := DefaultConfig()
+	cfg.MaxTrain = 100
+	m, err := Train(xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSV() > 100 {
+		t.Fatalf("subsampling ignored: %d SVs", m.NumSV())
+	}
+	if e := relErr(m, xs, ys); e > 0.1 {
+		t.Fatalf("subsampled model error %v", e)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, nil, DefaultConfig()); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.Kernel = nil
+	if _, err := Train([][]float64{{1}}, []float64{1}, cfg); err == nil {
+		t.Fatal("nil kernel accepted")
+	}
+}
+
+func TestEpsilonSparsity(t *testing.T) {
+	// With a large epsilon tube most residuals are ignored -> few SVs.
+	xs, ys := gen(200, 7, func(x []float64) float64 { return x[0] })
+	tight := DefaultConfig()
+	tight.Epsilon = 0.001
+	loose := DefaultConfig()
+	loose.Epsilon = 0.5
+	mt, _ := Train(xs, ys, tight)
+	ml, _ := Train(xs, ys, loose)
+	if ml.NumSV() >= mt.NumSV() {
+		t.Fatalf("larger epsilon should give sparser model: %d vs %d", ml.NumSV(), mt.NumSV())
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	xs, _ := gen(50, 9, func([]float64) float64 { return 0 })
+	ys := make([]float64, 50)
+	for i := range ys {
+		ys[i] = 7
+	}
+	m, err := Train(xs, ys, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(xs[0]); math.Abs(got-7) > 0.5 {
+		t.Fatalf("constant prediction = %v", got)
+	}
+}

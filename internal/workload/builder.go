@@ -1,0 +1,308 @@
+// Package workload generates the query workloads of the paper's
+// evaluation: a TPC-H-like template workload with QGEN-style random
+// parameters over skewed data, a TPC-DS-like random workload, synthetic
+// stand-ins for the proprietary Real-1/Real-2 decision-support
+// workloads, and the single-operator parameter sweeps used to select
+// scaling functions (§6.2).
+//
+// Plans are constructed through Builder, which computes both true
+// cardinalities (from the data synopses, following the skewed value
+// distributions) and optimizer-estimated cardinalities (uniformity +
+// independence assumptions) as the tree is assembled.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+)
+
+// Query is one executable unit of a workload.
+type Query struct {
+	Plan     *plan.Plan
+	DB       *data.DB
+	Template string
+	SF       float64
+}
+
+// Builder assembles plan trees over one database, tracking true and
+// estimated cardinalities simultaneously.
+type Builder struct {
+	DB *data.DB
+	// Corr is the correlation exponent applied to conjunctions of true
+	// selectivities (1 = independent; < 1 = positively correlated
+	// predicates the optimizer underestimates).
+	Corr float64
+}
+
+// NewBuilder returns a builder over db with the given true-correlation
+// exponent.
+func NewBuilder(db *data.DB, corr float64) *Builder {
+	if corr <= 0 {
+		corr = 1
+	}
+	return &Builder{DB: db, Corr: corr}
+}
+
+// Pred is a predicate with its true and estimated selectivity.
+type Pred struct {
+	Col string
+	Sel data.Selectivity
+}
+
+// EqPred builds an equality predicate matching the value of the given
+// frequency rank.
+func (b *Builder) EqPred(table, col string, rank int64) Pred {
+	return Pred{Col: col, Sel: b.DB.Table(table).EqSelectivity(col, rank)}
+}
+
+// RangePred builds a range predicate covering the m most frequent ranks.
+func (b *Builder) RangePred(table, col string, m int64) Pred {
+	return Pred{Col: col, Sel: b.DB.Table(table).RangeSelectivity(col, m)}
+}
+
+// InPred builds an IN-list predicate over k ranks starting at start.
+func (b *Builder) InPred(table, col string, start, k int64) Pred {
+	return Pred{Col: col, Sel: b.DB.Table(table).InSelectivity(col, start, k)}
+}
+
+// combine folds a conjunction of predicates into one selectivity.
+func (b *Builder) combine(preds []Pred) data.Selectivity {
+	sels := make([]data.Selectivity, len(preds))
+	for i, p := range preds {
+		sels[i] = p.Sel
+	}
+	return data.CombineConjunction(sels, b.Corr)
+}
+
+// projWidth returns the output width of a projection keeping frac of a
+// table's row bytes (at least a key's worth).
+func projWidth(rowWidth int, frac float64) float64 {
+	w := float64(rowWidth) * frac
+	if w < 8 {
+		w = 8
+	}
+	return w
+}
+
+// Scan builds a full table scan projecting projFrac of the row width.
+func (b *Builder) Scan(table string, projFrac float64) *plan.Node {
+	ts := b.DB.Table(table)
+	n := plan.NewLeaf(plan.TableScan, table)
+	b.fillLeafMeta(n, ts)
+	w := projWidth(ts.Table.RowWidth(), projFrac)
+	n.Out = plan.Cardinality{Rows: float64(ts.Rows), Width: w}
+	n.EstOut = n.Out // full-scan cardinality is known exactly
+	return n
+}
+
+// fillLeafMeta sets the catalog-derived features of a leaf operator.
+func (b *Builder) fillLeafMeta(n *plan.Node, ts *data.TableStats) {
+	n.TableRows = float64(ts.Rows)
+	n.TablePages = float64(ts.Pages)
+	n.TableCols = float64(len(ts.Table.Columns))
+	n.IndexDepth = float64(ts.Table.IndexDepth(b.DB.SF))
+}
+
+// Filter applies a conjunction of predicates as an explicit Filter node.
+func (b *Builder) Filter(child *plan.Node, table string, preds ...Pred) *plan.Node {
+	sel := b.combine(preds)
+	n := plan.NewUnary(plan.Filter, child)
+	n.Out = plan.Cardinality{Rows: child.Out.Rows * sel.True, Width: child.Out.Width}
+	n.EstOut = plan.Cardinality{Rows: child.EstOut.Rows * sel.Est, Width: child.EstOut.Width}
+	n.Selectivity = sel.True
+	return n
+}
+
+// Seek builds an index-seek leaf: a range predicate evaluated through an
+// index, returning the qualifying rows directly.
+func (b *Builder) Seek(table string, projFrac float64, preds ...Pred) *plan.Node {
+	ts := b.DB.Table(table)
+	sel := b.combine(preds)
+	n := plan.NewLeaf(plan.IndexSeek, table)
+	b.fillLeafMeta(n, ts)
+	w := projWidth(ts.Table.RowWidth(), projFrac)
+	n.Out = plan.Cardinality{Rows: float64(ts.Rows) * sel.True, Width: w}
+	n.EstOut = plan.Cardinality{Rows: float64(ts.Rows) * sel.Est, Width: w}
+	n.Executions = 1
+	n.EstExecutions = 1
+	return n
+}
+
+// Sort sorts the child stream on cols columns.
+func (b *Builder) Sort(child *plan.Node, cols int) *plan.Node {
+	n := plan.NewUnary(plan.Sort, child)
+	n.SortCols = max(cols, 1)
+	n.Out = child.Out
+	n.EstOut = child.EstOut
+	return n
+}
+
+// Top keeps k rows of the child stream.
+func (b *Builder) Top(child *plan.Node, k float64) *plan.Node {
+	n := plan.NewUnary(plan.Top, child)
+	n.Out = plan.Cardinality{Rows: math.Min(k, child.Out.Rows), Width: child.Out.Width}
+	n.EstOut = plan.Cardinality{Rows: math.Min(k, child.EstOut.Rows), Width: child.EstOut.Width}
+	return n
+}
+
+// ComputeScalar adds a scalar-expression operator (passthrough rows).
+func (b *Builder) ComputeScalar(child *plan.Node) *plan.Node {
+	n := plan.NewUnary(plan.ComputeScalar, child)
+	n.Out = child.Out
+	n.EstOut = child.EstOut
+	return n
+}
+
+// expectedGroups estimates the distinct groups among nRows draws from a
+// column with d distinct values (occupancy formula).
+func expectedGroups(d float64, nRows float64) float64 {
+	if d <= 0 {
+		return 1
+	}
+	g := d * (1 - math.Exp(-nRows/d))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// HashAggregate groups the child stream by a column of the named table.
+// aggWidth is the output tuple width (group key + aggregates).
+func (b *Builder) HashAggregate(child *plan.Node, table, groupCol string, aggWidth float64) *plan.Node {
+	d := float64(b.DB.Table(table).Column(groupCol).Distinct)
+	n := plan.NewUnary(plan.HashAggregate, child)
+	n.HashCols = 1
+	n.HashOpAvg = 1
+	n.Out = plan.Cardinality{Rows: expectedGroups(d, child.Out.Rows), Width: aggWidth}
+	n.EstOut = plan.Cardinality{Rows: expectedGroups(d, child.EstOut.Rows), Width: aggWidth}
+	return n
+}
+
+// StreamAggregate computes scalar aggregates over the child stream
+// (1 output row), or per-group aggregates over a sorted stream when
+// groups > 1.
+func (b *Builder) StreamAggregate(child *plan.Node, groupsTrue, groupsEst, aggWidth float64) *plan.Node {
+	n := plan.NewUnary(plan.StreamAggregate, child)
+	n.Out = plan.Cardinality{Rows: math.Max(groupsTrue, 1), Width: aggWidth}
+	n.EstOut = plan.Cardinality{Rows: math.Max(groupsEst, 1), Width: aggWidth}
+	return n
+}
+
+// JoinSpec describes an FK equi-join between a foreign-key stream and a
+// (possibly filtered) key-side stream.
+type JoinSpec struct {
+	FKTable  string // table owning the foreign key column
+	FKCol    string
+	KeyTable string // table owning the referenced (unique) key
+	// KeyFraction is the true fraction of distinct key values surviving
+	// the key side's filters (1 when unfiltered); KeyRankBias selects
+	// whether surviving keys are frequent (+1), infrequent (-1) or
+	// representative (0) with respect to the FK skew.
+	KeyFraction float64
+	KeyRankBias int
+	Cols        int // number of join columns (feature CINNERCOL/COUTERCOL)
+}
+
+// joinCards computes true/estimated output rows for an FK join given the
+// two input streams. fk and key are the FK-side and key-side inputs.
+func (b *Builder) joinCards(spec JoinSpec, fk, key *plan.Node) (tr, est float64) {
+	fkStats := b.DB.Table(spec.FKTable)
+	keyDistinct := b.DB.Table(spec.KeyTable).Rows // unique key per row
+	kf := spec.KeyFraction
+	if kf <= 0 {
+		kf = 1
+	}
+	sel := fkStats.JoinSelectivity(spec.FKCol, keyDistinct, kf, spec.KeyRankBias)
+	tr = fk.Out.Rows * key.Out.Rows * sel.True
+	est = fk.EstOut.Rows * key.EstOut.Rows * sel.Est
+	// The true join output can never exceed FK rows times max fanout;
+	// for FK→unique-key joins it is capped by the FK side.
+	if tr > fk.Out.Rows {
+		tr = fk.Out.Rows
+	}
+	return tr, est
+}
+
+// joinWidth combines two input widths into the join output width (the
+// shared key column is not duplicated).
+func joinWidth(a, b float64) float64 {
+	w := a + b - 8
+	if w < 8 {
+		w = 8
+	}
+	return w
+}
+
+// HashJoin builds a hash join; build is the key (build) side, probe the
+// FK (probe) side.
+func (b *Builder) HashJoin(spec JoinSpec, build, probe *plan.Node) *plan.Node {
+	n := plan.NewJoin(plan.HashJoin, build, probe)
+	tr, est := b.joinCards(spec, probe, build)
+	w := joinWidth(build.Out.Width, probe.Out.Width)
+	n.Out = plan.Cardinality{Rows: tr, Width: w}
+	n.EstOut = plan.Cardinality{Rows: est, Width: w}
+	n.HashCols = max(spec.Cols, 1)
+	n.InnerCols = max(spec.Cols, 1)
+	n.OuterCols = max(spec.Cols, 1)
+	n.HashOpAvg = 1 + 0.2*float64(max(spec.Cols, 1)-1)
+	return n
+}
+
+// MergeJoin builds a merge join over two (assumed ordered) inputs.
+func (b *Builder) MergeJoin(spec JoinSpec, left, right *plan.Node) *plan.Node {
+	n := plan.NewJoin(plan.MergeJoin, left, right)
+	tr, est := b.joinCards(spec, right, left)
+	w := joinWidth(left.Out.Width, right.Out.Width)
+	n.Out = plan.Cardinality{Rows: tr, Width: w}
+	n.EstOut = plan.Cardinality{Rows: est, Width: w}
+	n.InnerCols = max(spec.Cols, 1)
+	n.OuterCols = max(spec.Cols, 1)
+	return n
+}
+
+// IndexNestedLoop builds an index nested loop join: outer drives one
+// index seek on innerTable per row. fanout* give the average number of
+// inner rows matching one outer row (1 for FK→key lookups).
+func (b *Builder) IndexNestedLoop(outer *plan.Node, innerTable string, projFrac, fanoutTrue, fanoutEst float64, cols int) *plan.Node {
+	ts := b.DB.Table(innerTable)
+	inner := plan.NewLeaf(plan.IndexSeek, innerTable)
+	b.fillLeafMeta(inner, ts)
+	w := projWidth(ts.Table.RowWidth(), projFrac)
+	inner.Executions = math.Max(outer.Out.Rows, 1)
+	inner.EstExecutions = math.Max(outer.EstOut.Rows, 1)
+	inner.Out = plan.Cardinality{Rows: outer.Out.Rows * fanoutTrue, Width: w}
+	inner.EstOut = plan.Cardinality{Rows: outer.EstOut.Rows * fanoutEst, Width: w}
+
+	n := plan.NewJoin(plan.NestedLoopJoin, outer, inner)
+	jw := joinWidth(outer.Out.Width, w)
+	n.Out = plan.Cardinality{Rows: inner.Out.Rows, Width: jw}
+	n.EstOut = plan.Cardinality{Rows: inner.EstOut.Rows, Width: jw}
+	n.InnerCols = max(cols, 1)
+	n.OuterCols = max(cols, 1)
+	return n
+}
+
+// Build finalizes a plan: numbers nodes, annotates optimizer I/O cost
+// features, and validates structure.
+func (b *Builder) Build(root *plan.Node, tag string) (*plan.Plan, error) {
+	p := plan.New(root, tag)
+	optimizer.DefaultModel().Annotate(p)
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	return p, nil
+}
+
+// MustBuild is Build panicking on error; generators use it since any
+// failure is a programming bug in a template.
+func (b *Builder) MustBuild(root *plan.Node, tag string) *plan.Plan {
+	p, err := b.Build(root, tag)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,63 @@
+package workload
+
+// FK describes one foreign-key relationship usable as an equi-join edge
+// by the random query generators.
+type FK struct {
+	FKTable  string // table holding the foreign key
+	FKCol    string
+	KeyTable string // referenced table (unique key side)
+	// Fanout is the average number of FK rows per key value at equal
+	// filtering (rows(FKTable)/distinct(FKCol)); generators recompute it
+	// per scale factor from the synopses, this is documentation only.
+	FilterCols []string // key-side columns suitable for filters
+}
+
+// JoinGraphs returns the FK edges per schema name. The generic query
+// generator walks these edges to build multi-way join plans.
+func JoinGraphs() map[string][]FK {
+	return map[string][]FK{
+		"tpch": {
+			{FKTable: "lineitem", FKCol: "l_orderkey", KeyTable: "orders", FilterCols: []string{"o_orderdate", "o_orderpriority"}},
+			{FKTable: "lineitem", FKCol: "l_partkey", KeyTable: "part", FilterCols: []string{"p_brand", "p_type", "p_size", "p_container"}},
+			{FKTable: "lineitem", FKCol: "l_suppkey", KeyTable: "supplier", FilterCols: []string{"s_nationkey"}},
+			{FKTable: "orders", FKCol: "o_custkey", KeyTable: "customer", FilterCols: []string{"c_mktsegment", "c_nationkey"}},
+			{FKTable: "partsupp", FKCol: "ps_partkey", KeyTable: "part", FilterCols: []string{"p_brand", "p_size"}},
+			{FKTable: "partsupp", FKCol: "ps_suppkey", KeyTable: "supplier", FilterCols: []string{"s_nationkey"}},
+		},
+		"tpcds": {
+			{FKTable: "store_sales", FKCol: "ss_sold_date_sk", KeyTable: "date_dim", FilterCols: []string{"d_year", "d_moy"}},
+			{FKTable: "store_sales", FKCol: "ss_item_sk", KeyTable: "item", FilterCols: []string{"i_category", "i_brand", "i_color"}},
+			{FKTable: "store_sales", FKCol: "ss_customer_sk", KeyTable: "customer_ds", FilterCols: []string{"c_birth_year", "c_birth_country"}},
+			{FKTable: "store_sales", FKCol: "ss_store_sk", KeyTable: "store", FilterCols: []string{"s_state", "s_market_id"}},
+			{FKTable: "store_sales", FKCol: "ss_promo_sk", KeyTable: "promotion", FilterCols: []string{"p_channel_email"}},
+			{FKTable: "store_sales", FKCol: "ss_hdemo_sk", KeyTable: "household_demographics", FilterCols: []string{"hd_buy_potential", "hd_dep_count"}},
+			{FKTable: "web_sales", FKCol: "ws_sold_date_sk", KeyTable: "date_dim", FilterCols: []string{"d_year", "d_moy"}},
+			{FKTable: "web_sales", FKCol: "ws_item_sk", KeyTable: "item", FilterCols: []string{"i_category", "i_class"}},
+			{FKTable: "web_sales", FKCol: "ws_bill_customer_sk", KeyTable: "customer_ds", FilterCols: []string{"c_birth_year"}},
+			{FKTable: "store_returns", FKCol: "sr_item_sk", KeyTable: "item", FilterCols: []string{"i_category"}},
+			{FKTable: "store_returns", FKCol: "sr_returned_date_sk", KeyTable: "date_dim", FilterCols: []string{"d_year"}},
+		},
+		"real1": {
+			{FKTable: "fact_sales", FKCol: "fs_time_id", KeyTable: "dim_time", FilterCols: []string{"fiscal_year", "fiscal_period"}},
+			{FKTable: "fact_sales", FKCol: "fs_store_id", KeyTable: "dim_store", FilterCols: []string{"store_region", "store_format"}},
+			{FKTable: "fact_sales", FKCol: "fs_prod_id", KeyTable: "dim_product", FilterCols: []string{"prod_category", "prod_subcategory"}},
+			{FKTable: "fact_sales", FKCol: "fs_promo_id", KeyTable: "dim_promotion", FilterCols: []string{"promo_type"}},
+			{FKTable: "fact_sales", FKCol: "fs_vendor_id", KeyTable: "dim_vendor", FilterCols: []string{"vendor_tier"}},
+			{FKTable: "fact_inventory", FKCol: "fi_time_id", KeyTable: "dim_time", FilterCols: []string{"fiscal_year"}},
+			{FKTable: "fact_inventory", FKCol: "fi_store_id", KeyTable: "dim_store", FilterCols: []string{"store_region"}},
+			{FKTable: "fact_inventory", FKCol: "fi_prod_id", KeyTable: "dim_product", FilterCols: []string{"prod_category"}},
+		},
+		"real2": {
+			{FKTable: "fact_gl_detail", FKCol: "gld_account_id", KeyTable: "d_account", FilterCols: []string{"d_account_group", "d_account_flag"}},
+			{FKTable: "fact_gl_detail", FKCol: "gld_costcenter_id", KeyTable: "d_costcenter", FilterCols: []string{"d_costcenter_group"}},
+			{FKTable: "fact_gl_detail", FKCol: "gld_project_id", KeyTable: "d_project", FilterCols: []string{"d_project_group", "d_project_flag"}},
+			{FKTable: "fact_gl_detail", FKCol: "gld_employee_id", KeyTable: "d_employee", FilterCols: []string{"d_employee_group"}},
+			{FKTable: "fact_gl_detail", FKCol: "gld_material_id", KeyTable: "d_material", FilterCols: []string{"d_material_group"}},
+			{FKTable: "fact_gl_detail", FKCol: "gld_plant_id", KeyTable: "d_plant", FilterCols: []string{"d_plant_group"}},
+			{FKTable: "fact_gl_detail", FKCol: "gld_profitcenter_id", KeyTable: "d_profitcenter", FilterCols: []string{"d_profitcenter_group"}},
+			{FKTable: "fact_gl_header", FKCol: "glh_company_id", KeyTable: "d_company", FilterCols: []string{"d_company_group"}},
+			{FKTable: "fact_gl_header", FKCol: "glh_currency_id", KeyTable: "d_currency", FilterCols: []string{"d_currency_group"}},
+			{FKTable: "fact_gl_header", FKCol: "glh_version_id", KeyTable: "d_version", FilterCols: []string{"d_version_flag"}},
+		},
+	}
+}

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/plan"
+)
+
+// The sweep generators below produce the §6.2 scaling-function training
+// sets: families of single-operator plans in which one feature varies
+// over a wide range while independent features stay constant and
+// dependent features keep a constant ratio to the swept feature. The
+// core package fits candidate scaling functions against the measured
+// resource curves of these sweeps.
+
+// SweepPoint pairs a generated plan with the value of the swept feature.
+type SweepPoint struct {
+	Plan  *plan.Plan
+	Value float64 // swept feature value
+	Node  *plan.Node
+}
+
+// SweepSort generates sorts of n input tuples for each n in sizes, with
+// constant tuple width and sort-column count — the paper's
+// "SELECT * FROM lineitem WHERE l_orderkey <= t1 ORDER BY random()"
+// experiment.
+func SweepSort(b *Builder, sizes []float64, width float64, cols int) []SweepPoint {
+	out := make([]SweepPoint, 0, len(sizes))
+	for i, n := range sizes {
+		scan := b.Scan("lineitem", 1)
+		// Restrict the scan output to n rows (a clustered range).
+		scan.Out = plan.Cardinality{Rows: n, Width: width}
+		scan.EstOut = scan.Out
+		srt := b.Sort(scan, cols)
+		srt.Out = plan.Cardinality{Rows: n, Width: width}
+		srt.EstOut = srt.Out
+		p := b.MustBuild(srt, fmt.Sprintf("sweep-sort-%d", i))
+		out = append(out, SweepPoint{Plan: p, Value: n, Node: p.Root})
+	}
+	return out
+}
+
+// SweepFilter generates filters over n input tuples.
+func SweepFilter(b *Builder, sizes []float64, width float64) []SweepPoint {
+	out := make([]SweepPoint, 0, len(sizes))
+	for i, n := range sizes {
+		scan := b.Scan("lineitem", 1)
+		scan.Out = plan.Cardinality{Rows: n, Width: width}
+		scan.EstOut = scan.Out
+		f := b.Filter(scan, "lineitem", b.RangePred("lineitem", "l_quantity", 25))
+		f.Out = plan.Cardinality{Rows: n * 0.5, Width: width}
+		f.EstOut = f.Out
+		p := b.MustBuild(f, fmt.Sprintf("sweep-filter-%d", i))
+		out = append(out, SweepPoint{Plan: p, Value: n, Node: p.Root})
+	}
+	return out
+}
+
+// SweepScan generates table scans with varying table size (TSIZE sweep):
+// rows and pages grow proportionally, width constant.
+func SweepScan(b *Builder, sizes []float64, width float64) []SweepPoint {
+	out := make([]SweepPoint, 0, len(sizes))
+	base := b.DB.Table("lineitem")
+	rowsPerPage := float64(base.Rows) / float64(base.Pages)
+	for i, n := range sizes {
+		scan := b.Scan("lineitem", 1)
+		scan.TableRows = n
+		scan.TablePages = n / rowsPerPage
+		scan.Out = plan.Cardinality{Rows: n, Width: width}
+		scan.EstOut = scan.Out
+		p := b.MustBuild(scan, fmt.Sprintf("sweep-scan-%d", i))
+		out = append(out, SweepPoint{Plan: p, Value: n, Node: p.Root})
+	}
+	return out
+}
+
+// SweepNestedLoop generates index nested loop joins varying the number
+// of outer rows, inner table fixed — the Figure 8 experiment (CPU is
+// expected to scale as outer × log(inner)).
+func SweepNestedLoop(b *Builder, outerSizes []float64, innerTable string) []SweepPoint {
+	out := make([]SweepPoint, 0, len(outerSizes))
+	for i, n := range outerSizes {
+		outer := b.Scan("orders", 0.3)
+		outer.Out = plan.Cardinality{Rows: n, Width: 40}
+		outer.EstOut = outer.Out
+		nl := b.IndexNestedLoop(outer, innerTable, 0.2, 1, 1, 1)
+		p := b.MustBuild(nl, fmt.Sprintf("sweep-nl-%d", i))
+		out = append(out, SweepPoint{Plan: p, Value: n, Node: p.Root})
+	}
+	return out
+}
+
+// SweepNestedLoopInner varies the inner table size at a fixed outer
+// cardinality (the log(CIN_inner) axis of Figure 8).
+func SweepNestedLoopInner(b *Builder, innerSizes []float64, outerRows float64) []SweepPoint {
+	out := make([]SweepPoint, 0, len(innerSizes))
+	for i, n := range innerSizes {
+		outer := b.Scan("orders", 0.3)
+		outer.Out = plan.Cardinality{Rows: outerRows, Width: 40}
+		outer.EstOut = outer.Out
+		nl := b.IndexNestedLoop(outer, "lineitem", 0.2, 1, 1, 1)
+		// Override the inner table's size-driven features.
+		inner := nl.Children[1]
+		inner.TableRows = n
+		inner.TablePages = n / 50
+		inner.IndexDepth = indexDepthFor(n)
+		p := b.MustBuild(nl, fmt.Sprintf("sweep-nli-%d", i))
+		out = append(out, SweepPoint{Plan: p, Value: n, Node: p.Root})
+	}
+	return out
+}
+
+// SweepHashJoin varies the probe input size at a fixed build side.
+func SweepHashJoin(b *Builder, probeSizes []float64, buildRows float64) []SweepPoint {
+	out := make([]SweepPoint, 0, len(probeSizes))
+	for i, n := range probeSizes {
+		build := b.Scan("part", 0.3)
+		build.Out = plan.Cardinality{Rows: buildRows, Width: 40}
+		build.EstOut = build.Out
+		probe := b.Scan("lineitem", 0.3)
+		probe.Out = plan.Cardinality{Rows: n, Width: 40}
+		probe.EstOut = probe.Out
+		hj := b.HashJoin(JoinSpec{
+			FKTable: "lineitem", FKCol: "l_partkey", KeyTable: "part",
+			KeyFraction: 1, Cols: 1,
+		}, build, probe)
+		hj.Out = plan.Cardinality{Rows: n, Width: 72}
+		hj.EstOut = hj.Out
+		p := b.MustBuild(hj, fmt.Sprintf("sweep-hj-%d", i))
+		out = append(out, SweepPoint{Plan: p, Value: n, Node: p.Root})
+	}
+	return out
+}
+
+// SweepWidth varies the tuple width of a scan at fixed row count (the
+// SOUTAVG scaling axis).
+func SweepWidth(b *Builder, widths []float64, rows float64) []SweepPoint {
+	out := make([]SweepPoint, 0, len(widths))
+	for i, w := range widths {
+		scan := b.Scan("lineitem", 1)
+		scan.Out = plan.Cardinality{Rows: rows, Width: w}
+		scan.EstOut = scan.Out
+		p := b.MustBuild(scan, fmt.Sprintf("sweep-width-%d", i))
+		out = append(out, SweepPoint{Plan: p, Value: w, Node: p.Root})
+	}
+	return out
+}
+
+// SweepSeekTableSize varies the table (and hence index) size of a
+// standalone index seek at a fixed result size: the seek's descent cost
+// grows with the index depth, i.e. logarithmically in TSIZE.
+func SweepSeekTableSize(b *Builder, tableSizes []float64, resultRows float64) []SweepPoint {
+	out := make([]SweepPoint, 0, len(tableSizes))
+	for i, n := range tableSizes {
+		seek := b.Seek("orders", 0.3, b.RangePred("orders", "o_orderdate", 1))
+		seek.TableRows = n
+		seek.TablePages = n / 50
+		seek.IndexDepth = indexDepthFor(n)
+		seek.Out = plan.Cardinality{Rows: resultRows, Width: 40}
+		seek.EstOut = seek.Out
+		p := b.MustBuild(seek, fmt.Sprintf("sweep-seek-%d", i))
+		out = append(out, SweepPoint{Plan: p, Value: n, Node: p.Root})
+	}
+	return out
+}
+
+// indexDepthFor mirrors catalog.Table.IndexDepth for synthetic sizes.
+func indexDepthFor(rows float64) float64 {
+	leaves := rows / 400
+	depth := 1.0
+	for leaves > 1 {
+		leaves /= 500
+		depth++
+	}
+	if depth < 2 {
+		depth = 2
+	}
+	return depth
+}
+
+// GeometricSizes returns k sizes geometrically spaced in [lo, hi].
+func GeometricSizes(lo, hi float64, k int) []float64 {
+	if k < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, k)
+	ratio := hi / lo
+	for i := range out {
+		out[i] = lo * math.Pow(ratio, float64(i)/float64(k-1))
+	}
+	return out
+}

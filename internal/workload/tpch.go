@@ -1,0 +1,341 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/plan"
+	"repro/internal/xrand"
+)
+
+// Template is a parameterized query template: invoked with a fresh RNG it
+// produces one plan, QGEN-style.
+type Template struct {
+	Name string
+	Gen  func(b *Builder, rng *xrand.Rand, tag string) *plan.Plan
+}
+
+// randRank draws a log-uniform frequency rank in [1, d]: small ranks
+// (frequent values) are as likely as large ones, which — over skewed
+// data — produces the huge within-template variance in resource usage
+// the paper's workloads exhibit.
+func randRank(rng *xrand.Rand, d int64) int64 {
+	if d <= 1 {
+		return 1
+	}
+	r := int64(math.Exp(rng.Float64() * math.Log(float64(d))))
+	if r < 1 {
+		r = 1
+	}
+	if r > d {
+		r = d
+	}
+	return r
+}
+
+// randFrac draws a log-uniform fraction in [lo, hi].
+func randFrac(rng *xrand.Rand, lo, hi float64) float64 {
+	return math.Exp(rng.Range(math.Log(lo), math.Log(hi)))
+}
+
+// rankFor converts a fraction of a column's domain into a rank count.
+func (b *Builder) rankFor(table, col string, frac float64) int64 {
+	d := b.DB.Table(table).Column(col).Distinct
+	m := int64(frac * float64(d))
+	if m < 1 {
+		m = 1
+	}
+	if m > d {
+		m = d
+	}
+	return m
+}
+
+// randBias draws a key-rank bias in {-1, 0, +1}: whether a dimension
+// filter keeps frequent, representative or infrequent key values, the
+// source of join-cardinality estimation error over skewed data.
+func randBias(rng *xrand.Rand) int { return rng.Intn(3) - 1 }
+
+// TPCHTemplates returns the TPC-H-like template set. The templates
+// follow the operator mix of the benchmark queries they are named after
+// (scan-heavy aggregation, multi-way hash join pipelines, index nested
+// loops, merge joins, top-k), parameterized with random predicates.
+func TPCHTemplates() []Template {
+	base := []Template{
+		{Name: "q1_pricing_summary", Gen: genQ1},
+		{Name: "q3_shipping_priority", Gen: genQ3},
+		{Name: "q5_local_supplier", Gen: genQ5},
+		{Name: "q6_forecast_revenue", Gen: genQ6},
+		{Name: "q10_returned_items", Gen: genQ10},
+		{Name: "q12_shipmode", Gen: genQ12},
+		{Name: "q14_promotion", Gen: genQ14},
+		{Name: "q18_large_volume", Gen: genQ18},
+		{Name: "q19_discounted_revenue", Gen: genQ19},
+		{Name: "q4_order_priority", Gen: genQ4},
+		{Name: "qx_partsupp_merge", Gen: genQXMerge},
+		{Name: "qx_customer_seek", Gen: genQXSeek},
+	}
+	return append(base, MoreTPCHTemplates()...)
+}
+
+// genQ1: scan lineitem, wide date filter, hash aggregate on
+// returnflag/linestatus, sort the few groups.
+func genQ1(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	scan := b.Scan("lineitem", rng.Range(0.15, 0.9))
+	f := b.Filter(scan, "lineitem",
+		b.RangePred("lineitem", "l_shipdate", b.rankFor("lineitem", "l_shipdate", randFrac(rng, 0.5, 1))))
+	agg := b.HashAggregate(f, "lineitem", "l_returnflag", 64)
+	srt := b.Sort(agg, 2)
+	return b.MustBuild(srt, tag)
+}
+
+// genQ3: customer(filtered) ⋈ orders(filtered) ⋈ lineitem, aggregate,
+// sort, top 10.
+func genQ3(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	segRank := randRank(rng, b.DB.Table("customer").Column("c_mktsegment").Distinct)
+	cust := b.Filter(b.Scan("customer", 0.25), "customer",
+		b.EqPred("customer", "c_mktsegment", segRank))
+	custSel := cust.Out.Rows / cust.Children[0].Out.Rows
+
+	dateFrac := randFrac(rng, 0.005, 0.8)
+	orders := b.Filter(b.Scan("orders", 0.35), "orders",
+		b.RangePred("orders", "o_orderdate", b.rankFor("orders", "o_orderdate", dateFrac)))
+	ordersSel := orders.Out.Rows / orders.Children[0].Out.Rows
+
+	oc := b.HashJoin(JoinSpec{
+		FKTable: "orders", FKCol: "o_custkey", KeyTable: "customer",
+		KeyFraction: custSel, KeyRankBias: randBias(rng), Cols: 1,
+	}, cust, orders)
+
+	li := b.Scan("lineitem", rng.Range(0.15, 0.8))
+	j := b.HashJoin(JoinSpec{
+		FKTable: "lineitem", FKCol: "l_orderkey", KeyTable: "orders",
+		KeyFraction: ordersSel * custSel, KeyRankBias: randBias(rng), Cols: 1,
+	}, oc, li)
+
+	agg := b.HashAggregate(j, "lineitem", "l_orderkey", 48)
+	srt := b.Sort(agg, 2)
+	top := b.Top(srt, 10)
+	return b.MustBuild(top, tag)
+}
+
+// genQ5: five-way join customer ⋈ orders ⋈ lineitem ⋈ supplier with
+// nation-driven filters, scalar aggregate.
+func genQ5(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	nationRank := randRank(rng, 25)
+	cust := b.Filter(b.Scan("customer", 0.2), "customer",
+		b.EqPred("customer", "c_nationkey", nationRank))
+	custSel := cust.Out.Rows / cust.Children[0].Out.Rows
+
+	dateFrac := randFrac(rng, 0.05, 0.4)
+	orders := b.Filter(b.Scan("orders", 0.25), "orders",
+		b.RangePred("orders", "o_orderdate", b.rankFor("orders", "o_orderdate", dateFrac)))
+	ordersSel := orders.Out.Rows / orders.Children[0].Out.Rows
+
+	oc := b.HashJoin(JoinSpec{
+		FKTable: "orders", FKCol: "o_custkey", KeyTable: "customer",
+		KeyFraction: custSel, KeyRankBias: randBias(rng), Cols: 1,
+	}, cust, orders)
+
+	li := b.Scan("lineitem", 0.3)
+	j1 := b.HashJoin(JoinSpec{
+		FKTable: "lineitem", FKCol: "l_orderkey", KeyTable: "orders",
+		KeyFraction: ordersSel * custSel, KeyRankBias: randBias(rng), Cols: 1,
+	}, oc, li)
+
+	supp := b.Filter(b.Scan("supplier", 0.3), "supplier",
+		b.EqPred("supplier", "s_nationkey", nationRank))
+	suppSel := supp.Out.Rows / supp.Children[0].Out.Rows
+	j2 := b.HashJoin(JoinSpec{
+		FKTable: "lineitem", FKCol: "l_suppkey", KeyTable: "supplier",
+		KeyFraction: suppSel, KeyRankBias: randBias(rng), Cols: 1,
+	}, supp, j1)
+
+	agg := b.StreamAggregate(j2, 1, 1, 16)
+	return b.MustBuild(agg, tag)
+}
+
+// genQ6: single-table scan of lineitem with a 3-predicate conjunction
+// (the filter-scaling example of the paper), scalar aggregate.
+func genQ6(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	scan := b.Scan("lineitem", rng.Range(0.15, 0.3))
+	f := b.Filter(scan, "lineitem",
+		b.RangePred("lineitem", "l_shipdate", b.rankFor("lineitem", "l_shipdate", randFrac(rng, 0.005, 0.6))),
+		b.InPred("lineitem", "l_discount", randRank(rng, 9), 3),
+		b.RangePred("lineitem", "l_quantity", b.rankFor("lineitem", "l_quantity", randFrac(rng, 0.2, 0.8))))
+	agg := b.StreamAggregate(f, 1, 1, 16)
+	return b.MustBuild(agg, tag)
+}
+
+// genQ10: customer ⋈ orders(date) ⋈ lineitem(returnflag), hash
+// aggregate per customer, top 20 by revenue.
+func genQ10(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	dateFrac := randFrac(rng, 0.02, 0.15)
+	orders := b.Filter(b.Scan("orders", 0.3), "orders",
+		b.RangePred("orders", "o_orderdate", b.rankFor("orders", "o_orderdate", dateFrac)))
+	ordersSel := orders.Out.Rows / orders.Children[0].Out.Rows
+
+	flagRank := randRank(rng, 3)
+	li := b.Filter(b.Scan("lineitem", 0.3), "lineitem",
+		b.EqPred("lineitem", "l_returnflag", flagRank))
+	j1 := b.HashJoin(JoinSpec{
+		FKTable: "lineitem", FKCol: "l_orderkey", KeyTable: "orders",
+		KeyFraction: ordersSel, KeyRankBias: randBias(rng), Cols: 1,
+	}, orders, li)
+
+	cust := b.Scan("customer", 0.45)
+	j2 := b.HashJoin(JoinSpec{
+		FKTable: "orders", FKCol: "o_custkey", KeyTable: "customer",
+		KeyFraction: 1, Cols: 1,
+	}, cust, j1)
+
+	agg := b.HashAggregate(j2, "orders", "o_custkey", 96)
+	srt := b.Sort(agg, 1)
+	top := b.Top(srt, 20)
+	return b.MustBuild(top, tag)
+}
+
+// genQ12: orders ⋈ lineitem(shipmode IN, date range) via merge join on
+// the clustered key, grouped aggregate.
+func genQ12(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	li := b.Filter(b.Scan("lineitem", 0.3), "lineitem",
+		b.InPred("lineitem", "l_shipmode", randRank(rng, 6), 2),
+		b.RangePred("lineitem", "l_receiptdate", b.rankFor("lineitem", "l_receiptdate", randFrac(rng, 0.1, 0.5))))
+	liSel := li.Out.Rows / li.Children[0].Out.Rows
+	orders := b.Scan("orders", 0.2)
+	// Both inputs ordered on the clustered orderkey: merge join.
+	j := b.MergeJoin(JoinSpec{
+		FKTable: "lineitem", FKCol: "l_orderkey", KeyTable: "orders",
+		KeyFraction: 1, Cols: 1,
+	}, orders, li)
+	_ = liSel
+	agg := b.HashAggregate(j, "orders", "o_orderpriority", 40)
+	srt := b.Sort(agg, 1)
+	return b.MustBuild(srt, tag)
+}
+
+// genQ14: lineitem(date range) ⋈ part, scalar aggregate.
+func genQ14(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	li := b.Filter(b.Scan("lineitem", 0.25), "lineitem",
+		b.RangePred("lineitem", "l_shipdate", b.rankFor("lineitem", "l_shipdate", randFrac(rng, 0.01, 0.1))))
+	part := b.Scan("part", 0.3)
+	j := b.HashJoin(JoinSpec{
+		FKTable: "lineitem", FKCol: "l_partkey", KeyTable: "part",
+		KeyFraction: 1, Cols: 1,
+	}, part, li)
+	agg := b.StreamAggregate(j, 1, 1, 16)
+	return b.MustBuild(agg, tag)
+}
+
+// genQ18: orders filtered by priority drive an index nested loop into
+// lineitem; large hash aggregation; sort.
+func genQ18(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	prioRank := randRank(rng, 5)
+	orders := b.Filter(b.Scan("orders", 0.3), "orders",
+		b.EqPred("orders", "o_orderpriority", prioRank))
+	fanTr, fanEst := b.FKFanout("lineitem", "l_orderkey", randBias(rng))
+	nl := b.IndexNestedLoop(orders, "lineitem", 0.25, fanTr, fanEst, 1)
+	agg := b.HashAggregate(nl, "orders", "o_custkey", 72)
+	srt := b.Sort(agg, 2)
+	top := b.Top(srt, 100)
+	return b.MustBuild(top, tag)
+}
+
+// genQ19: lineitem ⋈ part with a highly selective multi-attribute
+// conjunction on part, scalar aggregate.
+func genQ19(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	part := b.Filter(b.Scan("part", 0.35), "part",
+		b.EqPred("part", "p_brand", randRank(rng, 25)),
+		b.InPred("part", "p_container", randRank(rng, 30), 4),
+		b.RangePred("part", "p_size", b.rankFor("part", "p_size", randFrac(rng, 0.1, 0.6))))
+	partSel := part.Out.Rows / part.Children[0].Out.Rows
+	li := b.Filter(b.Scan("lineitem", 0.3), "lineitem",
+		b.RangePred("lineitem", "l_quantity", b.rankFor("lineitem", "l_quantity", randFrac(rng, 0.2, 0.7))))
+	j := b.HashJoin(JoinSpec{
+		FKTable: "lineitem", FKCol: "l_partkey", KeyTable: "part",
+		KeyFraction: partSel, KeyRankBias: randBias(rng), Cols: 1,
+	}, part, li)
+	agg := b.StreamAggregate(j, 1, 1, 16)
+	return b.MustBuild(agg, tag)
+}
+
+// genQ4: orders with a date range seek, nested loop existence probe
+// into lineitem, aggregate by priority.
+func genQ4(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	orders := b.Seek("orders", 0.25,
+		b.RangePred("orders", "o_orderdate", b.rankFor("orders", "o_orderdate", randFrac(rng, 0.02, 0.2))))
+	fanTr, fanEst := b.FKFanout("lineitem", "l_orderkey", 0)
+	nl := b.IndexNestedLoop(orders, "lineitem", 0.1, fanTr*0.3, fanEst*0.3, 1)
+	agg := b.HashAggregate(nl, "orders", "o_orderpriority", 32)
+	srt := b.Sort(agg, 1)
+	return b.MustBuild(srt, tag)
+}
+
+// genQXMerge: partsupp ⋈ supplier via sorted merge join, grouped
+// aggregate — exercises Sort feeding MergeJoin.
+func genQXMerge(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	ps := b.Scan("partsupp", rng.Range(0.15, 0.95))
+	psSorted := b.Sort(ps, 1)
+	supp := b.Filter(b.Scan("supplier", 0.4), "supplier",
+		b.EqPred("supplier", "s_nationkey", randRank(rng, 25)))
+	suppSel := supp.Out.Rows / supp.Children[0].Out.Rows
+	suppSorted := b.Sort(supp, 1)
+	j := b.MergeJoin(JoinSpec{
+		FKTable: "partsupp", FKCol: "ps_suppkey", KeyTable: "supplier",
+		KeyFraction: suppSel, KeyRankBias: randBias(rng), Cols: 1,
+	}, suppSorted, psSorted)
+	agg := b.HashAggregate(j, "partsupp", "ps_partkey", 40)
+	return b.MustBuild(agg, tag)
+}
+
+// genQXSeek: seek customers by nation, nested loop into orders, sort the
+// result — exercises seek-driven plans end to end.
+func genQXSeek(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	cust := b.Seek("customer", 0.3,
+		b.EqPred("customer", "c_nationkey", randRank(rng, 25)))
+	fanTr, fanEst := b.FKFanout("orders", "o_custkey", randBias(rng))
+	nl := b.IndexNestedLoop(cust, "orders", 0.3, fanTr, fanEst, 1)
+	cs := b.ComputeScalar(nl)
+	srt := b.Sort(cs, rng.IntRange(1, 3))
+	top := b.Top(srt, float64(rng.IntRange(10, 1000)))
+	return b.MustBuild(top, tag)
+}
+
+// FKFanout returns the true and estimated average number of FK rows per
+// surviving key value for an FK column. The estimate is rows/NDV; the
+// truth depends on whether surviving keys are the frequent ones (+1),
+// infrequent (-1) or representative (0) under the FK skew.
+func (b *Builder) FKFanout(fkTable, fkCol string, bias int) (tr, est float64) {
+	ts := b.DB.Table(fkTable)
+	c := ts.Column(fkCol)
+	est = float64(ts.Rows) / float64(c.Distinct)
+	const sampleFrac = 0.01
+	m := int64(sampleFrac * float64(c.Distinct))
+	if m < 1 {
+		m = 1
+	}
+	switch {
+	case bias > 0:
+		tr = float64(ts.Rows) * c.TopFreq(m) / float64(m)
+	case bias < 0:
+		tail := 1 - c.TopFreq(c.Distinct-m)
+		tr = float64(ts.Rows) * tail / float64(m)
+	default:
+		tr = est
+	}
+	// Cap the skew-induced deviation at a realistic optimizer-error
+	// magnitude (see data.JoinSelectivity).
+	const biasCap = 8
+	if tr > est*biasCap {
+		tr = est * biasCap
+	}
+	if tr < est/biasCap {
+		tr = est / biasCap
+	}
+	return tr, est
+}
+
+// tagOf builds a stable query tag.
+func tagOf(prefix string, i int, sf float64) string {
+	return fmt.Sprintf("%s#%d@sf%g", prefix, i, sf)
+}

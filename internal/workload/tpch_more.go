@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"repro/internal/plan"
+	"repro/internal/xrand"
+)
+
+// The second half of the template set: together with tpch.go this
+// brings the workload to 22 templates, matching the size of the TPC-H
+// template pool the paper generates from with QGEN.
+
+// MoreTPCHTemplates returns the additional templates.
+func MoreTPCHTemplates() []Template {
+	return []Template{
+		{Name: "q2_min_cost_supplier", Gen: genQ2},
+		{Name: "q7_volume_shipping", Gen: genQ7},
+		{Name: "q8_market_share", Gen: genQ8},
+		{Name: "q9_product_profit", Gen: genQ9},
+		{Name: "q11_important_stock", Gen: genQ11},
+		{Name: "q13_customer_dist", Gen: genQ13},
+		{Name: "q16_parts_supplier", Gen: genQ16},
+		{Name: "q17_small_qty", Gen: genQ17},
+		{Name: "q21_suppliers_kept", Gen: genQ21},
+		{Name: "qx_wide_scan", Gen: genQXWideScan},
+	}
+}
+
+// genQ2: partsupp ⋈ part(filtered) ⋈ supplier, sorted top-100.
+func genQ2(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	part := b.Filter(b.Scan("part", 0.3), "part",
+		b.EqPred("part", "p_size", randRank(rng, 50)),
+		b.InPred("part", "p_type", randRank(rng, 140), 10))
+	partSel := part.Out.Rows / part.Children[0].Out.Rows
+	ps := b.Scan("partsupp", 0.4)
+	j1 := b.HashJoin(JoinSpec{
+		FKTable: "partsupp", FKCol: "ps_partkey", KeyTable: "part",
+		KeyFraction: partSel, KeyRankBias: randBias(rng), Cols: 1,
+	}, part, ps)
+	supp := b.Scan("supplier", 0.5)
+	j2 := b.HashJoin(JoinSpec{
+		FKTable: "partsupp", FKCol: "ps_suppkey", KeyTable: "supplier",
+		KeyFraction: 1, Cols: 1,
+	}, supp, j1)
+	srt := b.Sort(j2, rng.IntRange(2, 4))
+	top := b.Top(srt, 100)
+	return b.MustBuild(top, tag)
+}
+
+// genQ7: two-nation volume shipping — lineitem ⋈ supplier(filtered) ⋈
+// orders ⋈ customer(filtered), grouped by year.
+func genQ7(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	n1 := randRank(rng, 25)
+	n2 := randRank(rng, 25)
+	supp := b.Filter(b.Scan("supplier", 0.3), "supplier",
+		b.EqPred("supplier", "s_nationkey", n1))
+	suppSel := supp.Out.Rows / supp.Children[0].Out.Rows
+	li := b.Filter(b.Scan("lineitem", 0.3), "lineitem",
+		b.RangePred("lineitem", "l_shipdate", b.rankFor("lineitem", "l_shipdate", randFrac(rng, 0.2, 0.6))))
+	j1 := b.HashJoin(JoinSpec{
+		FKTable: "lineitem", FKCol: "l_suppkey", KeyTable: "supplier",
+		KeyFraction: suppSel, KeyRankBias: randBias(rng), Cols: 1,
+	}, supp, li)
+	orders := b.Scan("orders", 0.25)
+	j2 := b.MergeJoin(JoinSpec{
+		FKTable: "lineitem", FKCol: "l_orderkey", KeyTable: "orders",
+		KeyFraction: 1, Cols: 1,
+	}, orders, b.Sort(j1, 1))
+	cust := b.Filter(b.Scan("customer", 0.25), "customer",
+		b.EqPred("customer", "c_nationkey", n2))
+	custSel := cust.Out.Rows / cust.Children[0].Out.Rows
+	j3 := b.HashJoin(JoinSpec{
+		FKTable: "orders", FKCol: "o_custkey", KeyTable: "customer",
+		KeyFraction: custSel, KeyRankBias: randBias(rng), Cols: 1,
+	}, cust, j2)
+	agg := b.HashAggregate(j3, "orders", "o_orderdate", 56)
+	srt := b.Sort(agg, 3)
+	return b.MustBuild(srt, tag)
+}
+
+// genQ8: market share — a deep join pipeline over part, lineitem,
+// orders, customer with a selective part filter.
+func genQ8(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	part := b.Filter(b.Scan("part", 0.25), "part",
+		b.EqPred("part", "p_type", randRank(rng, 140)))
+	partSel := part.Out.Rows / part.Children[0].Out.Rows
+	li := b.Scan("lineitem", 0.35)
+	j1 := b.HashJoin(JoinSpec{
+		FKTable: "lineitem", FKCol: "l_partkey", KeyTable: "part",
+		KeyFraction: partSel, KeyRankBias: randBias(rng), Cols: 1,
+	}, part, li)
+	orders := b.Filter(b.Scan("orders", 0.3), "orders",
+		b.RangePred("orders", "o_orderdate", b.rankFor("orders", "o_orderdate", randFrac(rng, 0.2, 0.5))))
+	ordersSel := orders.Out.Rows / orders.Children[0].Out.Rows
+	j2 := b.HashJoin(JoinSpec{
+		FKTable: "lineitem", FKCol: "l_orderkey", KeyTable: "orders",
+		KeyFraction: ordersSel, KeyRankBias: randBias(rng), Cols: 1,
+	}, orders, j1)
+	cust := b.Scan("customer", 0.2)
+	j3 := b.HashJoin(JoinSpec{
+		FKTable: "orders", FKCol: "o_custkey", KeyTable: "customer",
+		KeyFraction: 1, Cols: 1,
+	}, cust, j2)
+	agg := b.HashAggregate(j3, "orders", "o_orderdate", 48)
+	srt := b.Sort(agg, 1)
+	return b.MustBuild(srt, tag)
+}
+
+// genQ9: product profit — partsupp-driven join with part filter and a
+// large aggregation.
+func genQ9(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	part := b.Filter(b.Scan("part", 0.3), "part",
+		b.InPred("part", "p_brand", randRank(rng, 20), rng.Int63n(4)+2))
+	partSel := part.Out.Rows / part.Children[0].Out.Rows
+	li := b.Scan("lineitem", 0.4)
+	j1 := b.HashJoin(JoinSpec{
+		FKTable: "lineitem", FKCol: "l_partkey", KeyTable: "part",
+		KeyFraction: partSel, KeyRankBias: randBias(rng), Cols: 1,
+	}, part, li)
+	supp := b.Scan("supplier", 0.4)
+	j2 := b.HashJoin(JoinSpec{
+		FKTable: "lineitem", FKCol: "l_suppkey", KeyTable: "supplier",
+		KeyFraction: 1, Cols: 1,
+	}, supp, j1)
+	cs := b.ComputeScalar(j2)
+	agg := b.HashAggregate(cs, "supplier", "s_nationkey", 72)
+	srt := b.Sort(agg, 2)
+	return b.MustBuild(srt, tag)
+}
+
+// genQ11: important stock — partsupp ⋈ supplier(filtered) with a large
+// hash aggregation over partkeys and a sort.
+func genQ11(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	supp := b.Filter(b.Scan("supplier", 0.35), "supplier",
+		b.EqPred("supplier", "s_nationkey", randRank(rng, 25)))
+	suppSel := supp.Out.Rows / supp.Children[0].Out.Rows
+	ps := b.Scan("partsupp", rng.Range(0.3, 0.7))
+	j := b.HashJoin(JoinSpec{
+		FKTable: "partsupp", FKCol: "ps_suppkey", KeyTable: "supplier",
+		KeyFraction: suppSel, KeyRankBias: randBias(rng), Cols: 1,
+	}, supp, ps)
+	agg := b.HashAggregate(j, "partsupp", "ps_partkey", 28)
+	srt := b.Sort(agg, 1)
+	return b.MustBuild(srt, tag)
+}
+
+// genQ13: customer order-count distribution — customer left-join-like
+// pattern approximated by a merge join on sorted custkeys with two
+// stacked aggregations.
+func genQ13(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	orders := b.Filter(b.Scan("orders", 0.2), "orders",
+		b.InPred("orders", "o_orderpriority", randRank(rng, 4), 2))
+	ordersSorted := b.Sort(orders, 1)
+	cust := b.Scan("customer", 0.15)
+	j := b.MergeJoin(JoinSpec{
+		FKTable: "orders", FKCol: "o_custkey", KeyTable: "customer",
+		KeyFraction: 1, Cols: 1,
+	}, cust, ordersSorted)
+	agg1 := b.HashAggregate(j, "orders", "o_custkey", 24)
+	agg2 := b.HashAggregate(agg1, "orders", "o_orderpriority", 24)
+	srt := b.Sort(agg2, 2)
+	return b.MustBuild(srt, tag)
+}
+
+// genQ16: parts/supplier relationship — partsupp ⋈ part(filtered) with
+// a grouped distinct-ish aggregation.
+func genQ16(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	part := b.Filter(b.Scan("part", 0.35), "part",
+		b.EqPred("part", "p_brand", randRank(rng, 25)),
+		b.InPred("part", "p_size", randRank(rng, 42), 8))
+	partSel := part.Out.Rows / part.Children[0].Out.Rows
+	ps := b.Scan("partsupp", 0.3)
+	j := b.HashJoin(JoinSpec{
+		FKTable: "partsupp", FKCol: "ps_partkey", KeyTable: "part",
+		KeyFraction: partSel, KeyRankBias: randBias(rng), Cols: 1,
+	}, part, ps)
+	agg := b.HashAggregate(j, "part", "p_type", 52)
+	srt := b.Sort(agg, 3)
+	return b.MustBuild(srt, tag)
+}
+
+// genQ17: small-quantity orders — part(filtered) drives an index nested
+// loop into lineitem, scalar aggregate.
+func genQ17(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	part := b.Filter(b.Scan("part", 0.2), "part",
+		b.EqPred("part", "p_brand", randRank(rng, 25)),
+		b.EqPred("part", "p_container", randRank(rng, 40)))
+	fanTr, fanEst := b.FKFanout("lineitem", "l_partkey", randBias(rng))
+	nl := b.IndexNestedLoop(part, "lineitem", 0.15, fanTr, fanEst, 1)
+	f := b.Filter(nl, "lineitem",
+		b.RangePred("lineitem", "l_quantity", b.rankFor("lineitem", "l_quantity", randFrac(rng, 0.1, 0.5))))
+	agg := b.StreamAggregate(f, 1, 1, 16)
+	return b.MustBuild(agg, tag)
+}
+
+// genQ21: suppliers who kept orders waiting — supplier(filtered) ⋈
+// lineitem ⋈ orders(filtered) with a top-k tail.
+func genQ21(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	supp := b.Filter(b.Scan("supplier", 0.3), "supplier",
+		b.EqPred("supplier", "s_nationkey", randRank(rng, 25)))
+	suppSel := supp.Out.Rows / supp.Children[0].Out.Rows
+	li := b.Filter(b.Scan("lineitem", 0.3), "lineitem",
+		b.RangePred("lineitem", "l_receiptdate", b.rankFor("lineitem", "l_receiptdate", randFrac(rng, 0.3, 0.8))))
+	j1 := b.HashJoin(JoinSpec{
+		FKTable: "lineitem", FKCol: "l_suppkey", KeyTable: "supplier",
+		KeyFraction: suppSel, KeyRankBias: randBias(rng), Cols: 1,
+	}, supp, li)
+	orders := b.Filter(b.Scan("orders", 0.2), "orders",
+		b.EqPred("orders", "o_orderstatus", randRank(rng, 3)))
+	ordersSel := orders.Out.Rows / orders.Children[0].Out.Rows
+	j2 := b.HashJoin(JoinSpec{
+		FKTable: "lineitem", FKCol: "l_orderkey", KeyTable: "orders",
+		KeyFraction: ordersSel, KeyRankBias: randBias(rng), Cols: 1,
+	}, orders, j1)
+	agg := b.HashAggregate(j2, "lineitem", "l_suppkey", 40)
+	srt := b.Sort(agg, 2)
+	top := b.Top(srt, 100)
+	return b.MustBuild(top, tag)
+}
+
+// genQXWideScan: a full-width scan with a trivial filter — stresses the
+// width-dependent (SOUTAVG) cost dimension on its own.
+func genQXWideScan(b *Builder, rng *xrand.Rand, tag string) *plan.Plan {
+	table := []string{"lineitem", "orders", "partsupp", "customer"}[rng.Intn(4)]
+	scan := b.Scan(table, rng.Range(0.6, 1))
+	cols := scan.Out // full width
+	_ = cols
+	f := b.Filter(scan, table, b.RangePred(table, firstSkewedColumn(b, table),
+		b.rankFor(table, firstSkewedColumn(b, table), randFrac(rng, 0.3, 0.9))))
+	cs := b.ComputeScalar(f)
+	agg := b.StreamAggregate(cs, 1, 1, 16)
+	return b.MustBuild(agg, tag)
+}
+
+// firstSkewedColumn returns a filterable skewed column of the table.
+func firstSkewedColumn(b *Builder, table string) string {
+	ts := b.DB.Table(table)
+	for i := range ts.Table.Columns {
+		c := &ts.Table.Columns[i]
+		if c.Skew > 0 {
+			return c.Name
+		}
+	}
+	return ts.Table.Columns[0].Name
+}

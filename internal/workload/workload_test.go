@@ -1,0 +1,306 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/xrand"
+)
+
+func smallCfg(seed uint64, n int) Config {
+	return Config{Seed: seed, N: n, SFs: []float64{1, 2}, Z: 2, Corr: 0.85}
+}
+
+func TestGenTPCHValidPlans(t *testing.T) {
+	qs := GenTPCH(smallCfg(1, 48))
+	if len(qs) != 48 {
+		t.Fatalf("generated %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if err := q.Plan.Validate(); err != nil {
+			t.Fatalf("template %s: %v\n%s", q.Template, err, q.Plan)
+		}
+	}
+}
+
+func TestGenTPCHDeterministic(t *testing.T) {
+	a := GenTPCH(smallCfg(7, 24))
+	b := GenTPCH(smallCfg(7, 24))
+	for i := range a {
+		if a[i].Plan.String() != b[i].Plan.String() {
+			t.Fatalf("query %d differs between runs", i)
+		}
+	}
+	c := GenTPCH(smallCfg(8, 24))
+	same := 0
+	for i := range a {
+		if a[i].Plan.String() == c[i].Plan.String() {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestAllTemplatesCovered(t *testing.T) {
+	qs := GenTPCH(smallCfg(1, len(TPCHTemplates())*2))
+	seen := map[string]int{}
+	for _, q := range qs {
+		seen[q.Template]++
+	}
+	if len(seen) != len(TPCHTemplates()) {
+		t.Fatalf("only %d of %d templates generated", len(seen), len(TPCHTemplates()))
+	}
+}
+
+func TestCardinalitiesPropagate(t *testing.T) {
+	qs := GenTPCH(smallCfg(3, 36))
+	for _, q := range qs {
+		q.Plan.Walk(func(n *plan.Node) {
+			if n.Out.Rows < 0 || math.IsNaN(n.Out.Rows) || math.IsInf(n.Out.Rows, 0) {
+				t.Fatalf("%s: node %s true rows = %v", q.Template, n.Kind, n.Out.Rows)
+			}
+			if n.EstOut.Rows < 0 || math.IsNaN(n.EstOut.Rows) || math.IsInf(n.EstOut.Rows, 0) {
+				t.Fatalf("%s: node %s est rows = %v", q.Template, n.Kind, n.EstOut.Rows)
+			}
+			if n.Out.Width <= 0 {
+				t.Fatalf("%s: node %s width = %v", q.Template, n.Kind, n.Out.Width)
+			}
+		})
+	}
+}
+
+func TestEstIOCostAnnotated(t *testing.T) {
+	qs := GenTPCH(smallCfg(3, 24))
+	for _, q := range qs {
+		q.Plan.Walk(func(n *plan.Node) {
+			if n.Kind.IsLeaf() && n.EstIOCost <= 0 {
+				t.Fatalf("%s: leaf %s(%s) missing ESTIOCOST", q.Template, n.Kind, n.Table)
+			}
+		})
+	}
+}
+
+func TestWithinTemplateVariance(t *testing.T) {
+	// The skewed data + random parameters + mixed scale factors must
+	// produce large variance in resource consumption within one template
+	// (the paper's premise: Z=2 skew ensures "very significant
+	// differences ... even among queries from the same query template").
+	spreadOf := func(cfg Config) map[string]float64 {
+		qs := GenTPCH(cfg)
+		eng := engine.New(nil)
+		byTemplate := map[string][]float64{}
+		for _, q := range qs {
+			r := eng.Run(q.Plan)
+			byTemplate[q.Template] = append(byTemplate[q.Template], r.CPU)
+		}
+		out := map[string]float64{}
+		for tpl, cpus := range byTemplate {
+			lo, hi := cpus[0], cpus[0]
+			for _, c := range cpus {
+				lo = math.Min(lo, c)
+				hi = math.Max(hi, c)
+			}
+			out[tpl] = hi / lo
+		}
+		return out
+	}
+	// Full setting (mixed SFs): most templates spread widely.
+	mixed := spreadOf(Config{Seed: 5, N: 144, SFs: []float64{1, 4, 10}, Z: 2, Corr: 0.85})
+	wide := 0
+	for _, s := range mixed {
+		if s > 3 {
+			wide++
+		}
+	}
+	if wide < len(mixed)*2/3 {
+		t.Fatalf("only %d/%d templates spread >3x across scale factors", wide, len(mixed))
+	}
+	// Fixed SF: parameter skew alone must still drive variance in a few
+	// templates (joins/NL fanouts on skewed keys).
+	fixed := spreadOf(Config{Seed: 5, N: 144, SFs: []float64{2}, Z: 2, Corr: 0.85})
+	param := 0
+	for _, s := range fixed {
+		if s > 2 {
+			param++
+		}
+	}
+	if param < 3 {
+		t.Fatalf("only %d templates show >2x parameter-driven spread at fixed SF", param)
+	}
+}
+
+func TestOptimizerEstimatesDiffer(t *testing.T) {
+	// Over skewed data the estimated cardinalities must deviate from the
+	// truth for a good share of non-leaf operators.
+	qs := GenTPCH(smallCfg(11, 60))
+	var devs, total int
+	for _, q := range qs {
+		q.Plan.Walk(func(n *plan.Node) {
+			if n.Kind.IsLeaf() || n.Out.Rows < 1 {
+				return
+			}
+			total++
+			ratio := n.EstOut.Rows / math.Max(n.Out.Rows, 1)
+			if ratio < 0.67 || ratio > 1.5 {
+				devs++
+			}
+		})
+	}
+	if total == 0 || float64(devs)/float64(total) < 0.2 {
+		t.Fatalf("only %d/%d operators show >1.5x cardinality error; workload too easy", devs, total)
+	}
+}
+
+func TestGenGenericSchemas(t *testing.T) {
+	for _, schema := range []string{"tpcds", "real1", "real2"} {
+		cfg := smallCfg(13, 30)
+		qs := GenGeneric(schema, cfg, 2, 6)
+		if len(qs) != 30 {
+			t.Fatalf("%s: %d queries", schema, len(qs))
+		}
+		joinCounts := 0
+		for _, q := range qs {
+			if err := q.Plan.Validate(); err != nil {
+				t.Fatalf("%s: %v\n%s", schema, err, q.Plan)
+			}
+			for _, n := range q.Plan.Nodes() {
+				if n.Kind.IsJoin() {
+					joinCounts++
+				}
+			}
+		}
+		if joinCounts < 30 {
+			t.Fatalf("%s: only %d joins across 30 queries", schema, joinCounts)
+		}
+	}
+}
+
+func TestReal2DeepJoins(t *testing.T) {
+	cfg := smallCfg(17, 20)
+	qs := GenGeneric("real2", cfg, 8, 11)
+	maxJoins := 0
+	for _, q := range qs {
+		j := 0
+		for _, n := range q.Plan.Nodes() {
+			if n.Kind.IsJoin() {
+				j++
+			}
+		}
+		if j > maxJoins {
+			maxJoins = j
+		}
+	}
+	if maxJoins < 6 {
+		t.Fatalf("real2 deepest query has only %d joins", maxJoins)
+	}
+}
+
+func TestGenStandardSizes(t *testing.T) {
+	w := GenStandard(1, 0.02)
+	if len(w.TPCH) < 40 {
+		t.Fatalf("TPCH size %d", len(w.TPCH))
+	}
+	if len(w.TPCDS) < 2 || len(w.Real1) < 2 || len(w.Real2) < 8 {
+		t.Fatalf("workload sizes: ds=%d r1=%d r2=%d", len(w.TPCDS), len(w.Real1), len(w.Real2))
+	}
+}
+
+func TestSweepsMonotoneResources(t *testing.T) {
+	db := DBFor("tpch", 1, 1)
+	b := NewBuilder(db, 1)
+	eng := engine.New(nil)
+	sizes := GeometricSizes(1e3, 1e6, 8)
+	type sweepCase struct {
+		name   string
+		points []SweepPoint
+	}
+	cases := []sweepCase{
+		{"sort", SweepSort(b, sizes, 64, 2)},
+		{"filter", SweepFilter(b, sizes, 64)},
+		{"scan", SweepScan(b, sizes, 64)},
+		{"nl", SweepNestedLoop(b, sizes, "part")},
+		{"hj", SweepHashJoin(b, sizes, 10_000)},
+	}
+	for _, c := range cases {
+		var prev float64
+		for i, pt := range c.points {
+			eng.Run(pt.Plan)
+			cpu := pt.Node.Actual.CPU
+			if cpu <= 0 {
+				t.Fatalf("%s sweep point %d: zero CPU", c.name, i)
+			}
+			if i > 0 && cpu < prev*0.8 {
+				t.Fatalf("%s sweep not (noisily) monotone at point %d: %v after %v", c.name, i, cpu, prev)
+			}
+			prev = cpu
+		}
+	}
+}
+
+func TestSweepWidthRaisesCPU(t *testing.T) {
+	db := DBFor("tpch", 1, 1)
+	b := NewBuilder(db, 1)
+	eng := engine.New(nil)
+	pts := SweepWidth(b, []float64{16, 64, 256, 1024}, 100_000)
+	var prev float64
+	for i, pt := range pts {
+		eng.Run(pt.Plan)
+		if i > 0 && pt.Node.Actual.CPU <= prev {
+			t.Fatalf("width sweep point %d did not raise CPU", i)
+		}
+		prev = pt.Node.Actual.CPU
+	}
+}
+
+func TestFKFanout(t *testing.T) {
+	db := DBFor("tpch", 2, 1)
+	b := NewBuilder(db, 1)
+	tr0, est0 := b.FKFanout("lineitem", "l_orderkey", 0)
+	if tr0 != est0 {
+		t.Fatalf("unbiased fanout %v != est %v", tr0, est0)
+	}
+	trP, _ := b.FKFanout("lineitem", "l_orderkey", +1)
+	trN, _ := b.FKFanout("lineitem", "l_orderkey", -1)
+	if trP <= est0 {
+		t.Fatalf("popular-key fanout %v should exceed est %v", trP, est0)
+	}
+	if trN >= est0 {
+		t.Fatalf("tail-key fanout %v should be below est %v", trN, est0)
+	}
+}
+
+func TestRandRankBounds(t *testing.T) {
+	rng := xrand.New(3)
+	for i := 0; i < 2000; i++ {
+		r := randRank(rng, 100)
+		if r < 1 || r > 100 {
+			t.Fatalf("randRank out of bounds: %d", r)
+		}
+	}
+	if randRank(rng, 1) != 1 {
+		t.Fatal("randRank(1) != 1")
+	}
+}
+
+func TestGeometricSizes(t *testing.T) {
+	s := GeometricSizes(10, 1000, 3)
+	if len(s) != 3 || math.Abs(s[0]-10) > 1e-9 || math.Abs(s[1]-100) > 1e-6 || math.Abs(s[2]-1000) > 1e-6 {
+		t.Fatalf("GeometricSizes = %v", s)
+	}
+}
+
+func TestDBForCaching(t *testing.T) {
+	a := DBFor("tpch", 2, 1)
+	b := DBFor("tpch", 2, 1)
+	if a != b {
+		t.Fatal("DBFor did not cache")
+	}
+	c := DBFor("tpch", 2, 2)
+	if a == c {
+		t.Fatal("different SF returned same DB")
+	}
+}

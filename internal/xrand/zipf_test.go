@@ -1,0 +1,129 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfSmallTableFrequencies(t *testing.T) {
+	z := NewZipf(10, 1)
+	// Freq must sum to 1.
+	var sum float64
+	for k := int64(1); k <= 10; k++ {
+		sum += z.Freq(k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("frequencies sum to %v", sum)
+	}
+	// P(1) = 2*P(2) for s=1.
+	if math.Abs(z.Freq(1)/z.Freq(2)-2) > 1e-9 {
+		t.Fatalf("Freq(1)/Freq(2) = %v, want 2", z.Freq(1)/z.Freq(2))
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(100, 0)
+	for k := int64(1); k <= 100; k++ {
+		if math.Abs(z.Freq(k)-0.01) > 1e-9 {
+			t.Fatalf("Freq(%d) = %v, want 0.01", k, z.Freq(k))
+		}
+	}
+}
+
+func TestZipfRankBoundsSmall(t *testing.T) {
+	r := New(41)
+	z := NewZipf(50, 1.5)
+	for i := 0; i < 10000; i++ {
+		k := z.Rank(r)
+		if k < 1 || k > 50 {
+			t.Fatalf("rank %d out of [1,50]", k)
+		}
+	}
+}
+
+func TestZipfRankBoundsLarge(t *testing.T) {
+	r := New(43)
+	z := NewZipf(1_000_000, 1.2)
+	for i := 0; i < 10000; i++ {
+		k := z.Rank(r)
+		if k < 1 || k > 1_000_000 {
+			t.Fatalf("rank %d out of range", k)
+		}
+	}
+}
+
+func TestZipfSampleSkew(t *testing.T) {
+	r := New(47)
+	z := NewZipf(1000, 2)
+	counts := map[int64]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[z.Rank(r)]++
+	}
+	// With s=2 the top rank should hold ~ 1/zeta(2)≈0.6 of the mass.
+	frac := float64(counts[1]) / n
+	if frac < 0.5 || frac > 0.7 {
+		t.Fatalf("rank-1 frequency %v, want ~0.6 for s=2", frac)
+	}
+	// Monotonicity of the head.
+	if counts[1] < counts[2] || counts[2] < counts[4] {
+		t.Fatalf("head counts not decreasing: %d %d %d", counts[1], counts[2], counts[4])
+	}
+}
+
+func TestZipfTopFreq(t *testing.T) {
+	z := NewZipf(100, 1)
+	if got := z.TopFreq(100); got != 1 {
+		t.Fatalf("TopFreq(n) = %v, want 1", got)
+	}
+	if got := z.TopFreq(200); got != 1 {
+		t.Fatalf("TopFreq(>n) = %v, want 1", got)
+	}
+	if z.TopFreq(10) <= z.TopFreq(5) {
+		t.Fatal("TopFreq not increasing")
+	}
+	if z.TopFreq(0) != 0 {
+		t.Fatalf("TopFreq(0) = %v", z.TopFreq(0))
+	}
+}
+
+func TestZipfLargeSkewOne(t *testing.T) {
+	// The s=1 branch of h/hInv is special-cased; exercise it at large n.
+	r := New(53)
+	z := NewZipf(100000, 1)
+	var max int64
+	for i := 0; i < 5000; i++ {
+		k := z.Rank(r)
+		if k > max {
+			max = k
+		}
+	}
+	if max <= 100 {
+		t.Fatalf("large-n Zipf(1) never sampled the tail (max rank %d)", max)
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0, 1) did not panic")
+		}
+	}()
+	NewZipf(0, 1)
+}
+
+func TestZipfFreqProperty(t *testing.T) {
+	z := NewZipf(500, 1.1)
+	f := func(k int64) bool {
+		k = k % 600
+		got := z.Freq(k)
+		if k < 1 || k > 500 {
+			return got == 0
+		}
+		return got > 0 && got <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

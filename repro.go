@@ -1,0 +1,228 @@
+// Package repro is the public API of this reproduction of
+//
+//	Li, König, Narasayya, Chaudhuri:
+//	"Robust Estimation of Resource Consumption for SQL Queries using
+//	Statistical Techniques", PVLDB 5(11), 2012.
+//
+// It exposes the paper's estimation framework end to end:
+//
+//   - generating the evaluation workloads over synthetic skewed data,
+//   - executing them on the query-engine simulator to obtain
+//     per-operator CPU/I/O measurements,
+//   - training the SCALING estimator (MART + scaling functions, §6) and
+//     the baselines, and
+//   - estimating resources for new plans at query, pipeline and
+//     operator granularity.
+//
+// The heavy lifting lives in the internal packages; this package wires
+// them together behind a small, stable surface. See the examples/
+// directory for runnable end-to-end usage.
+package repro
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/features"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// Re-exported plan types: users build or inspect physical plans through
+// these.
+type (
+	// Plan is a physical query plan.
+	Plan = plan.Plan
+	// Node is one physical operator.
+	Node = plan.Node
+	// Resources is a (CPU ms, logical I/O) pair.
+	Resources = plan.Resources
+	// Pipeline is a maximal set of concurrently executing operators.
+	Pipeline = plan.Pipeline
+	// Query is a generated workload entry.
+	Query = workload.Query
+)
+
+// Resource selects the predicted resource type.
+type Resource = plan.ResourceKind
+
+// The two resource types the paper models.
+const (
+	CPUTime   = plan.CPUTime
+	LogicalIO = plan.LogicalIO
+)
+
+// WorkloadOptions controls synthetic workload generation.
+type WorkloadOptions struct {
+	// Schema is one of "tpch", "tpcds", "real1", "real2".
+	Schema string
+	// N is the number of queries.
+	N int
+	// ScaleFactors are drawn uniformly per query (default {1..10}).
+	ScaleFactors []float64
+	// Skew is the Zipf exponent of the data (default 2, the paper's
+	// high-skew setting).
+	Skew float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// GenerateWorkload builds a query workload over the requested schema.
+// The plans carry true and optimizer-estimated cardinalities but no
+// measurements; run them with Execute.
+func GenerateWorkload(opts WorkloadOptions) ([]*Query, error) {
+	if opts.N <= 0 {
+		return nil, fmt.Errorf("repro: workload size %d", opts.N)
+	}
+	cfg := workload.DefaultConfig()
+	cfg.N = opts.N
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	if opts.Skew > 0 {
+		cfg.Z = opts.Skew
+	}
+	if len(opts.ScaleFactors) > 0 {
+		cfg.SFs = opts.ScaleFactors
+	}
+	switch opts.Schema {
+	case "", "tpch":
+		return workload.GenTPCH(cfg), nil
+	case "tpcds":
+		return workload.GenGeneric("tpcds", cfg, 2, 5), nil
+	case "real1":
+		return workload.GenGeneric("real1", cfg, 4, 7), nil
+	case "real2":
+		return workload.GenGeneric("real2", cfg, 8, 11), nil
+	}
+	return nil, fmt.Errorf("repro: unknown schema %q", opts.Schema)
+}
+
+// Execute runs the queries on the engine simulator, filling in actual
+// per-operator resource usage, and returns the per-query totals.
+func Execute(queries []*Query) []Resources {
+	eng := engine.New(nil)
+	out := make([]Resources, len(queries))
+	for i, q := range queries {
+		out[i] = eng.Run(q.Plan)
+	}
+	return out
+}
+
+// TrainOptions controls estimator training.
+type TrainOptions struct {
+	// Resource to predict (CPUTime or LogicalIO).
+	Resource Resource
+	// UseEstimatedFeatures trains on optimizer-estimated cardinalities
+	// instead of exact ones (§7.1.2 mode).
+	UseEstimatedFeatures bool
+	// BoostingIterations for the MART models (default 1000, the paper's
+	// setting; accuracy saturates much earlier on simulated data).
+	BoostingIterations int
+	// DisableScaling reduces the estimator to the plain MART baseline.
+	DisableScaling bool
+	// SkipScaleSelection skips the §6.2 sweep experiments and uses
+	// linear scaling everywhere (faster training, slightly less accurate
+	// extrapolation for sorts and nested loops).
+	SkipScaleSelection bool
+}
+
+// Estimator predicts the resource consumption of query plans.
+type Estimator struct {
+	inner *core.Estimator
+}
+
+// Train fits an estimator on executed training queries (run them with
+// Execute first).
+func Train(queries []*Query, opts TrainOptions) (*Estimator, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("repro: no training queries")
+	}
+	plans := make([]*plan.Plan, len(queries))
+	for i, q := range queries {
+		if q.Plan.TotalActual().CPU == 0 && q.Plan.TotalActual().IO == 0 {
+			return nil, fmt.Errorf("repro: query %d not executed; call Execute first", i)
+		}
+		plans[i] = q.Plan
+	}
+	cfg := core.DefaultConfig()
+	if opts.BoostingIterations > 0 {
+		cfg.Mart.Iterations = opts.BoostingIterations
+	}
+	if opts.UseEstimatedFeatures {
+		cfg.Mode = features.Estimated
+	}
+	cfg.DisableScaling = opts.DisableScaling
+	table := core.NewScaleTable()
+	if !opts.SkipScaleSelection && !opts.DisableScaling {
+		eng := engine.New(nil)
+		b := workload.NewBuilder(workload.DBFor("tpch", 2, 1), 1)
+		table = core.SelectScaleFunctions(eng, b)
+		table.MirrorScanKinds()
+	}
+	inner, err := core.Train(plans, opts.Resource, table, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{inner: inner}, nil
+}
+
+// Resource returns the resource type the estimator predicts.
+func (e *Estimator) Resource() Resource { return e.inner.Resource }
+
+// EstimatePlan predicts the plan's total resource usage.
+func (e *Estimator) EstimatePlan(p *Plan) float64 { return e.inner.PredictPlan(p) }
+
+// EstimateQuery predicts a workload query's total resource usage.
+func (e *Estimator) EstimateQuery(q *Query) float64 { return e.inner.PredictPlan(q.Plan) }
+
+// EstimateOperator predicts a single operator's resource usage. parent
+// may be nil for the root.
+func (e *Estimator) EstimateOperator(n *Node, parent *Node) float64 {
+	return e.inner.PredictNode(n, parent)
+}
+
+// EstimatePipelines predicts per-pipeline usage, parallel to
+// p.Pipelines() — the granularity relevant for scheduling (§5.2).
+func (e *Estimator) EstimatePipelines(p *Plan) []float64 {
+	return e.inner.PredictPipelines(p)
+}
+
+// Save writes the trained model set to w. The format embeds the compact
+// per-tree binary encoding of §7.3.
+func (e *Estimator) Save(w io.Writer) error { return e.inner.Save(w) }
+
+// SaveFile writes the model set to a file.
+func (e *Estimator) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := e.inner.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a model set written by Save.
+func Load(r io.Reader) (*Estimator, error) {
+	inner, err := core.LoadEstimator(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{inner: inner}, nil
+}
+
+// LoadFile reads a model set from a file.
+func LoadFile(path string) (*Estimator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
