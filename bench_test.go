@@ -11,6 +11,7 @@ package repro
 // shared across benchmarks through a lazily built runner.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/mart"
 	"repro/internal/plan"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -189,6 +191,48 @@ func BenchmarkPredictionCost(b *testing.B) {
 		sink += c.om.PredictVector(&c.v)
 	}
 	_ = sink
+}
+
+// BenchmarkServing measures the serving request path end to end
+// (validation, routing, feature extraction, prediction, aggregation)
+// on a repeated plan stream — the production pattern the prediction
+// cache exploits. The cached variant should show a clear speedup over
+// uncached once the stream wraps around.
+func BenchmarkServing(b *testing.B) {
+	r := benchSetup(b)
+	train, test := r.SplitTPCH()
+	cfg := core.DefaultConfig()
+	cfg.Mart.Iterations = 200
+	est, err := core.Train(train, plan.CPUTime, r.ScaleTable, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name    string
+		entries int
+	}{
+		{"uncached", -1},
+		{"cached", 1 << 16},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			svc := serve.New(serve.Options{CacheEntries: tc.entries})
+			defer svc.Close()
+			svc.Registry().Publish("tpch", est)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := test[i%len(test)]
+				if _, err := svc.Estimate(ctx, serve.Request{Schema: "tpch", Plan: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := svc.Metrics().Cache
+			if tot := st.Hits + st.Misses; tot > 0 {
+				b.ReportMetric(float64(st.Hits)/float64(tot)*100, "cache-hit-%")
+			}
+		})
+	}
 }
 
 // BenchmarkModelSize reports the encoded size of the full model set.

@@ -1,0 +1,178 @@
+// Command resserve serves resource estimates over HTTP: the paper's
+// stated use case (admission control, scheduling, costing in a live
+// DBMS) on top of the trained SCALING estimators.
+//
+// Models come from restrain-produced files, published per workload
+// schema and hot-swappable at runtime through POST /models — or
+// trained in-process at startup with -bootstrap (handy for a demo
+// without model files):
+//
+//	resserve -bootstrap tpch                  # train & serve tpch cpu+io
+//	resserve -model tpch=cpu-model.json       # serve a trained model
+//	resserve -model cpu.json -model io.json   # wildcard-schema models
+//	resserve -bootstrap tpch -model-dir ./models   # allow runtime swaps
+//
+// Endpoints:
+//
+//	POST /estimate  {"schema","resource","timeout_ms","plan"} → estimates
+//	GET  /models    published model versions
+//	POST /models    {"schema","path"} → hot-swap a model file in; path is
+//	                resolved under -model-dir (endpoint disabled without it)
+//	GET  /metrics   request/cache counters
+//	GET  /healthz   readiness
+//
+// Estimate a plan produced by the workload generator:
+//
+//	curl -s localhost:8080/estimate -d @request.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+// modelFlags collects repeated -model schema=path arguments.
+type modelFlags []string
+
+func (m *modelFlags) String() string { return strings.Join(*m, ",") }
+
+func (m *modelFlags) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var models modelFlags
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		bootstrap = flag.String("bootstrap", "", "comma-separated schemas to train quick models for at startup (e.g. tpch)")
+		bootN     = flag.Int("bootstrap-n", 128, "bootstrap training workload size")
+		bootIters = flag.Int("bootstrap-iters", 100, "bootstrap MART iterations")
+		cacheSize = flag.Int("cache", 65536, "prediction cache entries (negative disables)")
+		workers   = flag.Int("workers", 0, "estimation workers (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 2*time.Second, "default per-request deadline")
+		modelDir  = flag.String("model-dir", "", "directory POST /models may load model files from (empty disables the endpoint)")
+	)
+	flag.Var(&models, "model", "model to serve, as schema=path or path (wildcard schema); repeatable")
+	flag.Parse()
+
+	if len(models) == 0 && *bootstrap == "" {
+		fmt.Fprintln(os.Stderr, "resserve: no -model given; defaulting to -bootstrap tpch")
+		*bootstrap = "tpch"
+	}
+
+	svc := repro.NewService(repro.ServeOptions{
+		CacheEntries:   *cacheSize,
+		Workers:        *workers,
+		DefaultTimeout: *timeout,
+		ModelDir:       *modelDir,
+	})
+	defer svc.Close()
+
+	for _, spec := range models {
+		schema, path := "", spec
+		if i := strings.IndexByte(spec, '='); i >= 0 {
+			schema, path = spec[:i], spec[i+1:]
+		}
+		info, err := repro.PublishModelFile(svc, schema, path)
+		if err != nil {
+			fatal(err)
+		}
+		logModel("loaded", info, path)
+	}
+
+	for _, schema := range splitList(*bootstrap) {
+		if err := bootstrapSchema(svc, schema, *bootN, *bootIters); err != nil {
+			fatal(err)
+		}
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "resserve: listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+	// Shutdown makes ListenAndServe return before active handlers have
+	// drained; wait for the shutdown goroutine so in-flight requests get
+	// their responses.
+	<-drained
+}
+
+// bootstrapSchema trains quick CPU and I/O estimators for a schema and
+// publishes them — a self-contained serving setup with no model files.
+func bootstrapSchema(svc *repro.Service, schema string, n, iters int) error {
+	fmt.Fprintf(os.Stderr, "resserve: bootstrapping %s models (%d queries, %d iterations)...\n",
+		schema, n, iters)
+	qs, err := repro.GenerateWorkload(repro.WorkloadOptions{Schema: schema, N: n, Seed: 1})
+	if err != nil {
+		return err
+	}
+	repro.Execute(qs)
+	for _, res := range []repro.Resource{repro.CPUTime, repro.LogicalIO} {
+		est, err := repro.Train(qs, repro.TrainOptions{
+			Resource:           res,
+			BoostingIterations: iters,
+			SkipScaleSelection: true,
+		})
+		if err != nil {
+			return err
+		}
+		logModel("trained", repro.Publish(svc, schema, est), "")
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func logModel(verb string, info repro.ModelInfo, path string) {
+	schema := info.Schema
+	if schema == "" {
+		schema = "*"
+	}
+	suffix := ""
+	if path != "" {
+		suffix = " from " + path
+	}
+	fmt.Fprintf(os.Stderr, "resserve: %s %s/%s model v%d (%d candidates)%s\n",
+		verb, schema, info.Resource, info.Version, info.NumModels, suffix)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "resserve:", err)
+	os.Exit(1)
+}

@@ -22,6 +22,10 @@ type Sample struct {
 // to predict resource-per-unit-of-g(F̂), multiplied back by the scaling
 // function at prediction time. An empty Scales slice makes it a plain
 // (default-style) MART model — both cases share the out_ratio machinery.
+//
+// A CombinedModel is immutable after TrainCombined/decode: PredictVector,
+// OutRatio and the selection helpers only read fields (transform
+// allocates its output per call), so concurrent prediction is safe.
 type CombinedModel struct {
 	Op       plan.OpKind
 	Resource plan.ResourceKind

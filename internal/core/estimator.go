@@ -32,6 +32,15 @@ func DefaultConfig() Config {
 
 // Estimator is the full SCALING resource estimator: one OperatorModels
 // per physical operator type for a single resource.
+//
+// Concurrency: an Estimator is immutable once returned by Train or
+// LoadEstimator, and every prediction method (PredictNode, PredictPlan,
+// PredictPipelines, PredictVector) only reads model state — feature
+// transformation allocates per call, model selection and the MART tree
+// walks are pure. Estimators are therefore safe for unlimited concurrent
+// use, which internal/serve relies on for lock-free serving; keep any
+// future mutation out of the predict path (retraining must build a new
+// Estimator and swap it in atomically).
 type Estimator struct {
 	Resource plan.ResourceKind
 	Mode     features.Mode
@@ -113,6 +122,18 @@ func (e *Estimator) PredictNode(n *plan.Node, parent *plan.Node) float64 {
 		return e.fallbackMean
 	}
 	return om.PredictVector(&v)
+}
+
+// PredictVector estimates one operator's resource usage from an
+// already-extracted feature vector. This is the entry point used by the
+// serving layer, which extracts vectors once and memoizes per-vector
+// predictions.
+func (e *Estimator) PredictVector(kind plan.OpKind, v *features.Vector) float64 {
+	om, ok := e.Ops[kind]
+	if !ok {
+		return e.fallbackMean
+	}
+	return om.PredictVector(v)
 }
 
 // PredictPlan estimates the plan-level resource usage: the sum of the

@@ -111,7 +111,9 @@ func dependent(a, b features.ID) bool {
 }
 
 // OperatorModels holds every trained candidate for one operator and
-// resource, plus the selected default.
+// resource, plus the selected default. Like CombinedModel, it is
+// immutable after training: Select and PredictVector are read-only and
+// safe for concurrent use.
 type OperatorModels struct {
 	Op         plan.OpKind
 	Resource   plan.ResourceKind

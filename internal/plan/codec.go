@@ -1,0 +1,196 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The wire codec is the JSON encoding external clients use to submit
+// physical plans to the estimation service (cmd/resserve) instead of
+// constructing Go structs. The format is stable and versioned; encoding
+// is deterministic (fixed field order, zero-valued fields omitted), so
+// encode → decode → encode is byte-identical.
+//
+// Node IDs are not part of the wire format: plans are encoded in tree
+// form and re-numbered in preorder on decode, exactly as New does.
+
+// WireVersion is the current plan wire-format version.
+const WireVersion = 1
+
+type wirePlan struct {
+	Version int       `json:"version"`
+	Tag     string    `json:"tag,omitempty"`
+	Root    *wireNode `json:"root"`
+}
+
+type wireNode struct {
+	Kind string `json:"kind"`
+
+	// Base-table metadata (leaves).
+	Table      string  `json:"table,omitempty"`
+	TableRows  float64 `json:"table_rows,omitempty"`
+	TablePages float64 `json:"table_pages,omitempty"`
+	TableCols  float64 `json:"table_cols,omitempty"`
+	IndexDepth float64 `json:"index_depth,omitempty"`
+	EstIOCost  float64 `json:"est_io_cost,omitempty"`
+
+	// True and optimizer-estimated output cardinalities.
+	OutRows     float64 `json:"out_rows,omitempty"`
+	OutWidth    float64 `json:"out_width,omitempty"`
+	EstOutRows  float64 `json:"est_out_rows,omitempty"`
+	EstOutWidth float64 `json:"est_out_width,omitempty"`
+
+	// Operator parameters.
+	SortCols      int     `json:"sort_cols,omitempty"`
+	HashCols      int     `json:"hash_cols,omitempty"`
+	InnerCols     int     `json:"inner_cols,omitempty"`
+	OuterCols     int     `json:"outer_cols,omitempty"`
+	HashOpAvg     float64 `json:"hash_op_avg,omitempty"`
+	Selectivity   float64 `json:"selectivity,omitempty"`
+	Executions    float64 `json:"executions,omitempty"`
+	EstExecutions float64 `json:"est_executions,omitempty"`
+
+	// Measured resources, present only on executed plans (e.g. plans
+	// shipped back for retraining).
+	ActualCPU float64 `json:"actual_cpu,omitempty"`
+	ActualIO  float64 `json:"actual_io,omitempty"`
+
+	Children []*wireNode `json:"children,omitempty"`
+}
+
+// kindNames maps wire names back to operator kinds.
+var kindNames = func() map[string]OpKind {
+	m := make(map[string]OpKind, numKinds)
+	for _, k := range Kinds() {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// ParseOpKind resolves an operator name as produced by OpKind.String.
+func ParseOpKind(s string) (OpKind, error) {
+	k, ok := kindNames[s]
+	if !ok {
+		return 0, fmt.Errorf("plan: unknown operator kind %q", s)
+	}
+	return k, nil
+}
+
+func toWire(n *Node) *wireNode {
+	w := &wireNode{
+		Kind:          n.Kind.String(),
+		Table:         n.Table,
+		TableRows:     n.TableRows,
+		TablePages:    n.TablePages,
+		TableCols:     n.TableCols,
+		IndexDepth:    n.IndexDepth,
+		EstIOCost:     n.EstIOCost,
+		OutRows:       n.Out.Rows,
+		OutWidth:      n.Out.Width,
+		EstOutRows:    n.EstOut.Rows,
+		EstOutWidth:   n.EstOut.Width,
+		SortCols:      n.SortCols,
+		HashCols:      n.HashCols,
+		InnerCols:     n.InnerCols,
+		OuterCols:     n.OuterCols,
+		HashOpAvg:     n.HashOpAvg,
+		Selectivity:   n.Selectivity,
+		Executions:    n.Executions,
+		EstExecutions: n.EstExecutions,
+		ActualCPU:     n.Actual.CPU,
+		ActualIO:      n.Actual.IO,
+	}
+	for _, c := range n.Children {
+		w.Children = append(w.Children, toWire(c))
+	}
+	return w
+}
+
+func fromWire(w *wireNode) (*Node, error) {
+	kind, err := ParseOpKind(w.Kind)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		Kind:          kind,
+		Table:         w.Table,
+		TableRows:     w.TableRows,
+		TablePages:    w.TablePages,
+		TableCols:     w.TableCols,
+		IndexDepth:    w.IndexDepth,
+		EstIOCost:     w.EstIOCost,
+		Out:           Cardinality{Rows: w.OutRows, Width: w.OutWidth},
+		EstOut:        Cardinality{Rows: w.EstOutRows, Width: w.EstOutWidth},
+		SortCols:      w.SortCols,
+		HashCols:      w.HashCols,
+		InnerCols:     w.InnerCols,
+		OuterCols:     w.OuterCols,
+		HashOpAvg:     w.HashOpAvg,
+		Selectivity:   w.Selectivity,
+		Executions:    w.Executions,
+		EstExecutions: w.EstExecutions,
+		Actual:        Resources{CPU: w.ActualCPU, IO: w.ActualIO},
+	}
+	for _, cw := range w.Children {
+		c, err := fromWire(cw)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, c)
+	}
+	return n, nil
+}
+
+// EncodeJSON renders the plan in the wire format.
+func EncodeJSON(p *Plan) ([]byte, error) {
+	if p == nil || p.Root == nil {
+		return nil, fmt.Errorf("plan: encode nil plan")
+	}
+	return json.Marshal(&wirePlan{Version: WireVersion, Tag: p.Tag, Root: toWire(p.Root)})
+}
+
+// WriteJSON writes the wire encoding followed by a newline.
+func WriteJSON(w io.Writer, p *Plan) error {
+	data, err := EncodeJSON(p)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// DecodeJSON parses a wire-format plan, re-numbers its nodes in preorder
+// and validates the structural invariants (child counts, leaf table
+// stats, non-negative cardinalities).
+func DecodeJSON(data []byte) (*Plan, error) {
+	var wp wirePlan
+	if err := json.Unmarshal(data, &wp); err != nil {
+		return nil, fmt.Errorf("plan: decode: %w", err)
+	}
+	if wp.Version != WireVersion {
+		return nil, fmt.Errorf("plan: decode: unsupported wire version %d", wp.Version)
+	}
+	if wp.Root == nil {
+		return nil, fmt.Errorf("plan: decode: missing root")
+	}
+	root, err := fromWire(wp.Root)
+	if err != nil {
+		return nil, fmt.Errorf("plan: decode: %w", err)
+	}
+	p := New(root, wp.Tag)
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: decode: %w", err)
+	}
+	return p, nil
+}
+
+// ReadJSON decodes one wire-format plan from r (whole stream).
+func ReadJSON(r io.Reader) (*Plan, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("plan: read: %w", err)
+	}
+	return DecodeJSON(data)
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/features"
+	"repro/internal/plan"
+)
+
+// The prediction cache memoizes per-operator predictions across
+// requests. Production plan streams repeat operator shapes heavily
+// (the same scans, the same join templates at the same cardinalities),
+// and a prediction is a pure function of (model version, operator kind,
+// feature vector) — the model-selection step included — so a cached
+// value is exactly the value a fresh prediction would produce. Keying
+// by model version makes hot-swaps self-invalidating: a new version
+// simply stops matching the old entries, which age out of the LRU.
+
+// cacheKey identifies one memoized prediction. features.Vector is a
+// fixed-size float array, so the whole key is comparable and can be a
+// map key directly; equality is exact (bit-for-bit feature match).
+type cacheKey struct {
+	version uint64
+	op      plan.OpKind
+	vec     features.Vector
+}
+
+// hash is FNV-1a over the key's words, used only to pick a shard.
+func (k *cacheKey) hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(k.version)
+	mix(uint64(k.op))
+	for _, f := range k.vec {
+		mix(math.Float64bits(f))
+	}
+	return h
+}
+
+const cacheShards = 32
+
+type cacheEntry struct {
+	key cacheKey
+	val float64
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	m   map[cacheKey]*list.Element
+	lru list.List // front = most recently used
+	cap int
+}
+
+// Cache is a sharded LRU of operator predictions with hit/miss
+// counters. Shards bound lock contention under concurrent serving; the
+// per-shard LRU bounds memory.
+type Cache struct {
+	shards [cacheShards]cacheShard
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+}
+
+// NewCache builds a cache bounded to roughly capacity entries in total.
+// Returns nil (a disabled cache) when capacity <= 0; a nil *Cache is
+// valid to call and never hits.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	per := capacity / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[cacheKey]*list.Element)
+		c.shards[i].cap = per
+	}
+	return c
+}
+
+func (c *Cache) shard(k *cacheKey) *cacheShard {
+	return &c.shards[k.hash()%cacheShards]
+}
+
+// Get returns the memoized prediction for k, updating recency and the
+// hit/miss counters.
+func (c *Cache) Get(k cacheKey) (float64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	s := c.shard(&k)
+	s.mu.Lock()
+	el, ok := s.m[k]
+	var v float64
+	if ok {
+		s.lru.MoveToFront(el)
+		v = el.Value.(*cacheEntry).val
+	}
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		return v, true
+	}
+	c.misses.Add(1)
+	return 0, false
+}
+
+// Put memoizes a prediction, evicting the least recently used entry of
+// the shard when it is full.
+func (c *Cache) Put(k cacheKey, v float64) {
+	if c == nil {
+		return
+	}
+	s := c.shard(&k)
+	s.mu.Lock()
+	if el, ok := s.m[k]; ok {
+		el.Value.(*cacheEntry).val = v
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	s.m[k] = s.lru.PushFront(&cacheEntry{key: k, val: v})
+	if s.lru.Len() > s.cap {
+		old := s.lru.Back()
+		s.lru.Remove(old)
+		delete(s.m, old.Value.(*cacheEntry).key)
+	}
+	s.mu.Unlock()
+}
+
+// Stats snapshots the counters and current occupancy.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	st := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += s.lru.Len()
+		s.mu.Unlock()
+		st.Capacity += s.cap
+	}
+	return st
+}

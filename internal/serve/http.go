@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"time"
+
+	"repro/internal/plan"
+)
+
+// HTTP wire types for the /estimate endpoint. The plan payload is the
+// plan package's wire codec, embedded verbatim.
+
+type estimateRequestJSON struct {
+	// Schema routes to a published model; empty uses the wildcard.
+	Schema string `json:"schema,omitempty"`
+	// Resource is "cpu" (default) or "io".
+	Resource string `json:"resource,omitempty"`
+	// TimeoutMS overrides the service's default deadline when > 0.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Plan is the wire-encoded physical plan (plan.EncodeJSON).
+	Plan json.RawMessage `json:"plan"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// ParseResource maps the wire resource names to plan.ResourceKind.
+func ParseResource(s string) (plan.ResourceKind, error) {
+	switch s {
+	case "", "cpu", "CPU":
+		return plan.CPUTime, nil
+	case "io", "IO":
+		return plan.LogicalIO, nil
+	}
+	return 0, fmt.Errorf("serve: unknown resource %q (want cpu or io)", s)
+}
+
+type publishRequestJSON struct {
+	// Schema to publish under ("" = wildcard fallback).
+	Schema string `json:"schema,omitempty"`
+	// Path of a model file saved by core (*Estimator).Save, relative
+	// to the service's configured ModelDir.
+	Path string `json:"path"`
+}
+
+// Request body bounds: a plan tree is small (operators, not data), and
+// the publish body is just a schema and a path.
+const (
+	maxEstimateBody = 8 << 20
+	maxPublishBody  = 4 << 10
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /estimate  {schema, resource, timeout_ms, plan} → Response
+//	GET  /models    → []ModelInfo
+//	POST /models    {schema, path} → ModelInfo (hot-swaps the model)
+//	GET  /metrics   → Metrics
+//	GET  /healthz   → 200 once at least one model is published
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /estimate", s.handleEstimate)
+	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.reg.Models())
+	})
+	mux.HandleFunc("POST /models", s.handlePublish)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if len(s.reg.Models()) == 0 {
+			writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "no models published"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req estimateRequestJSON
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEstimateBody)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+		return
+	}
+	resource, err := ParseResource(req.Resource)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	if len(req.Plan) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "missing plan"})
+		return
+	}
+	p, err := plan.DecodeJSON(req.Plan)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	resp, err := s.Estimate(r.Context(), Request{
+		Schema:   req.Schema,
+		Resource: resource,
+		Plan:     p,
+		Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
+	if err != nil {
+		writeJSON(w, statusFor(err), errorJSON{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePublish rolls out a new model version from a file under the
+// configured ModelDir without downtime: in-flight requests finish on
+// the version they routed to, subsequent ones see the new model. The
+// endpoint is disabled when no ModelDir is configured, and requested
+// paths may not escape it.
+func (s *Service) handlePublish(w http.ResponseWriter, r *http.Request) {
+	if s.opts.ModelDir == "" {
+		writeJSON(w, http.StatusForbidden,
+			errorJSON{Error: "model publishing disabled (no model directory configured)"})
+		return
+	}
+	var req publishRequestJSON
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPublishBody)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if req.Path == "" {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "missing path"})
+		return
+	}
+	if !filepath.IsLocal(req.Path) {
+		writeJSON(w, http.StatusBadRequest,
+			errorJSON{Error: "path must be relative to the model directory"})
+		return
+	}
+	info, err := s.reg.PublishFile(req.Schema, filepath.Join(s.opts.ModelDir, req.Path))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrNoModel):
+		return http.StatusNotFound
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,157 @@
+// Package serve is the concurrent resource-estimation service: a model
+// registry with atomic hot-swap, a sharded LRU prediction cache, and a
+// worker-pool request path exposed over HTTP by cmd/resserve.
+//
+// It operationalizes the paper's stated use cases — admission control,
+// scheduling and costing inside a live DBMS — on top of the offline
+// training pipeline: estimators trained by core.Train (or loaded via
+// core.LoadEstimator) are published into a Registry and served to
+// concurrent clients at query, pipeline and operator granularity.
+package serve
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/plan"
+)
+
+// ModelKey routes requests to a model: the workload schema the model was
+// trained on plus the resource it predicts.
+type ModelKey struct {
+	Schema   string
+	Resource plan.ResourceKind
+}
+
+// ModelInfo describes a published model version.
+type ModelInfo struct {
+	Schema    string    `json:"schema"`
+	Resource  string    `json:"resource"`
+	Mode      string    `json:"mode"`
+	Version   uint64    `json:"version"`
+	NumModels int       `json:"num_models"`
+	LoadedAt  time.Time `json:"loaded_at"`
+}
+
+// Model pairs an immutable estimator with its registry metadata.
+type Model struct {
+	Info ModelInfo
+	Est  *core.Estimator
+}
+
+// Registry holds the live model set with per-schema routing and atomic
+// hot-swap: Publish installs a new version of a (schema, resource) slot
+// with a single pointer store, so in-flight requests keep the version
+// they looked up and new requests see the new one — no locks on the
+// read path beyond the slot map's RLock, no downtime.
+type Registry struct {
+	mu      sync.RWMutex
+	slots   map[ModelKey]*atomic.Pointer[Model]
+	version atomic.Uint64 // global, monotonically increasing
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{slots: make(map[ModelKey]*atomic.Pointer[Model])}
+}
+
+func modeName(m features.Mode) string {
+	if m == features.Estimated {
+		return "estimated"
+	}
+	return "exact"
+}
+
+// Publish installs est as the current model for (schema, est.Resource),
+// replacing any previous version atomically, and returns the new
+// version's metadata. Publishing under schema "" installs the fallback
+// model used when a request's schema has no dedicated entry.
+func (r *Registry) Publish(schema string, est *core.Estimator) ModelInfo {
+	info := ModelInfo{
+		Schema:    schema,
+		Resource:  est.Resource.String(),
+		Mode:      modeName(est.Mode),
+		Version:   r.version.Add(1),
+		NumModels: est.NumModels(),
+		LoadedAt:  time.Now().UTC(),
+	}
+	m := &Model{Info: info, Est: est}
+	key := ModelKey{Schema: schema, Resource: est.Resource}
+
+	r.mu.RLock()
+	slot, ok := r.slots[key]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		if slot, ok = r.slots[key]; !ok {
+			slot = new(atomic.Pointer[Model])
+			r.slots[key] = slot
+		}
+		r.mu.Unlock()
+	}
+	// CAS loop so concurrent publishes to the same slot settle on the
+	// highest version: a plain Store could let a lower-versioned racer
+	// overwrite a higher one after both allocated their versions.
+	for {
+		old := slot.Load()
+		if old != nil && old.Info.Version > info.Version {
+			// A newer version won the race; ours is already superseded.
+			return info
+		}
+		if slot.CompareAndSwap(old, m) {
+			return info
+		}
+	}
+}
+
+// PublishFile loads an estimator saved by core (*Estimator).Save and
+// publishes it under schema.
+func (r *Registry) PublishFile(schema, path string) (ModelInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	defer f.Close()
+	est, err := core.LoadEstimator(f)
+	if err != nil {
+		return ModelInfo{}, fmt.Errorf("serve: load %s: %w", path, err)
+	}
+	return r.Publish(schema, est), nil
+}
+
+// Lookup returns the current model for (schema, resource), falling back
+// to the "" wildcard schema when no dedicated model exists.
+func (r *Registry) Lookup(schema string, resource plan.ResourceKind) (*Model, bool) {
+	r.mu.RLock()
+	slot, ok := r.slots[ModelKey{Schema: schema, Resource: resource}]
+	if !ok && schema != "" {
+		slot, ok = r.slots[ModelKey{Schema: "", Resource: resource}]
+	}
+	r.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	m := slot.Load()
+	return m, m != nil
+}
+
+// Models lists the currently published model versions, sorted by
+// version for stable output.
+func (r *Registry) Models() []ModelInfo {
+	r.mu.RLock()
+	out := make([]ModelInfo, 0, len(r.slots))
+	for _, slot := range r.slots {
+		if m := slot.Load(); m != nil {
+			out = append(out, m.Info)
+		}
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
+	return out
+}

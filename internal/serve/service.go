@@ -1,0 +1,324 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/plan"
+)
+
+// Errors the request path distinguishes for clients (the HTTP layer
+// maps them to status codes).
+var (
+	// ErrNoModel means no published model matches the request's
+	// (schema, resource) and no wildcard fallback exists.
+	ErrNoModel = errors.New("serve: no model for request")
+	// ErrClosed means the service has been shut down.
+	ErrClosed = errors.New("serve: service closed")
+)
+
+// Options configures a Service.
+type Options struct {
+	// Registry to route models from. A fresh empty registry is created
+	// when nil.
+	Registry *Registry
+	// CacheEntries bounds the prediction cache (total entries across
+	// shards). 0 selects the default (65536); negative disables caching.
+	CacheEntries int
+	// Workers sets the estimation worker-pool size. 0 selects
+	// GOMAXPROCS. The pool bounds concurrent model evaluation so a
+	// traffic burst degrades into queueing (bounded by deadlines)
+	// instead of unbounded goroutine fan-out.
+	Workers int
+	// QueueDepth bounds the request queue feeding the pool. 0 selects
+	// 4× Workers. When the queue is full, Estimate blocks until space
+	// frees or the request deadline fires.
+	QueueDepth int
+	// DefaultTimeout applies to requests that carry no deadline of
+	// their own. 0 selects 2s.
+	DefaultTimeout time.Duration
+	// ModelDir confines the POST /models hot-swap endpoint: published
+	// paths are resolved inside it and may not escape. Empty disables
+	// the endpoint (in-process Registry publishing is unaffected).
+	ModelDir string
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Registry == nil {
+		out.Registry = NewRegistry()
+	}
+	if out.CacheEntries == 0 {
+		out.CacheEntries = 65536
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	if out.QueueDepth <= 0 {
+		out.QueueDepth = 4 * out.Workers
+	}
+	if out.DefaultTimeout <= 0 {
+		out.DefaultTimeout = 2 * time.Second
+	}
+	return out
+}
+
+// Request asks for estimates for one plan.
+type Request struct {
+	// Schema routes to the model trained for this workload schema
+	// (falls back to the registry's "" wildcard).
+	Schema string
+	// Resource selects the predicted resource.
+	Resource plan.ResourceKind
+	// Plan is the physical plan to estimate.
+	Plan *plan.Plan
+	// Timeout overrides the service default deadline when > 0.
+	Timeout time.Duration
+}
+
+// OperatorEstimate is one operator's prediction.
+type OperatorEstimate struct {
+	ID       int     `json:"id"`
+	Kind     string  `json:"kind"`
+	Estimate float64 `json:"estimate"`
+}
+
+// PipelineEstimate aggregates the operators of one pipeline, in
+// execution order — the granularity scheduling consumes (§5.2).
+type PipelineEstimate struct {
+	ID        int     `json:"id"`
+	Estimate  float64 `json:"estimate"`
+	Operators []int   `json:"operators"`
+}
+
+// Response carries predictions at all three granularities. Total is
+// always the exact sum of Operators, and Pipelines partition Operators,
+// whether or not individual predictions came from the cache.
+type Response struct {
+	Model       ModelInfo          `json:"model"`
+	Total       float64            `json:"total"`
+	Operators   []OperatorEstimate `json:"operators"`
+	Pipelines   []PipelineEstimate `json:"pipelines"`
+	CacheHits   int                `json:"cache_hits"`
+	CacheMisses int                `json:"cache_misses"`
+}
+
+// Metrics is a point-in-time snapshot of service counters.
+type Metrics struct {
+	Requests     uint64      `json:"requests"`
+	Failures     uint64      `json:"failures"`
+	AvgLatencyMS float64     `json:"avg_latency_ms"`
+	Workers      int         `json:"workers"`
+	Cache        CacheStats  `json:"cache"`
+	Models       []ModelInfo `json:"models"`
+}
+
+type job struct {
+	ctx   context.Context
+	model *Model
+	plan  *plan.Plan
+	out   chan *Response
+}
+
+// Service is the concurrent estimation front end: model lookup through
+// the registry, memoized per-operator prediction through the cache, and
+// execution on a bounded worker pool with per-request deadlines.
+type Service struct {
+	opts  Options
+	reg   *Registry
+	cache *Cache
+
+	jobs chan *job
+	quit chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+
+	requests  atomic.Uint64
+	failures  atomic.Uint64
+	latencyNS atomic.Int64
+	completed atomic.Uint64
+}
+
+// New starts a service and its worker pool. Close releases the workers.
+func New(opts Options) *Service {
+	o := opts.withDefaults()
+	s := &Service{
+		opts:  o,
+		reg:   o.Registry,
+		cache: NewCache(o.CacheEntries),
+		jobs:  make(chan *job, o.QueueDepth),
+		quit:  make(chan struct{}),
+	}
+	s.wg.Add(o.Workers)
+	for i := 0; i < o.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Registry exposes the routing registry for publishing models.
+func (s *Service) Registry() *Registry { return s.reg }
+
+// Close shuts the worker pool down. In-flight requests finish; new
+// Estimate calls fail with ErrClosed.
+func (s *Service) Close() {
+	s.once.Do(func() { close(s.quit) })
+	s.wg.Wait()
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			// Drain jobs that were queued before shutdown so their
+			// callers get responses rather than ErrClosed.
+			for {
+				select {
+				case j := <-s.jobs:
+					s.runJob(j)
+				default:
+					return
+				}
+			}
+		case j := <-s.jobs:
+			s.runJob(j)
+		}
+	}
+}
+
+func (s *Service) runJob(j *job) {
+	// A request whose deadline fired while queued is dead; skip the
+	// model evaluation, the waiter is already gone.
+	if j.ctx.Err() != nil {
+		return
+	}
+	j.out <- s.predict(j.model, j.plan)
+}
+
+// Estimate runs one request through the pool and returns predictions at
+// query, pipeline and operator granularity.
+func (s *Service) Estimate(ctx context.Context, req Request) (*Response, error) {
+	start := time.Now()
+	s.requests.Add(1)
+	resp, err := s.estimate(ctx, req)
+	if err != nil {
+		s.failures.Add(1)
+		return nil, err
+	}
+	s.latencyNS.Add(int64(time.Since(start)))
+	s.completed.Add(1)
+	return resp, nil
+}
+
+func (s *Service) estimate(ctx context.Context, req Request) (*Response, error) {
+	if req.Plan == nil || req.Plan.Root == nil {
+		return nil, fmt.Errorf("serve: request without plan")
+	}
+	if err := req.Plan.Validate(); err != nil {
+		return nil, err
+	}
+	model, ok := s.reg.Lookup(req.Schema, req.Resource)
+	if !ok {
+		return nil, fmt.Errorf("%w: schema %q resource %s", ErrNoModel, req.Schema, req.Resource)
+	}
+
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.opts.DefaultTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	// Refuse new work after Close. The check is advisory (Close may race
+	// with the enqueue below); the exiting workers' drain loop plus the
+	// request deadline bound what happens to stragglers.
+	select {
+	case <-s.quit:
+		return nil, ErrClosed
+	default:
+	}
+
+	j := &job{ctx: ctx, model: model, plan: req.Plan, out: make(chan *Response, 1)}
+	select {
+	case s.jobs <- j:
+	case <-s.quit:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serve: queue wait: %w", ctx.Err())
+	}
+	select {
+	case resp := <-j.out:
+		return resp, nil
+	case <-s.quit:
+		// Shutdown raced with a completed or draining prediction;
+		// prefer delivering the result over reporting ErrClosed.
+		select {
+		case resp := <-j.out:
+			return resp, nil
+		case <-ctx.Done():
+			return nil, ErrClosed
+		}
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serve: estimation: %w", ctx.Err())
+	}
+}
+
+// predict computes per-operator predictions (through the cache) and
+// aggregates them into pipeline and query totals. Aggregating from the
+// same per-node values guarantees the three granularities are mutually
+// consistent.
+func (s *Service) predict(model *Model, p *plan.Plan) *Response {
+	est := model.Est
+	nodes := p.Nodes()
+	vecs := features.ExtractPlan(p, est.Mode)
+	resp := &Response{
+		Model:     model.Info,
+		Operators: make([]OperatorEstimate, len(nodes)),
+	}
+	perNode := make(map[*plan.Node]float64, len(nodes))
+	for i, n := range nodes {
+		key := cacheKey{version: model.Info.Version, op: n.Kind, vec: vecs[i]}
+		v, ok := s.cache.Get(key)
+		if ok {
+			resp.CacheHits++
+		} else {
+			resp.CacheMisses++
+			v = est.PredictVector(n.Kind, &vecs[i])
+			s.cache.Put(key, v)
+		}
+		perNode[n] = v
+		resp.Operators[i] = OperatorEstimate{ID: n.ID, Kind: n.Kind.String(), Estimate: v}
+		resp.Total += v
+	}
+	for _, pl := range p.Pipelines() {
+		pe := PipelineEstimate{ID: pl.ID, Operators: make([]int, 0, len(pl.Nodes))}
+		for _, n := range pl.Nodes {
+			pe.Estimate += perNode[n]
+			pe.Operators = append(pe.Operators, n.ID)
+		}
+		resp.Pipelines = append(resp.Pipelines, pe)
+	}
+	return resp
+}
+
+// Metrics snapshots the service counters.
+func (s *Service) Metrics() Metrics {
+	m := Metrics{
+		Requests: s.requests.Load(),
+		Failures: s.failures.Load(),
+		Workers:  s.opts.Workers,
+		Cache:    s.cache.Stats(),
+		Models:   s.reg.Models(),
+	}
+	if n := s.completed.Load(); n > 0 {
+		m.AvgLatencyMS = float64(s.latencyNS.Load()) / float64(n) / 1e6
+	}
+	return m
+}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/features"
 	"repro/internal/plan"
+	"repro/internal/serve"
 	"repro/internal/workload"
 )
 
@@ -225,4 +226,56 @@ func LoadFile(path string) (*Estimator, error) {
 	}
 	defer f.Close()
 	return Load(f)
+}
+
+// --- Plan wire codec -------------------------------------------------
+//
+// External clients submit plans to the estimation service as JSON
+// rather than constructing Go structs. The encoding is deterministic
+// and versioned; see internal/plan's codec for the format.
+
+// EncodePlanJSON renders a plan in the wire format.
+func EncodePlanJSON(p *Plan) ([]byte, error) { return plan.EncodeJSON(p) }
+
+// DecodePlanJSON parses and validates a wire-format plan.
+func DecodePlanJSON(data []byte) (*Plan, error) { return plan.DecodeJSON(data) }
+
+// --- Serving ---------------------------------------------------------
+//
+// The serving API turns trained estimators into a concurrent service:
+// models are published into a registry (hot-swappable at runtime),
+// per-operator predictions are memoized in a sharded LRU cache, and
+// requests run on a bounded worker pool with per-request deadlines.
+// cmd/resserve exposes the same service over HTTP.
+
+// Serving types, re-exported like the plan types above.
+type (
+	// Service is the concurrent estimation service.
+	Service = serve.Service
+	// ServeOptions configures cache size, worker pool and deadlines.
+	ServeOptions = serve.Options
+	// EstimateRequest selects a model and carries the plan to estimate.
+	EstimateRequest = serve.Request
+	// EstimateResponse carries query/pipeline/operator predictions.
+	EstimateResponse = serve.Response
+	// ModelInfo describes a published model version.
+	ModelInfo = serve.ModelInfo
+)
+
+// NewService starts an estimation service and its worker pool. Callers
+// should Close it when done.
+func NewService(opts ServeOptions) *Service { return serve.New(opts) }
+
+// Publish installs a trained estimator as the current model for the
+// schema (atomically replacing any prior version; in-flight requests
+// finish on the version they started with). Schema "" installs the
+// fallback used when a request's schema has no dedicated model.
+func Publish(s *Service, schema string, e *Estimator) ModelInfo {
+	return s.Registry().Publish(schema, e.inner)
+}
+
+// PublishModelFile loads a model set saved with Save/SaveFile and
+// publishes it under the schema.
+func PublishModelFile(s *Service, schema, path string) (ModelInfo, error) {
+	return s.Registry().PublishFile(schema, path)
 }
