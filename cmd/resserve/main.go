@@ -12,18 +12,36 @@
 //	resserve -model cpu.json -model io.json   # wildcard-schema models
 //	resserve -bootstrap tpch -model-dir ./models   # allow runtime swaps
 //
+// With -feedback-dir the online feedback loop is enabled: executed
+// plans reported to POST /observe are persisted to a crash-safe
+// observation log in that directory, per-model error windows are
+// tracked, and when recent errors drift past -drift-threshold times the
+// model's training-time baseline the server retrains on the logged
+// observations, validates the candidate on a held-out slice, and
+// hot-swaps it in — no restart, no downtime:
+//
+//	resserve -bootstrap tpch -feedback-dir ./obs
+//
 // Endpoints:
 //
-//	POST /estimate  {"schema","resource","timeout_ms","plan"} → estimates
-//	GET  /models    published model versions
-//	POST /models    {"schema","path"} → hot-swap a model file in; path is
-//	                resolved under -model-dir (endpoint disabled without it)
-//	GET  /metrics   request/cache counters
-//	GET  /healthz   readiness
+//	POST /estimate         {"schema","resource","timeout_ms","plan"} → estimates
+//	POST /observe          {"schema","resource","model_version","predicted","plan"}
+//	                       report an executed plan (with actuals) to the
+//	                       feedback loop (enabled by -feedback-dir)
+//	GET  /models           published model versions
+//	POST /models           {"schema","path"} → hot-swap a model file in; path is
+//	                       resolved under -model-dir (endpoint disabled without it)
+//	POST /models/rollback  {"schema","resource"} → revert to the prior version
+//	GET  /metrics          request/cache counters + per-model error gauges
+//	GET  /healthz          readiness
 //
 // Estimate a plan produced by the workload generator:
 //
 //	curl -s localhost:8080/estimate -d @request.json
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: in-flight HTTP
+// requests drain, the estimation worker pool stops, any in-flight
+// retrain finishes, and the observation log is flushed and closed.
 package main
 
 import (
@@ -53,14 +71,17 @@ func (m *modelFlags) Set(v string) error {
 func main() {
 	var models modelFlags
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		bootstrap = flag.String("bootstrap", "", "comma-separated schemas to train quick models for at startup (e.g. tpch)")
-		bootN     = flag.Int("bootstrap-n", 128, "bootstrap training workload size")
-		bootIters = flag.Int("bootstrap-iters", 100, "bootstrap MART iterations")
-		cacheSize = flag.Int("cache", 65536, "prediction cache entries (negative disables)")
-		workers   = flag.Int("workers", 0, "estimation workers (0 = GOMAXPROCS)")
-		timeout   = flag.Duration("timeout", 2*time.Second, "default per-request deadline")
-		modelDir  = flag.String("model-dir", "", "directory POST /models may load model files from (empty disables the endpoint)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		bootstrap   = flag.String("bootstrap", "", "comma-separated schemas to train quick models for at startup (e.g. tpch)")
+		bootN       = flag.Int("bootstrap-n", 128, "bootstrap training workload size")
+		bootIters   = flag.Int("bootstrap-iters", 100, "bootstrap MART iterations")
+		cacheSize   = flag.Int("cache", 65536, "prediction cache entries (negative disables)")
+		workers     = flag.Int("workers", 0, "estimation workers (0 = GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 2*time.Second, "default per-request deadline")
+		modelDir    = flag.String("model-dir", "", "directory POST /models may load model files from (empty disables the endpoint)")
+		feedbackDir = flag.String("feedback-dir", "", "observation-log directory; enables the online feedback loop (POST /observe, drift-triggered retraining)")
+		driftThresh = flag.Float64("drift-threshold", 2, "retrain when the recent P90 relative error exceeds this multiple of the model's training-time baseline")
+		retrainMin  = flag.Int("retrain-min-observations", 256, "minimum logged observations before a drift-triggered retrain (also the cooldown between attempts)")
 	)
 	flag.Var(&models, "model", "model to serve, as schema=path or path (wildcard schema); repeatable")
 	flag.Parse()
@@ -70,13 +91,32 @@ func main() {
 		*bootstrap = "tpch"
 	}
 
-	svc := repro.NewService(repro.ServeOptions{
+	serveOpts := repro.ServeOptions{
 		CacheEntries:   *cacheSize,
 		Workers:        *workers,
 		DefaultTimeout: *timeout,
 		ModelDir:       *modelDir,
-	})
-	defer svc.Close()
+	}
+	var svc *repro.Service
+	var loop *repro.FeedbackLoop
+	if *feedbackDir != "" {
+		var err error
+		svc, loop, err = repro.NewServiceWithFeedback(serveOpts, repro.FeedbackOptions{
+			Dir:             *feedbackDir,
+			DriftThreshold:  *driftThresh,
+			MinObservations: *retrainMin,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "resserve: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "resserve: feedback loop enabled (log %s, drift threshold %gx, retrain after %d observations)\n",
+			*feedbackDir, *driftThresh, *retrainMin)
+	} else {
+		svc = repro.NewService(serveOpts)
+	}
 
 	for _, spec := range models {
 		schema, path := "", spec
@@ -104,13 +144,19 @@ func main() {
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
+	// Graceful shutdown on SIGINT/SIGTERM, in dependency order: stop
+	// accepting and drain in-flight HTTP handlers, then the estimation
+	// worker pool, then the feedback loop — which waits for any retrain
+	// in flight and flushes the observation log, so a signal never kills
+	// the process mid-write.
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "resserve: %s received, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		srv.Shutdown(ctx)
 	}()
@@ -123,6 +169,15 @@ func main() {
 	// drained; wait for the shutdown goroutine so in-flight requests get
 	// their responses.
 	<-drained
+	svc.Close()
+	if loop != nil {
+		if err := loop.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "resserve: closing feedback log: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "resserve: feedback log flushed")
+	}
+	fmt.Fprintln(os.Stderr, "resserve: shutdown complete")
 }
 
 // bootstrapSchema trains quick CPU and I/O estimators for a schema and
@@ -140,6 +195,9 @@ func bootstrapSchema(svc *repro.Service, schema string, n, iters int) error {
 			Resource:           res,
 			BoostingIterations: iters,
 			SkipScaleSelection: true,
+			// Served models get an out-of-sample drift baseline so the
+			// feedback loop's detector is calibrated, not hair-triggered.
+			BaselineProbe: true,
 		})
 		if err != nil {
 			return err

@@ -45,6 +45,11 @@ type Estimator struct {
 	Resource plan.ResourceKind
 	Mode     features.Mode
 	Ops      map[plan.OpKind]*OperatorModels
+	// Baseline is the training-time error snapshot the drift detector
+	// compares production errors against (see baseline.go). Optional:
+	// nil on estimators trained before baselines existed or when the
+	// trainer never called SetBaseline.
+	Baseline *ErrorBaseline
 	// fallbackMean is the mean per-operator resource over all training
 	// samples, used for operator kinds never seen in training.
 	fallbackMean float64

@@ -44,12 +44,22 @@ type opJSON struct {
 	Candidates []combinedJSON `json:"candidates"`
 }
 
+type baselineJSON struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+}
+
 type estimatorJSON struct {
 	Version      int      `json:"version"`
 	Resource     int      `json:"resource"`
 	Mode         int      `json:"mode"`
 	FallbackMean float64  `json:"fallback_mean"`
-	Ops          []opJSON `json:"ops"`
+	// Baseline is optional so model files predating the feedback
+	// subsystem keep loading (and old readers ignore the extra field).
+	Baseline *baselineJSON `json:"baseline,omitempty"`
+	Ops      []opJSON      `json:"ops"`
 }
 
 const persistVersion = 1
@@ -61,6 +71,9 @@ func (e *Estimator) Save(w io.Writer) error {
 		Resource:     int(e.Resource),
 		Mode:         int(e.Mode),
 		FallbackMean: e.fallbackMean,
+	}
+	if b := e.Baseline; b != nil {
+		out.Baseline = &baselineJSON{N: b.N, Mean: b.Mean, P50: b.P50, P90: b.P90}
 	}
 	// Deterministic op order.
 	for _, kind := range plan.Kinds() {
@@ -144,6 +157,9 @@ func LoadEstimator(r io.Reader) (*Estimator, error) {
 		Mode:         features.Mode(in.Mode),
 		Ops:          make(map[plan.OpKind]*OperatorModels, len(in.Ops)),
 		fallbackMean: in.FallbackMean,
+	}
+	if b := in.Baseline; b != nil {
+		e.Baseline = &ErrorBaseline{N: b.N, Mean: b.Mean, P50: b.P50, P90: b.P90}
 	}
 	for _, oj := range in.Ops {
 		kind := plan.OpKind(oj.Op)

@@ -1,0 +1,149 @@
+package feedback
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/plan"
+)
+
+// Observation-log record framing. Each record is
+//
+//	uint32 magic "FBL1"
+//	uint32 payload length
+//	uint32 CRC-32 (IEEE) of the payload
+//	payload
+//
+// with a fixed-layout little-endian payload:
+//
+//	byte    codec version (1)
+//	byte    resource kind
+//	uint64  model version
+//	int64   unix nanos
+//	float64 predicted (IEEE bits)
+//	uint16  schema length, schema bytes
+//	uint32  plan length, plan bytes (the plan package's wire JSON,
+//	        which round-trips per-node Actual resources)
+//
+// The CRC makes torn or bit-rotted tail writes detectable: replay stops
+// at the first record that fails the check, and the log writer truncates
+// the segment back to the last valid record boundary on open — the
+// crash-safety contract of the observation log.
+
+const (
+	recordMagic   = 0x46424C31 // "FBL1"
+	codecVersion  = 1
+	recordHeader  = 12
+	maxSchemaLen  = 1 << 16
+	maxRecordSize = 16 << 20
+)
+
+// errCorrupt marks framing damage (torn write, CRC mismatch, garbage).
+// It is deliberately distinct from decode errors inside a CRC-valid
+// payload, which indicate a writer bug rather than a crash.
+var errCorrupt = errors.New("feedback: corrupt log record")
+
+// EncodeObservation appends the framed binary record for obs to dst and
+// returns the extended slice.
+func EncodeObservation(dst []byte, obs *Observation) ([]byte, error) {
+	if obs.Plan == nil || obs.Plan.Root == nil {
+		return nil, errors.New("feedback: encode observation without plan")
+	}
+	if len(obs.Schema) >= maxSchemaLen {
+		return nil, fmt.Errorf("feedback: schema name %d bytes long", len(obs.Schema))
+	}
+	planBytes, err := plan.EncodeJSON(obs.Plan)
+	if err != nil {
+		return nil, err
+	}
+	payloadLen := 2 + 8 + 8 + 8 + 2 + len(obs.Schema) + 4 + len(planBytes)
+	if payloadLen > maxRecordSize {
+		return nil, fmt.Errorf("feedback: observation record %d bytes exceeds limit", payloadLen)
+	}
+	payload := make([]byte, 0, payloadLen)
+	payload = append(payload, codecVersion, byte(obs.Resource))
+	payload = binary.LittleEndian.AppendUint64(payload, obs.ModelVersion)
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(obs.UnixNanos))
+	payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(obs.Predicted))
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(obs.Schema)))
+	payload = append(payload, obs.Schema...)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(planBytes)))
+	payload = append(payload, planBytes...)
+
+	dst = binary.LittleEndian.AppendUint32(dst, recordMagic)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...), nil
+}
+
+// DecodeObservation parses a record payload (CRC already verified).
+func DecodeObservation(payload []byte) (*Observation, error) {
+	if len(payload) < 2+8+8+8+2 {
+		return nil, errors.New("feedback: truncated observation payload")
+	}
+	if payload[0] != codecVersion {
+		return nil, fmt.Errorf("feedback: unsupported observation codec version %d", payload[0])
+	}
+	obs := &Observation{Resource: plan.ResourceKind(payload[1])}
+	if obs.Resource != plan.CPUTime && obs.Resource != plan.LogicalIO {
+		return nil, fmt.Errorf("feedback: unknown resource kind %d", payload[1])
+	}
+	p := payload[2:]
+	obs.ModelVersion = binary.LittleEndian.Uint64(p)
+	obs.UnixNanos = int64(binary.LittleEndian.Uint64(p[8:]))
+	obs.Predicted = math.Float64frombits(binary.LittleEndian.Uint64(p[16:]))
+	schemaLen := int(binary.LittleEndian.Uint16(p[24:]))
+	p = p[26:]
+	if len(p) < schemaLen+4 {
+		return nil, errors.New("feedback: truncated schema field")
+	}
+	obs.Schema = string(p[:schemaLen])
+	p = p[schemaLen:]
+	planLen := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if len(p) != planLen {
+		return nil, fmt.Errorf("feedback: plan field %d bytes, header says %d", len(p), planLen)
+	}
+	pl, err := plan.DecodeJSON(p)
+	if err != nil {
+		return nil, err
+	}
+	obs.Plan = pl
+	return obs, nil
+}
+
+// readRecord reads one framed record from br, returning its payload and
+// total encoded size. io.EOF marks a clean record boundary; errCorrupt
+// (possibly wrapped) marks a torn or damaged tail.
+func readRecord(br *bufio.Reader) (payload []byte, size int64, err error) {
+	var header [recordHeader]byte
+	if _, err := io.ReadFull(br, header[:1]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, 0, io.EOF // clean end
+		}
+		return nil, 0, fmt.Errorf("%w: %v", errCorrupt, err)
+	}
+	if _, err := io.ReadFull(br, header[1:]); err != nil {
+		return nil, 0, fmt.Errorf("%w: torn header: %v", errCorrupt, err)
+	}
+	if magic := binary.LittleEndian.Uint32(header[0:]); magic != recordMagic {
+		return nil, 0, fmt.Errorf("%w: bad magic %#x", errCorrupt, magic)
+	}
+	n := binary.LittleEndian.Uint32(header[4:])
+	if n == 0 || n > maxRecordSize {
+		return nil, 0, fmt.Errorf("%w: implausible payload length %d", errCorrupt, n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, 0, fmt.Errorf("%w: torn payload: %v", errCorrupt, err)
+	}
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.LittleEndian.Uint32(header[8:]) {
+		return nil, 0, fmt.Errorf("%w: CRC mismatch", errCorrupt)
+	}
+	return payload, recordHeader + int64(n), nil
+}

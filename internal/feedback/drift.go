@@ -1,0 +1,58 @@
+package feedback
+
+import "repro/internal/core"
+
+// Drift detection: the model is drifting when the recent windowed
+// error quantile exceeds DriftThreshold × its training-time baseline.
+//
+// The baseline is the error the model achieved on the workload it was
+// trained on (core.ErrorBaseline, stamped by TrainFromObservations and
+// persisted with the model). Comparing against the model's own
+// training-time accuracy — rather than a fixed absolute error bar —
+// makes the detector robust across resources and workloads: a CPU model
+// that trains to 8% error drifts at materially different absolute
+// errors than an I/O model that trains to 30%. MinBaselineError floors
+// the comparison so a near-perfect fit does not make the detector fire
+// on noise, and doubles as the whole baseline for models that predate
+// baselines (nil Baseline).
+
+// driftBaseline returns the error level "normal" is measured from,
+// picking the baseline quantile nearest the configured DriftQuantile so
+// like is compared with like (a median window against a P90 baseline
+// would mask genuine drift).
+func (l *Loop) driftBaseline(est *core.Estimator) float64 {
+	base := l.opts.MinBaselineError
+	if est != nil && est.Baseline != nil {
+		b := est.Baseline.P90
+		if l.opts.DriftQuantile < 0.7 {
+			b = est.Baseline.P50
+		}
+		if b > base {
+			base = b
+		}
+	}
+	return base
+}
+
+// drifting evaluates the detector for one route. Caller holds l.mu.
+func (l *Loop) drifting(st *routeState, est *core.Estimator) bool {
+	if st.window.Len() < l.opts.MinWindow {
+		return false
+	}
+	return st.window.Quantile(l.opts.DriftQuantile) > l.opts.DriftThreshold*l.driftBaseline(est)
+}
+
+// retrainEligible reports whether a drift finding should start a
+// retrain now: enough buffered observations to learn from, no retrain
+// already in flight, and a cooldown of MinObservations fresh
+// observations since the last attempt (so a rejected candidate does not
+// spin the trainer on the same data). Caller holds l.mu.
+func (l *Loop) retrainEligible(st *routeState) bool {
+	if l.opts.Publisher == nil || st.retraining {
+		return false
+	}
+	if len(st.buffer) < l.opts.MinObservations {
+		return false
+	}
+	return st.count-st.lastAttempt >= uint64(l.opts.MinObservations)
+}

@@ -1,0 +1,246 @@
+// Package feedback closes the serve → observe → retrain → hot-swap
+// loop: the online half of the paper's "robust estimation under
+// changing workloads" claim.
+//
+// The serving layer trains offline and serves frozen models; once the
+// production workload drifts outside the training distribution,
+// accuracy silently degrades. This package ingests (plan, predicted,
+// actual) observations from the serving path, persists them to a
+// segmented append-only log (binary codec with CRC framing, crash-safe
+// replay), tracks per-schema and per-operator rolling relative-error
+// quantiles, and compares the recent error distribution against the
+// model's training-time baseline (core.ErrorBaseline). When recent
+// errors cross a configured multiple of the baseline, a background
+// retrainer re-featurizes the logged observations, trains a fresh
+// estimator through internal/core, validates it on a held-out slice of
+// the log (reject-if-worse guard), and publishes it to the serving
+// registry — where the version-keyed prediction cache self-invalidates
+// and traffic moves over with zero downtime.
+package feedback
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+)
+
+// ErrClosed is returned by Observe after Close.
+var ErrClosed = errors.New("feedback: loop closed")
+
+// ErrInvalid wraps rejections of malformed observations (no plan, no
+// actuals, invalid plan structure) — the caller's fault, as opposed to
+// ingest failures like log I/O errors.
+var ErrInvalid = errors.New("feedback: invalid observation")
+
+// Observation is one (plan, predicted, actual) triple reported by the
+// serving path: a plan that was estimated earlier and has since
+// finished executing, with measured per-operator resources filled in.
+type Observation struct {
+	// Schema the request was routed with (the registry's model key).
+	Schema string
+	// Resource the prediction was for.
+	Resource plan.ResourceKind
+	// ModelVersion that produced Predicted, when known (0 otherwise).
+	ModelVersion uint64
+	// Predicted is the served plan-total prediction. When zero, the
+	// loop recomputes it against the current model at ingest time.
+	Predicted float64
+	// Plan is the executed physical plan; node Actual fields carry the
+	// measurements the retrainer learns from. Observe retains the plan
+	// in the retraining buffer and a background retrain may read it
+	// later — ownership passes to the loop, so callers must not mutate
+	// the plan (e.g. re-execute it) after reporting it. The HTTP path
+	// decodes a fresh plan per request and is unaffected.
+	Plan *plan.Plan
+	// UnixNanos timestamps the observation (ingest time when zero).
+	UnixNanos int64
+}
+
+// Actual returns the measured plan total for the observed resource.
+func (o *Observation) Actual() float64 {
+	return o.Plan.TotalActual().Get(o.Resource)
+}
+
+// validate rejects observations the retrainer could not learn from.
+func (o *Observation) validate() error {
+	if o.Plan == nil || o.Plan.Root == nil {
+		return fmt.Errorf("%w: no plan", ErrInvalid)
+	}
+	if err := o.Plan.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if len(o.Schema) >= maxSchemaLen {
+		return fmt.Errorf("%w: schema name %d bytes long", ErrInvalid, len(o.Schema))
+	}
+	// An out-of-range resource would encode fine but poison the log:
+	// decode treats it as a writer bug and refuses the whole segment.
+	if o.Resource != plan.CPUTime && o.Resource != plan.LogicalIO {
+		return fmt.Errorf("%w: unknown resource kind %d", ErrInvalid, o.Resource)
+	}
+	if o.Actual() <= 0 {
+		return fmt.Errorf("%w: no actual %s measurements", ErrInvalid, o.Resource)
+	}
+	return nil
+}
+
+// Publisher is the feedback loop's view of the serving registry: read
+// the current model for a route, publish a retrained replacement.
+// *serve.Registry implements it.
+type Publisher interface {
+	// CurrentEstimator returns the live estimator and version for
+	// (schema, resource), following the registry's wildcard fallback.
+	CurrentEstimator(schema string, resource plan.ResourceKind) (est *core.Estimator, version uint64, ok bool)
+	// PublishEstimator atomically installs est as the new version for
+	// schema and returns the assigned version.
+	PublishEstimator(schema string, est *core.Estimator) (version uint64)
+}
+
+// Options configures a Loop. The zero value of every field selects a
+// sensible default; only Publisher is required for retraining (a Loop
+// without one still logs and tracks errors).
+type Options struct {
+	// Dir is the observation-log directory. Empty disables persistence:
+	// observations are tracked in memory only.
+	Dir string
+	// SegmentBytes rotates log segments past this size (default 4 MiB).
+	SegmentBytes int64
+	// Shards is the number of independent log writers (default 1).
+	// Appends round-robin across shards, trading global ordering for
+	// ingest throughput — see BenchmarkFeedbackIngest.
+	Shards int
+	// Replay controls whether opening the loop replays the existing log
+	// into the in-memory windows and retrain buffer (default true when
+	// Dir is set; set SkipReplay to suppress).
+	SkipReplay bool
+
+	// Publisher connects the loop to the serving registry. Nil disables
+	// drift-triggered retraining (observations are still logged).
+	Publisher Publisher
+
+	// WindowSize bounds the per-schema rolling error window (default 512).
+	WindowSize int
+	// PerOpWindowSize bounds the per-operator windows (default 256).
+	PerOpWindowSize int
+	// BufferCap bounds the in-memory retraining buffer of recent
+	// observations per (schema, resource) (default 8192; raised to
+	// MinObservations when set lower, so a large MinObservations cannot
+	// silently make retraining unreachable).
+	BufferCap int
+	// MaxRoutes bounds the number of distinct (schema, resource) routes
+	// the loop tracks (default 64). Observations for a new route beyond
+	// the bound are rejected as invalid — without this, a client
+	// spraying unique schema names at POST /observe would grow the
+	// per-route windows and buffers without bound.
+	MaxRoutes int
+	// RetainSegments bounds the on-disk log to this many segments per
+	// shard; older segments are pruned on rotation so the log — and the
+	// startup replay — stay proportional to the retention the loop
+	// actually uses, not total uptime. Default 8; negative disables
+	// pruning.
+	RetainSegments int
+
+	// DriftQuantile is the windowed error quantile compared against the
+	// baseline (default 0.9).
+	DriftQuantile float64
+	// DriftThreshold triggers a retrain when the recent DriftQuantile
+	// error exceeds this multiple of the model's training-time baseline
+	// (default 2).
+	DriftThreshold float64
+	// MinBaselineError floors the baseline so a near-perfect training
+	// fit does not make the detector hair-triggered (default 0.05).
+	// Models without a stamped baseline use the floor alone.
+	MinBaselineError float64
+	// MinWindow is the minimum window fill before drift is evaluated
+	// (default min(64, WindowSize)).
+	MinWindow int
+	// CheckEvery evaluates drift every n-th observation per route
+	// (default 32).
+	CheckEvery int
+
+	// MinObservations gates retraining: a retrain needs this many
+	// buffered observations, and after an attempt the route must gather
+	// this many fresh ones before the next (default 256).
+	MinObservations int
+	// RetrainIterations is the MART boosting budget for retrained
+	// models (default 120).
+	RetrainIterations int
+	// HoldoutFraction of the buffered observations is withheld from
+	// training and used to validate the candidate (default 0.2).
+	HoldoutFraction float64
+	// MaxHoldoutError is the absolute quality gate: a candidate whose
+	// mean holdout relative error exceeds it is rejected even when it
+	// beats the incumbent — the defense against garbage actuals poisoning
+	// the loop (default 0.5).
+	MaxHoldoutError float64
+
+	// Logf, when set, receives one line per notable event (drift
+	// detected, retrain accepted/rejected, replay summary).
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.SegmentBytes <= 0 {
+		out.SegmentBytes = 4 << 20
+	}
+	if out.Shards <= 0 {
+		out.Shards = 1
+	}
+	if out.WindowSize <= 0 {
+		out.WindowSize = 512
+	}
+	if out.PerOpWindowSize <= 0 {
+		out.PerOpWindowSize = 256
+	}
+	if out.BufferCap <= 0 {
+		out.BufferCap = 8192
+	}
+	if out.DriftQuantile <= 0 || out.DriftQuantile > 1 {
+		out.DriftQuantile = 0.9
+	}
+	if out.DriftThreshold <= 0 {
+		out.DriftThreshold = 2
+	}
+	if out.MinBaselineError <= 0 {
+		out.MinBaselineError = 0.05
+	}
+	if out.MinWindow <= 0 {
+		out.MinWindow = 64
+	}
+	if out.MinWindow > out.WindowSize {
+		out.MinWindow = out.WindowSize
+	}
+	if out.CheckEvery <= 0 {
+		out.CheckEvery = 32
+	}
+	if out.MinObservations <= 0 {
+		out.MinObservations = 256
+	}
+	if out.BufferCap < out.MinObservations {
+		out.BufferCap = out.MinObservations
+	}
+	if out.RetainSegments == 0 {
+		out.RetainSegments = 8
+	}
+	if out.MaxRoutes <= 0 {
+		out.MaxRoutes = 64
+	}
+	if out.RetrainIterations <= 0 {
+		out.RetrainIterations = 120
+	}
+	if out.HoldoutFraction <= 0 || out.HoldoutFraction >= 1 {
+		out.HoldoutFraction = 0.2
+	}
+	if out.MaxHoldoutError <= 0 {
+		out.MaxHoldoutError = 0.5
+	}
+	return out
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}

@@ -1,0 +1,271 @@
+package feedback
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/plan"
+	"repro/internal/stats"
+)
+
+// Loop is the online feedback controller: Observe ingests one executed
+// plan (persisting it to the observation log and updating the rolling
+// error windows), the drift detector runs inline every CheckEvery
+// observations, and drift findings hand a buffer snapshot to a
+// background retrainer that publishes through the Publisher.
+//
+// Concurrency: Observe is safe for concurrent use (the HTTP layer calls
+// it from many handlers). Log appends synchronize per shard; window and
+// buffer state is guarded by one mutex; at most one retrain per route
+// runs at a time, on its own goroutine, against a private copy of the
+// buffer. Close waits for in-flight retrains and flushes the log.
+type Loop struct {
+	opts Options
+	log  *Log // nil when persistence is disabled
+
+	mu     sync.Mutex
+	routes map[routeKey]*routeState
+	closed bool
+
+	wg sync.WaitGroup // in-flight retrains
+}
+
+// New opens a feedback loop. When opts.Dir is set, the observation log
+// is opened (recovering crash-torn tails) and, unless opts.SkipReplay,
+// replayed into the in-memory windows and retraining buffers so a
+// restarted server resumes with its accumulated evidence.
+func New(opts Options) (*Loop, error) {
+	l := &Loop{opts: opts.withDefaults(), routes: make(map[routeKey]*routeState)}
+	if l.opts.Dir != "" {
+		log, err := OpenLog(LogOptions{
+			Dir:            l.opts.Dir,
+			SegmentBytes:   l.opts.SegmentBytes,
+			Shards:         l.opts.Shards,
+			RetainSegments: l.opts.RetainSegments,
+		})
+		if err != nil {
+			return nil, err
+		}
+		l.log = log
+		if !l.opts.SkipReplay {
+			// Collect, then ingest in timestamp order: segment replay is
+			// ordered within a shard but not across shards, and the
+			// windows/buffers must re-warm with the true most-recent tail,
+			// not a shard-strided mix. Memory is bounded by RetainSegments.
+			var replayed []*Observation
+			n, err := l.log.Replay(func(obs *Observation) error {
+				replayed = append(replayed, obs)
+				return nil
+			})
+			if err != nil {
+				l.log.Close()
+				return nil, err
+			}
+			sort.SliceStable(replayed, func(i, j int) bool {
+				return replayed[i].UnixNanos < replayed[j].UnixNanos
+			})
+			for _, obs := range replayed {
+				l.ingest(obs, false)
+			}
+			if n > 0 {
+				l.opts.logf("feedback: replayed %d observations from %s", n, l.opts.Dir)
+			}
+		}
+	}
+	return l, nil
+}
+
+// Observe ingests one observation: validate, persist, update error
+// windows, and run the drift check. Invalid observations are rejected
+// before they can reach the log or the retrainer. The observation
+// struct is copied (the caller's is never written to); the Plan it
+// points at becomes loop-owned — see Observation.Plan.
+func (l *Loop) Observe(obs *Observation) error {
+	if err := obs.validate(); err != nil {
+		return err
+	}
+	o := *obs
+	if o.UnixNanos == 0 {
+		o.UnixNanos = time.Now().UnixNano()
+	}
+	l.mu.Lock()
+	closed := l.closed
+	_, known := l.routes[routeKey{schema: o.Schema, resource: o.Resource}]
+	atCap := !known && len(l.routes) >= l.opts.MaxRoutes
+	l.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if atCap {
+		// Reject before the log sees it: a sprayed schema must not be
+		// persisted and replayed into memory on every restart either.
+		// (Concurrent first-time routes can overshoot the bound by the
+		// number of in-flight Observes; ingest re-checks under the lock.)
+		return fmt.Errorf("%w: route limit (%d) reached, rejecting new schema %q",
+			ErrInvalid, l.opts.MaxRoutes, o.Schema)
+	}
+	// Durability first: the log is the source of truth the windows and
+	// buffers are rebuilt from on restart. An Observe racing Close gets
+	// ErrClosed from the log here (the closed re-check in ingest keeps
+	// the retrainer from spawning after Close's wait).
+	if l.log != nil {
+		if err := l.log.Append(&o); err != nil {
+			return err
+		}
+	}
+	l.ingest(&o, true)
+	return nil
+}
+
+// ingest updates in-memory state for obs. check=false during replay:
+// replayed observations warm the windows and buffers but never trigger
+// retrains (the stored predictions came from models that may since have
+// been replaced; fresh traffic re-confirms drift within CheckEvery
+// observations).
+func (l *Loop) ingest(obs *Observation, check bool) {
+	key := routeKey{schema: obs.Schema, resource: obs.Resource}
+	actual := obs.Actual()
+
+	// Resolve the current model once, outside the loop mutex: per-node
+	// predictions feed the per-operator gauges, and their sum stands in
+	// for Predicted when the caller did not supply one.
+	var est *core.Estimator
+	var version uint64
+	if l.opts.Publisher != nil {
+		est, version, _ = l.opts.Publisher.CurrentEstimator(obs.Schema, obs.Resource)
+	}
+	var opErrs []opSample
+	predicted := obs.Predicted
+	// A report carrying a prediction from a version that has since been
+	// replaced (in-flight executions straddling a hot-swap) must not be
+	// charged to the current model's window — that would refill a
+	// freshly-reset window with the old model's errors and re-trigger
+	// drift against a model that is actually accurate. Recompute against
+	// the current model below instead.
+	if predicted > 0 && obs.ModelVersion != 0 && version != 0 && obs.ModelVersion != version {
+		predicted = 0
+	}
+	if est != nil {
+		var sum float64
+		vecs := features.ExtractPlan(obs.Plan, est.Mode)
+		nodes := obs.Plan.Nodes()
+		opErrs = make([]opSample, 0, len(nodes))
+		for i, n := range nodes {
+			pred := est.PredictVector(n.Kind, &vecs[i])
+			sum += pred
+			opErrs = append(opErrs, opSample{kind: n.Kind, err: stats.L1RelErr(pred, n.Actual.Get(obs.Resource))})
+		}
+		if predicted <= 0 {
+			predicted = sum
+		}
+	}
+
+	var startRetrain bool
+	var retrainObs []*Observation
+	var recentQ float64
+	l.mu.Lock()
+	if _, ok := l.routes[key]; !ok && len(l.routes) >= l.opts.MaxRoutes {
+		// Authoritative route bound (Observe pre-checks, replay of a log
+		// written under a larger MaxRoutes lands here).
+		l.mu.Unlock()
+		return
+	}
+	st := l.route(key)
+	st.count++
+	// The windows describe one serving version. When the model changed
+	// out-of-band — POST /models, a rollback, another publisher — the
+	// accumulated errors belong to the replaced version; comparing them
+	// against the new model's baseline could fire a drift retrain that
+	// immediately overrides an operator's deliberate swap. Reset and
+	// measure the new version on its own traffic. Only a version
+	// *advance* resets: an in-flight straggler that resolved the old
+	// model just before a swap must not wipe the new model's samples
+	// backwards — its errors are simply skipped as stale. (A 0 → v
+	// transition is not a swap: it is the first model appearing after
+	// windows were warmed from the log or from client-supplied
+	// predictions.)
+	if version > st.seenVersion {
+		if st.seenVersion != 0 {
+			st.resetWindows()
+		}
+		st.seenVersion = version
+	}
+	staleResolve := version != 0 && version < st.seenVersion
+	if predicted > 0 && !staleResolve {
+		st.window.Add(stats.L1RelErr(predicted, actual))
+	}
+	if !staleResolve {
+		for _, s := range opErrs {
+			w, ok := st.perOp[s.kind]
+			if !ok {
+				w = stats.NewRolling(l.opts.PerOpWindowSize)
+				st.perOp[s.kind] = w
+			}
+			w.Add(s.err)
+		}
+	}
+	st.push(obs, l.opts.BufferCap)
+	if check && !l.closed && st.count%uint64(l.opts.CheckEvery) == 0 {
+		st.drifting = l.drifting(st, est)
+		if st.drifting && l.retrainEligible(st) {
+			st.retraining = true
+			st.lastAttempt = st.count
+			startRetrain = true
+			retrainObs = st.buffered()
+			recentQ = st.window.Quantile(l.opts.DriftQuantile)
+			// Register the retrain while still holding the mutex: Close
+			// flips closed under the same mutex before it waits on the
+			// WaitGroup, so either this Add is visible to that Wait or
+			// the closed check above suppressed the spawn — never an Add
+			// racing a returned Wait.
+			l.wg.Add(1)
+		}
+	}
+	l.mu.Unlock()
+
+	if startRetrain {
+		l.opts.logf("feedback: %s/%s drift detected (recent p%d err %.3f vs baseline %.3f), retraining on %d observations",
+			key.schema, key.resource, int(l.opts.DriftQuantile*100),
+			recentQ, l.driftBaseline(est), len(retrainObs))
+		go l.retrain(key, est, version, retrainObs)
+	}
+}
+
+type opSample struct {
+	kind plan.OpKind
+	err  float64
+}
+
+// Quiesce blocks until no retrain is in flight — the shutdown barrier
+// (and a test hook: after the last Observe returns, any triggered
+// retrain has either published or been rejected once Quiesce returns).
+func (l *Loop) Quiesce() { l.wg.Wait() }
+
+// Flush pushes buffered log records to the OS.
+func (l *Loop) Flush() error {
+	if l.log == nil {
+		return nil
+	}
+	return l.log.Flush()
+}
+
+// Close stops ingestion, waits for in-flight retrains, and flushes and
+// closes the observation log. Safe to call twice.
+func (l *Loop) Close() error {
+	l.mu.Lock()
+	already := l.closed
+	l.closed = true
+	l.mu.Unlock()
+	if already {
+		return nil
+	}
+	l.wg.Wait()
+	if l.log != nil {
+		return l.log.Close()
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package feedback
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/stats"
+)
+
+// Per-route (schema, resource) rolling error state: the plan-level
+// window drives drift detection, the per-operator windows are
+// diagnostic gauges (which operator's model went stale?), and the
+// bounded observation buffer feeds the retrainer.
+
+type routeKey struct {
+	schema   string
+	resource plan.ResourceKind
+}
+
+type routeState struct {
+	count  uint64 // observations ever ingested for this route
+	window *stats.Rolling
+	perOp  map[plan.OpKind]*stats.Rolling
+
+	// buffer is a ring of the most recent observations (retraining
+	// input). next is the write position once the ring reaches capacity.
+	buffer []*Observation
+	next   int
+
+	drifting    bool
+	retraining  bool
+	lastAttempt uint64 // count at the last retrain attempt
+	retrains    uint64
+	rejections  uint64
+	seenVersion uint64  // serving version the windows describe
+	lastVersion uint64  // last version this loop published
+	lastHoldout float64 // holdout error of the last accepted model
+}
+
+func (l *Loop) route(k routeKey) *routeState {
+	st, ok := l.routes[k]
+	if !ok {
+		st = &routeState{
+			window: stats.NewRolling(l.opts.WindowSize),
+			perOp:  make(map[plan.OpKind]*stats.Rolling),
+		}
+		l.routes[k] = st
+	}
+	return st
+}
+
+// push appends obs to the route's retraining ring buffer, bounded to
+// limit entries. The buffer grows lazily rather than preallocating the
+// bound, so a generous BufferCap costs memory proportional to traffic
+// actually seen.
+func (st *routeState) push(obs *Observation, limit int) {
+	if len(st.buffer) < limit {
+		st.buffer = append(st.buffer, obs)
+		return
+	}
+	st.buffer[st.next] = obs
+	st.next++
+	if st.next == len(st.buffer) {
+		st.next = 0
+	}
+}
+
+// buffered returns the ring contents in arrival order.
+func (st *routeState) buffered() []*Observation {
+	out := make([]*Observation, 0, len(st.buffer))
+	out = append(out, st.buffer[st.next:]...)
+	return append(out, st.buffer[:st.next]...)
+}
+
+// resetWindows clears the error windows after a model swap: the stats
+// described the replaced version, and mixing them with the new model's
+// errors would stall (or falsely re-trigger) the drift detector.
+func (st *routeState) resetWindows() {
+	st.window.Reset()
+	for _, w := range st.perOp {
+		w.Reset()
+	}
+	st.drifting = false
+}
+
+// WindowStats summarizes one rolling error window.
+type WindowStats struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P95   float64 `json:"p95"`
+}
+
+func windowStats(w *stats.Rolling) WindowStats {
+	qs := w.Quantiles(0.5, 0.9, 0.95)
+	return WindowStats{Count: w.Len(), Mean: w.Mean(), P50: qs[0], P90: qs[1], P95: qs[2]}
+}
+
+// OpStats is one operator's error gauge within a route.
+type OpStats struct {
+	Op string `json:"op"`
+	WindowStats
+}
+
+// RouteStats is the exported snapshot of one (schema, resource) route —
+// the per-model error gauges surfaced through the serving /metrics
+// endpoint.
+type RouteStats struct {
+	Schema       string              `json:"schema"`
+	Resource     string              `json:"resource"`
+	Observations uint64              `json:"observations"`
+	Buffered     int                 `json:"buffered"`
+	Window       WindowStats         `json:"window"`
+	Baseline     *core.ErrorBaseline `json:"baseline,omitempty"`
+	Drifting     bool                `json:"drifting"`
+	Retraining   bool                `json:"retraining"`
+	Retrains     uint64              `json:"retrains"`
+	Rejections   uint64              `json:"rejections"`
+	LastVersion  uint64              `json:"last_published_version,omitempty"`
+	LastHoldout  float64             `json:"last_holdout_error,omitempty"`
+	PerOperator  []OpStats           `json:"per_operator,omitempty"`
+}
+
+// Snapshot returns the current per-route gauges, sorted by (schema,
+// resource) for stable output.
+func (l *Loop) Snapshot() []RouteStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]RouteStats, 0, len(l.routes))
+	for k, st := range l.routes {
+		rs := RouteStats{
+			Schema:       k.schema,
+			Resource:     k.resource.String(),
+			Observations: st.count,
+			Buffered:     len(st.buffer),
+			Window:       windowStats(st.window),
+			Drifting:     st.drifting,
+			Retraining:   st.retraining,
+			Retrains:     st.retrains,
+			Rejections:   st.rejections,
+			LastVersion:  st.lastVersion,
+			LastHoldout:  st.lastHoldout,
+		}
+		if l.opts.Publisher != nil {
+			if est, _, ok := l.opts.Publisher.CurrentEstimator(k.schema, k.resource); ok && est.Baseline != nil {
+				b := *est.Baseline
+				rs.Baseline = &b
+			}
+		}
+		ops := make([]plan.OpKind, 0, len(st.perOp))
+		for op := range st.perOp {
+			ops = append(ops, op)
+		}
+		sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+		for _, op := range ops {
+			if w := st.perOp[op]; w.Len() > 0 {
+				rs.PerOperator = append(rs.PerOperator, OpStats{Op: op.String(), WindowStats: windowStats(w)})
+			}
+		}
+		out = append(out, rs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Schema != out[j].Schema {
+			return out[i].Schema < out[j].Schema
+		}
+		return out[i].Resource < out[j].Resource
+	})
+	return out
+}

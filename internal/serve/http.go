@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/feedback"
 	"repro/internal/plan"
 )
 
@@ -58,18 +59,25 @@ const (
 
 // Handler returns the service's HTTP API:
 //
-//	POST /estimate  {schema, resource, timeout_ms, plan} → Response
-//	GET  /models    → []ModelInfo
-//	POST /models    {schema, path} → ModelInfo (hot-swaps the model)
-//	GET  /metrics   → Metrics
-//	GET  /healthz   → 200 once at least one model is published
+//	POST /estimate         {schema, resource, timeout_ms, plan} → Response
+//	POST /observe          {schema, resource, model_version, predicted, plan}
+//	                       → feeds the online feedback loop (403 when no
+//	                       loop is attached); the plan must carry actuals
+//	GET  /models           → []ModelInfo
+//	POST /models           {schema, path} → ModelInfo (hot-swaps the model)
+//	POST /models/rollback  {schema, resource} → ModelInfo (reverts to the
+//	                       previously published version)
+//	GET  /metrics          → Metrics (incl. per-model feedback error gauges)
+//	GET  /healthz          → 200 once at least one model is published
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /estimate", s.handleEstimate)
+	mux.HandleFunc("POST /observe", s.handleObserve)
 	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.reg.Models())
 	})
 	mux.HandleFunc("POST /models", s.handlePublish)
+	mux.HandleFunc("POST /models/rollback", s.handleRollback)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Metrics())
 	})
@@ -149,11 +157,105 @@ func (s *Service) handlePublish(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// observeRequestJSON reports an executed plan back to the service: the
+// wire plan carries per-operator actual_cpu/actual_io measurements, and
+// predicted echoes the total the service served earlier (optional —
+// when omitted the loop recomputes it against the current model).
+type observeRequestJSON struct {
+	Schema       string          `json:"schema,omitempty"`
+	Resource     string          `json:"resource,omitempty"`
+	ModelVersion uint64          `json:"model_version,omitempty"`
+	Predicted    float64         `json:"predicted,omitempty"`
+	Plan         json.RawMessage `json:"plan"`
+}
+
+// handleObserve ingests one (plan, predicted, actual) observation into
+// the feedback loop — the entry point of the serve → observe → retrain
+// → hot-swap cycle.
+func (s *Service) handleObserve(w http.ResponseWriter, r *http.Request) {
+	loop := s.opts.Feedback
+	if loop == nil {
+		writeJSON(w, http.StatusForbidden,
+			errorJSON{Error: "observation ingest disabled (no feedback loop attached)"})
+		return
+	}
+	var req observeRequestJSON
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEstimateBody)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+		return
+	}
+	resource, err := ParseResource(req.Resource)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	if len(req.Plan) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "missing plan"})
+		return
+	}
+	p, err := plan.DecodeJSON(req.Plan)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	err = loop.Observe(&feedback.Observation{
+		Schema:       req.Schema,
+		Resource:     resource,
+		ModelVersion: req.ModelVersion,
+		Predicted:    req.Predicted,
+		Plan:         p,
+	})
+	if err != nil {
+		// Malformed observations are the client's fault; anything else
+		// (log I/O, shutdown) is a server-side failure — never a 4xx
+		// that would teach clients to drop valid reports.
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, feedback.ErrInvalid):
+			status = http.StatusBadRequest
+		case errors.Is(err, feedback.ErrClosed):
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, errorJSON{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "accepted"})
+}
+
+type rollbackRequestJSON struct {
+	Schema   string `json:"schema,omitempty"`
+	Resource string `json:"resource,omitempty"`
+}
+
+// handleRollback reverts a route to its previously published model
+// version. The prior estimator comes back under a fresh version number,
+// so cache entries keyed to the rolled-back version can never serve.
+func (s *Service) handleRollback(w http.ResponseWriter, r *http.Request) {
+	var req rollbackRequestJSON
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPublishBody)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+		return
+	}
+	resource, err := ParseResource(req.Resource)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	info, err := s.reg.Rollback(req.Schema, resource)
+	if err != nil {
+		writeJSON(w, statusFor(err), errorJSON{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, ErrNoModel):
+	case errors.Is(err, ErrNoModel), errors.Is(err, ErrNoHistory):
 		return http.StatusNotFound
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrRollbackConflict):
+		return http.StatusConflict
+	case errors.Is(err, ErrClosed), errors.Is(err, feedback.ErrClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout

@@ -10,6 +10,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -21,6 +22,19 @@ import (
 	"repro/internal/features"
 	"repro/internal/plan"
 )
+
+// ErrNoHistory means a rollback was requested for a slot with no prior
+// published version to return to.
+var ErrNoHistory = errors.New("serve: no prior model version to roll back to")
+
+// ErrRollbackConflict means a concurrent publish superseded the
+// rollback before it could install; the history entry is restored and
+// the caller may retry.
+var ErrRollbackConflict = errors.New("serve: rollback superseded by a concurrent publish")
+
+// historyCap bounds the per-slot stack of superseded versions kept for
+// rollback.
+const historyCap = 8
 
 // ModelKey routes requests to a model: the workload schema the model was
 // trained on plus the resource it predicts.
@@ -53,12 +67,16 @@ type Model struct {
 type Registry struct {
 	mu      sync.RWMutex
 	slots   map[ModelKey]*atomic.Pointer[Model]
-	version atomic.Uint64 // global, monotonically increasing
+	history map[ModelKey][]*Model // superseded versions, oldest first
+	version atomic.Uint64         // global, monotonically increasing
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{slots: make(map[ModelKey]*atomic.Pointer[Model])}
+	return &Registry{
+		slots:   make(map[ModelKey]*atomic.Pointer[Model]),
+		history: make(map[ModelKey][]*Model),
+	}
 }
 
 func modeName(m features.Mode) string {
@@ -71,8 +89,18 @@ func modeName(m features.Mode) string {
 // Publish installs est as the current model for (schema, est.Resource),
 // replacing any previous version atomically, and returns the new
 // version's metadata. Publishing under schema "" installs the fallback
-// model used when a request's schema has no dedicated entry.
+// model used when a request's schema has no dedicated entry. The
+// replaced version (if any) is retained on the slot's bounded rollback
+// history.
 func (r *Registry) Publish(schema string, est *core.Estimator) ModelInfo {
+	info, _, _ := r.publish(schema, est, true)
+	return info
+}
+
+// publish additionally returns the model it replaced and whether this
+// version actually installed (false when a concurrent publish with a
+// higher version won the slot).
+func (r *Registry) publish(schema string, est *core.Estimator, keepHistory bool) (ModelInfo, *Model, bool) {
 	info := ModelInfo{
 		Schema:    schema,
 		Resource:  est.Resource.String(),
@@ -102,12 +130,91 @@ func (r *Registry) Publish(schema string, est *core.Estimator) ModelInfo {
 		old := slot.Load()
 		if old != nil && old.Info.Version > info.Version {
 			// A newer version won the race; ours is already superseded.
-			return info
+			return info, nil, false
 		}
 		if slot.CompareAndSwap(old, m) {
-			return info
+			if old != nil && keepHistory {
+				r.pushHistory(key, old)
+			}
+			return info, old, true
 		}
 	}
+}
+
+// pushHistory retains a superseded version for rollback, dropping the
+// oldest entry past historyCap. The stack is kept in ascending version
+// order explicitly: concurrent publishes reach this point in arbitrary
+// interleavings, and a plain append could record a newer version below
+// an older one — making Rollback skip the version that actually served
+// last.
+func (r *Registry) pushHistory(key ModelKey, old *Model) {
+	r.mu.Lock()
+	h := append(r.history[key], old)
+	for i := len(h) - 1; i > 0 && h[i-1].Info.Version > h[i].Info.Version; i-- {
+		h[i-1], h[i] = h[i], h[i-1]
+	}
+	if len(h) > historyCap {
+		h = h[len(h)-historyCap:]
+	}
+	r.history[key] = h
+	r.mu.Unlock()
+}
+
+// Rollback reverts (schema, resource) to the most recently superseded
+// version: the prior estimator is re-published under a fresh version
+// number, so prediction-cache entries keyed to the rolled-back version
+// stop matching immediately and can never serve again. The rolled-back
+// model is intentionally not pushed onto the history — repeated
+// rollbacks walk further back instead of ping-ponging. A publish racing
+// the rollback and winning the version race yields ErrRollbackConflict
+// with the history entry restored, never a silent no-op reported as
+// success.
+func (r *Registry) Rollback(schema string, resource plan.ResourceKind) (ModelInfo, error) {
+	key := ModelKey{Schema: schema, Resource: resource}
+	r.mu.Lock()
+	h := r.history[key]
+	if len(h) == 0 {
+		r.mu.Unlock()
+		return ModelInfo{}, fmt.Errorf("%w: schema %q resource %s", ErrNoHistory, schema, resource)
+	}
+	prev := h[len(h)-1]
+	r.history[key] = h[:len(h)-1]
+	r.mu.Unlock()
+	expected, _ := r.Lookup(schema, resource)
+	info, replaced, installed := r.publish(schema, prev.Est, false)
+	if !installed {
+		// A concurrent publish allocated a higher version and won the
+		// slot; our rollback never served. Put the entry back.
+		r.pushHistory(key, prev)
+		return ModelInfo{}, ErrRollbackConflict
+	}
+	// The model we displaced is normally the one being rolled away from
+	// and is deliberately dropped (no ping-pong). But if a concurrent
+	// publish slipped in between the history pop and our install, we
+	// displaced a model its publisher was told is serving — retain it
+	// for recovery rather than silently discarding it.
+	if replaced != nil && (expected == nil || replaced.Info.Version != expected.Info.Version) {
+		r.pushHistory(key, replaced)
+	}
+	return info, nil
+}
+
+// CurrentEstimator returns the live estimator and version for (schema,
+// resource), following the wildcard fallback. Together with
+// PublishEstimator it implements the feedback subsystem's Publisher
+// interface, connecting drift-triggered retraining to the registry.
+func (r *Registry) CurrentEstimator(schema string, resource plan.ResourceKind) (*core.Estimator, uint64, bool) {
+	m, ok := r.Lookup(schema, resource)
+	if !ok {
+		return nil, 0, false
+	}
+	return m.Est, m.Info.Version, true
+}
+
+// PublishEstimator atomically installs est for schema and returns the
+// assigned version (feedback.Publisher).
+func (r *Registry) PublishEstimator(schema string, est *core.Estimator) uint64 {
+	return r.Publish(schema, est).Version
 }
 
 // PublishFile loads an estimator saved by core (*Estimator).Save and

@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// TestPushHistoryOrdersByVersion pins the rollback-ordering invariant
+// pushHistory maintains: concurrent publishes reach it in arbitrary
+// interleavings, so it must sort entries by version rather than trust
+// arrival order — otherwise Rollback could skip the version that
+// actually served last. Exercised deterministically here by pushing out
+// of order.
+func TestPushHistoryOrdersByVersion(t *testing.T) {
+	r := NewRegistry()
+	key := ModelKey{Schema: "s", Resource: plan.CPUTime}
+	for _, v := range []uint64{4, 2, 9, 1, 7} {
+		r.pushHistory(key, &Model{Info: ModelInfo{Version: v}})
+	}
+	h := r.history[key]
+	if len(h) != 5 {
+		t.Fatalf("history holds %d entries, want 5", len(h))
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i-1].Info.Version >= h[i].Info.Version {
+			t.Fatalf("history out of order at %d: %d then %d", i, h[i-1].Info.Version, h[i].Info.Version)
+		}
+	}
+	// The cap drops the oldest versions, keeping the newest 8.
+	for v := uint64(10); v < 20; v++ {
+		r.pushHistory(key, &Model{Info: ModelInfo{Version: v}})
+	}
+	h = r.history[key]
+	if len(h) != historyCap {
+		t.Fatalf("history holds %d entries, want cap %d", len(h), historyCap)
+	}
+	if h[0].Info.Version != 12 || h[len(h)-1].Info.Version != 19 {
+		t.Fatalf("cap kept versions %d..%d, want 12..19", h[0].Info.Version, h[len(h)-1].Info.Version)
+	}
+}

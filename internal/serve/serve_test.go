@@ -27,10 +27,11 @@ import (
 )
 
 var (
-	setupOnce sync.Once
-	cpuEst    *core.Estimator
-	ioEst     *core.Estimator
-	testPlans []*plan.Plan
+	setupOnce  sync.Once
+	cpuEst     *core.Estimator
+	ioEst      *core.Estimator
+	trainPlans []*plan.Plan
+	testPlans  []*plan.Plan
 )
 
 // setup trains one small CPU and one small I/O estimator and keeps a
@@ -61,6 +62,7 @@ func setup(t testing.TB) {
 		if err != nil {
 			panic(err)
 		}
+		trainPlans = plans[:cut]
 		testPlans = plans[cut:]
 	})
 }

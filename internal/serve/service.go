@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/feedback"
 	"repro/internal/features"
 	"repro/internal/plan"
 )
@@ -47,6 +48,13 @@ type Options struct {
 	// paths are resolved inside it and may not escape. Empty disables
 	// the endpoint (in-process Registry publishing is unaffected).
 	ModelDir string
+	// Feedback, when set, closes the online loop: POST /observe feeds
+	// it, /metrics surfaces its per-model error gauges, and its
+	// retrainer publishes into this service's registry. The loop should
+	// be constructed with this service's Registry as its Publisher
+	// (repro.NewServiceWithFeedback wires that up). The service does not
+	// own the loop; close it after the service.
+	Feedback *feedback.Loop
 }
 
 func (o *Options) withDefaults() Options {
@@ -109,14 +117,18 @@ type Response struct {
 	CacheMisses int                `json:"cache_misses"`
 }
 
-// Metrics is a point-in-time snapshot of service counters.
+// Metrics is a point-in-time snapshot of service counters. Feedback
+// carries the per-model rolling error gauges (observed relative-error
+// quantiles, drift and retrain counters per route) when the online
+// feedback loop is attached.
 type Metrics struct {
-	Requests     uint64      `json:"requests"`
-	Failures     uint64      `json:"failures"`
-	AvgLatencyMS float64     `json:"avg_latency_ms"`
-	Workers      int         `json:"workers"`
-	Cache        CacheStats  `json:"cache"`
-	Models       []ModelInfo `json:"models"`
+	Requests     uint64                `json:"requests"`
+	Failures     uint64                `json:"failures"`
+	AvgLatencyMS float64               `json:"avg_latency_ms"`
+	Workers      int                   `json:"workers"`
+	Cache        CacheStats            `json:"cache"`
+	Models       []ModelInfo           `json:"models"`
+	Feedback     []feedback.RouteStats `json:"feedback,omitempty"`
 }
 
 type job struct {
@@ -317,8 +329,14 @@ func (s *Service) Metrics() Metrics {
 		Cache:    s.cache.Stats(),
 		Models:   s.reg.Models(),
 	}
+	if s.opts.Feedback != nil {
+		m.Feedback = s.opts.Feedback.Snapshot()
+	}
 	if n := s.completed.Load(); n > 0 {
 		m.AvgLatencyMS = float64(s.latencyNS.Load()) / float64(n) / 1e6
 	}
 	return m
 }
+
+// Feedback returns the attached feedback loop, or nil.
+func (s *Service) Feedback() *feedback.Loop { return s.opts.Feedback }

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestRollingFillAndEvict(t *testing.T) {
+	r := NewRolling(4)
+	if r.Len() != 0 || r.Cap() != 4 {
+		t.Fatalf("fresh window: len %d cap %d", r.Len(), r.Cap())
+	}
+	if r.Mean() != 0 || r.Quantile(0.5) != 0 {
+		t.Fatal("empty window should snapshot to zeros")
+	}
+	for _, v := range []float64{1, 2, 3} {
+		r.Add(v)
+	}
+	if r.Len() != 3 || r.Mean() != 2 {
+		t.Fatalf("partial window: len %d mean %v", r.Len(), r.Mean())
+	}
+	r.Add(4)
+	r.Add(100) // evicts 1
+	if r.Len() != 4 {
+		t.Fatalf("full window len %d, want 4", r.Len())
+	}
+	if want := (2 + 3 + 4 + 100) / 4.0; r.Mean() != want {
+		t.Fatalf("mean after eviction %v, want %v", r.Mean(), want)
+	}
+	// Max must be the newest value, min the oldest survivor.
+	if got := r.Quantile(1); got != 100 {
+		t.Fatalf("max %v, want 100", got)
+	}
+	if got := r.Quantile(0); got != 2 {
+		t.Fatalf("min %v, want 2", got)
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Mean() != 0 {
+		t.Fatal("reset did not empty the window")
+	}
+	r.Add(7)
+	if r.Len() != 1 || r.Mean() != 7 {
+		t.Fatal("window unusable after reset")
+	}
+}
+
+// TestRollingMatchesBruteForce cross-checks the ring buffer against a
+// plain keep-the-last-K slice over a random stream.
+func TestRollingMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const capacity = 32
+	r := NewRolling(capacity)
+	var tail []float64
+	qs := []float64{0, 0.25, 0.5, 0.9, 0.99, 1}
+	for i := 0; i < 500; i++ {
+		v := rng.ExpFloat64() * 10
+		r.Add(v)
+		tail = append(tail, v)
+		if len(tail) > capacity {
+			tail = tail[1:]
+		}
+		if r.Len() != len(tail) {
+			t.Fatalf("step %d: len %d, want %d", i, r.Len(), len(tail))
+		}
+		sorted := append([]float64(nil), tail...)
+		sort.Float64s(sorted)
+		got := r.Quantiles(qs...)
+		for j, q := range qs {
+			want := Quantile(sorted, q)
+			if math.Abs(got[j]-want) > 1e-12 {
+				t.Fatalf("step %d q=%v: got %v, want %v", i, q, got[j], want)
+			}
+			if single := r.Quantile(q); math.Abs(single-want) > 1e-12 {
+				t.Fatalf("step %d q=%v: Quantile %v, want %v", i, q, single, want)
+			}
+		}
+		if want := Mean(tail); math.Abs(r.Mean()-want) > 1e-9 {
+			t.Fatalf("step %d: mean %v, want %v", i, r.Mean(), want)
+		}
+	}
+}

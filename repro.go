@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/features"
+	"repro/internal/feedback"
 	"repro/internal/plan"
 	"repro/internal/serve"
 	"repro/internal/workload"
@@ -129,6 +130,14 @@ type TrainOptions struct {
 	// linear scaling everywhere (faster training, slightly less accurate
 	// extrapolation for sorts and nested loops).
 	SkipScaleSelection bool
+	// BaselineProbe stamps the model's drift-detection baseline from an
+	// out-of-sample probe: a throwaway model is trained on 4/5 of the
+	// plans and evaluated on the held-out 1/5 (roughly doubling training
+	// time). Without it the baseline is the cheap in-sample error, which
+	// understates real error and makes the feedback loop's drift
+	// detector more sensitive — enable this for models that will serve
+	// with the feedback loop attached (resserve -bootstrap does).
+	BaselineProbe bool
 }
 
 // Estimator predicts the resource consumption of query plans.
@@ -167,6 +176,29 @@ func Train(queries []*Query, opts TrainOptions) (*Estimator, error) {
 	inner, err := core.Train(plans, opts.Resource, table, cfg)
 	if err != nil {
 		return nil, err
+	}
+	// Stamp the drift-detection baseline: it persists with the model and
+	// the feedback loop compares production errors against it. The probe
+	// (see TrainOptions.BaselineProbe) measures out-of-sample error with
+	// a throwaway 4/5 model; the returned estimator still trains on
+	// every plan.
+	const probeFold = 5
+	if opts.BaselineProbe && len(plans) >= 2*probeFold {
+		var probeTrain, probeHold []*plan.Plan
+		for i, p := range plans {
+			if i%probeFold == probeFold-1 {
+				probeHold = append(probeHold, p)
+			} else {
+				probeTrain = append(probeTrain, p)
+			}
+		}
+		if probe, err := core.Train(probeTrain, opts.Resource, table, cfg); err == nil {
+			b := probe.EvalPlans(probeHold)
+			inner.Baseline = &b
+		}
+	}
+	if inner.Baseline == nil {
+		inner.SetBaseline(plans)
 	}
 	return &Estimator{inner: inner}, nil
 }
@@ -278,4 +310,57 @@ func Publish(s *Service, schema string, e *Estimator) ModelInfo {
 // publishes it under the schema.
 func PublishModelFile(s *Service, schema, path string) (ModelInfo, error) {
 	return s.Registry().PublishFile(schema, path)
+}
+
+// Rollback reverts (schema, resource) to the previously published model
+// version. The prior estimator comes back under a fresh version number,
+// so prediction-cache entries from the rolled-back version never serve.
+func Rollback(s *Service, schema string, r Resource) (ModelInfo, error) {
+	return s.Registry().Rollback(schema, r)
+}
+
+// --- Online feedback loop --------------------------------------------
+//
+// The feedback subsystem closes the serve → observe → retrain →
+// hot-swap cycle: executed plans reported back (POST /observe or
+// FeedbackLoop.Observe) land in a crash-safe segmented observation log
+// and per-model rolling error windows; when recent errors drift past a
+// multiple of the model's training-time baseline, a background
+// retrainer fits a fresh estimator to the logged observations,
+// validates it on a held-out slice (rejecting candidates that do not
+// beat the incumbent), and hot-swaps it into the registry.
+
+// Feedback types, re-exported like the serving types above.
+type (
+	// FeedbackLoop is the online feedback controller.
+	FeedbackLoop = feedback.Loop
+	// FeedbackOptions configures the observation log, drift detector
+	// and retrainer.
+	FeedbackOptions = feedback.Options
+	// Observation is one (plan, predicted, actual) triple reported by
+	// the serving path.
+	Observation = feedback.Observation
+	// FeedbackStats is the per-route error gauge snapshot exposed
+	// through Metrics.
+	FeedbackStats = feedback.RouteStats
+)
+
+// NewServiceWithFeedback starts an estimation service with the online
+// feedback loop attached: the loop's retrainer publishes into the
+// service's registry, POST /observe ingests observations, and /metrics
+// carries the per-model error gauges. Close the service first, then the
+// loop (which flushes the observation log).
+func NewServiceWithFeedback(opts ServeOptions, fopts FeedbackOptions) (*Service, *FeedbackLoop, error) {
+	if opts.Registry == nil {
+		opts.Registry = serve.NewRegistry()
+	}
+	if fopts.Publisher == nil {
+		fopts.Publisher = opts.Registry
+	}
+	loop, err := feedback.New(fopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts.Feedback = loop
+	return serve.New(opts), loop, nil
 }

@@ -227,3 +227,52 @@ func TestDisableScalingOption(t *testing.T) {
 		t.Fatal("MART-only estimator returned non-positive estimate")
 	}
 }
+
+// TestFeedbackFacade drives the exported feedback API end to end:
+// service + loop construction, in-process observation ingest, gauge
+// snapshots through Metrics, and registry rollback.
+func TestFeedbackFacade(t *testing.T) {
+	train, test := trainTestSplit(t, 64)
+	est, err := Train(train, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, loop, err := NewServiceWithFeedback(ServeOptions{}, FeedbackOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loop.Close()
+	defer svc.Close()
+	first := Publish(svc, "tpch", est)
+
+	for _, q := range test {
+		obs := &Observation{Schema: "tpch", Resource: CPUTime, Plan: q.Plan}
+		if err := loop.Observe(obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := svc.Metrics()
+	if len(m.Feedback) != 1 {
+		t.Fatalf("metrics carry %d feedback routes, want 1", len(m.Feedback))
+	}
+	fs := m.Feedback[0]
+	if fs.Observations != uint64(len(test)) || fs.Window.Count != len(test) {
+		t.Fatalf("feedback gauges did not track observations: %+v", fs)
+	}
+	if fs.Baseline == nil {
+		t.Fatal("trained model carries no baseline")
+	}
+
+	// Rollback needs history: publish a second version first.
+	if _, err := Rollback(svc, "tpch", CPUTime); err == nil {
+		t.Fatal("rollback without history succeeded")
+	}
+	second := Publish(svc, "tpch", est)
+	info, err := Rollback(svc, "tpch", CPUTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version <= second.Version || info.Version <= first.Version {
+		t.Fatalf("rollback version %d not fresh (published %d then %d)", info.Version, first.Version, second.Version)
+	}
+}
