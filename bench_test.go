@@ -11,7 +11,12 @@ package repro
 // shared across benchmarks through a lazily built runner.
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -232,6 +237,100 @@ func BenchmarkServing(b *testing.B) {
 				b.ReportMetric(float64(st.Hits)/float64(tot)*100, "cache-hit-%")
 			}
 		})
+	}
+}
+
+// BenchmarkEstimateBatch measures the batched estimation hot path
+// against the sequential baseline at the HTTP surface: one POST
+// /estimate/batch carrying 64 plans versus 64 sequential POST /estimate
+// calls for the same plans. Each benchmark op processes the whole
+// 64-plan set, so ns/op is directly comparable between the sub-benches;
+// the batch path's win comes from amortizing the HTTP round trips,
+// request setup and pool dispatch, plus the compiled tree layout and
+// the single cache multi-get. Predictions are bit-identical either way
+// (see the equivalence tests in internal/core and internal/serve).
+func BenchmarkEstimateBatch(b *testing.B) {
+	r := benchSetup(b)
+	train, test := r.SplitTPCH()
+	cfg := core.DefaultConfig()
+	cfg.Mart.Iterations = 200
+	est, err := core.Train(train, plan.CPUTime, r.ScaleTable, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const batchSize = 64
+	plans := make([]*plan.Plan, batchSize)
+	singleBodies := make([][]byte, batchSize)
+	raws := make([]json.RawMessage, batchSize)
+	for i := range plans {
+		plans[i] = test[i%len(test)]
+		enc, err := plan.EncodeJSON(plans[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		raws[i] = enc
+		body, err := json.Marshal(map[string]any{
+			"schema": "tpch", "resource": "cpu", "plan": json.RawMessage(enc),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		singleBodies[i] = body
+	}
+	batchBody, err := json.Marshal(map[string]any{
+		"schema": "tpch", "resource": "cpu", "plans": raws,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	post := func(b *testing.B, client *http.Client, url string, body []byte) {
+		b.Helper()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+
+	for _, cache := range []struct {
+		name    string
+		entries int
+	}{
+		{"uncached", -1},
+		{"cached", 1 << 16},
+	} {
+		svc := serve.New(serve.Options{CacheEntries: cache.entries})
+		svc.Registry().Publish("tpch", est)
+		srv := httptest.NewServer(svc.Handler())
+		client := srv.Client()
+
+		b.Run(cache.name+"/sequential64", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, body := range singleBodies {
+					post(b, client, srv.URL+"/estimate", body)
+				}
+			}
+			b.ReportMetric(float64(batchSize)*float64(b.N)/b.Elapsed().Seconds(), "plans/s")
+		})
+		b.Run(cache.name+"/batch64", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				post(b, client, srv.URL+"/estimate/batch", batchBody)
+			}
+			b.ReportMetric(float64(batchSize)*float64(b.N)/b.Elapsed().Seconds(), "plans/s")
+		})
+
+		srv.Close()
+		svc.Close()
 	}
 }
 

@@ -2,10 +2,15 @@
 // usage for freshly generated queries, comparing against the simulator's
 // actual measurements.
 //
+// By default the whole query set is estimated in one batched pass over
+// the compiled tree layout (bit-identical to per-query estimation, just
+// faster); -batch=false falls back to one EstimateQuery call per query.
+//
 // Usage:
 //
 //	resestimate -model cpu-model.json -schema tpch -n 20
 //	resestimate -model cpu-model.json -schema tpcds -n 20 -pipelines
+//	resestimate -model cpu-model.json -n 5000 -batch=false
 package main
 
 import (
@@ -24,6 +29,7 @@ func main() {
 		n         = flag.Int("n", 20, "number of test queries")
 		seed      = flag.Uint64("seed", 999, "random seed (use a seed different from training)")
 		pipelines = flag.Bool("pipelines", false, "also print per-pipeline estimates")
+		batch     = flag.Bool("batch", true, "estimate the whole query set in one batched pass (predictions are identical either way)")
 	)
 	flag.Parse()
 
@@ -42,9 +48,18 @@ func main() {
 		resName = "logical reads"
 	}
 	fmt.Printf("%-32s %14s %14s %8s\n", "query", "estimated", "actual", "ratio")
+	var preds []float64
+	if *batch {
+		preds = est.EstimateQueries(qs)
+	} else {
+		preds = make([]float64, len(qs))
+		for i, q := range qs {
+			preds[i] = est.EstimateQuery(q)
+		}
+	}
 	var ests, truths []float64
-	for _, q := range qs {
-		pred := est.EstimateQuery(q)
+	for i, q := range qs {
+		pred := preds[i]
 		truth := q.Plan.TotalActual().Get(est.Resource())
 		ests = append(ests, pred)
 		truths = append(truths, truth)

@@ -25,6 +25,13 @@
 // Endpoints:
 //
 //	POST /estimate         {"schema","resource","timeout_ms","plan"} → estimates
+//	POST /estimate/batch   {"schema","resource","timeout_ms","plans":[plan...]}
+//	                       estimate up to 1024 plans in one request: one model
+//	                       lookup, one worker-pool dispatch and one cache
+//	                       multi-get for the whole batch, with cache misses
+//	                       evaluated on the compiled (flattened) tree layout —
+//	                       same predictions as /estimate, several times the
+//	                       throughput at batch sizes ≥ 64
 //	POST /observe          {"schema","resource","model_version","predicted","plan"}
 //	                       report an executed plan (with actuals) to the
 //	                       feedback loop (enabled by -feedback-dir)

@@ -56,6 +56,16 @@ type CombinedModel struct {
 	// TrainErr is the mean relative training error, used to pick the
 	// operator's default model.
 	TrainErr float64
+	// compiled is the flattened serving layout of Mart, built once at
+	// train/load time and used by the batched prediction path. It is
+	// bit-identical to the pointer walk (see mart.Compile); nil only on
+	// hand-assembled models, for which the batch path compiles on the
+	// fly.
+	compiled *mart.Compiled
+	// scaleFeats lists the ScaleLow/ScaleHigh keys in ascending feature
+	// order. The penalty sum below iterates this slice instead of the
+	// map so selection scores do not depend on map iteration order.
+	scaleFeats []features.ID
 }
 
 // scaledBySet returns the set of features this model scales by.
@@ -74,13 +84,18 @@ func (m *CombinedModel) scaledBySet() map[features.ID]bool {
 func (m *CombinedModel) buildInputs() {
 	scaled := m.scaledBySet()
 	// Dependent-feature normalization: feature G is divided by scaled-by
-	// feature F̂ when G ∈ Dependents(F̂).
+	// feature F̂ when G ∈ Dependents(F̂). Scaled-by features are visited
+	// in declaration order (not map order) and the first claiming a
+	// dependent wins, so training is deterministic when a dependent
+	// feature is shared by both scaled-by features of a two-scale model.
 	normBy := map[features.ID]features.ID{}
 	if !m.noNorm {
-		for f := range scaled {
-			for _, g := range features.DependentsWithin(f, m.Op) {
-				if !scaled[g] {
-					normBy[g] = f
+		for _, sc := range m.Scales {
+			for _, f := range sc.ScaledBy() {
+				for _, g := range features.DependentsWithin(f, m.Op) {
+					if _, taken := normBy[g]; !scaled[g] && !taken {
+						normBy[g] = f
+					}
 				}
 			}
 		}
@@ -103,6 +118,14 @@ func (m *CombinedModel) buildInputs() {
 // transform maps a raw feature vector into the model's MART input space.
 func (m *CombinedModel) transform(v *features.Vector) []float64 {
 	x := make([]float64, len(m.Inputs))
+	m.fillTransform(x, v)
+	return x
+}
+
+// fillTransform writes the transformed inputs into dst, which must have
+// len(m.Inputs) elements. Shared by transform and the batch path so
+// both compute exactly the same values.
+func (m *CombinedModel) fillTransform(dst []float64, v *features.Vector) {
 	for i, id := range m.Inputs {
 		val := v.Get(id)
 		if src := m.normalizeBy[i]; src >= 0 {
@@ -112,9 +135,8 @@ func (m *CombinedModel) transform(v *features.Vector) []float64 {
 			}
 			val /= d
 		}
-		x[i] = val
+		dst[i] = val
 	}
-	return x
 }
 
 // divisor is the combined scaling factor Πg(F̂) for a vector.
@@ -155,6 +177,7 @@ func TrainCombined(op plan.OpKind, resource plan.ResourceKind, scales []ScaleFn,
 		m.ScaleLow[f] = math.Inf(1)
 		m.ScaleHigh[f] = math.Inf(-1)
 	}
+	m.scaleFeats = sortedScaleFeatures(m)
 	for i := range samples {
 		x := m.transform(&samples[i].X)
 		xs[i] = x
@@ -194,6 +217,7 @@ func TrainCombined(op plan.OpKind, resource plan.ResourceKind, scales []ScaleFn,
 		return nil, fmt.Errorf("core: training %s/%s %v: %w", op, resource, scales, err)
 	}
 	m.Mart = mm
+	m.compiled = mart.Compile(mm)
 
 	var errSum float64
 	for i := range samples {
@@ -238,7 +262,14 @@ func (m *CombinedModel) OutRatio(v *features.Vector) float64 {
 // topTwoOutRatios returns the largest and second-largest per-feature
 // out-ratios, used for tie-breaking during model selection.
 func (m *CombinedModel) topTwoOutRatios(v *features.Vector) (first, second float64) {
-	x := m.transform(v)
+	return m.outRatiosOf(m.transform(v))
+}
+
+// outRatiosOf computes the top-two out-ratios from an already
+// transformed input row (x must be m's transform of the vector under
+// consideration). Split out so the batch path can reuse a scratch
+// buffer for the transform.
+func (m *CombinedModel) outRatiosOf(x []float64) (first, second float64) {
 	for i, val := range x {
 		lo, hi := m.Low[i], m.High[i]
 		width := hi - lo
@@ -269,7 +300,8 @@ func (m *CombinedModel) topTwoOutRatios(v *features.Vector) (first, second float
 // empty probe) does not vanish.
 func (m *CombinedModel) belowScalePenalty(v *features.Vector) float64 {
 	var p float64
-	for f, lo := range m.ScaleLow {
+	for _, f := range m.scaleFeats {
+		lo := m.ScaleLow[f]
 		val := v.Get(f)
 		if val < lo*0.5 {
 			den := lo

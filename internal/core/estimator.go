@@ -81,7 +81,14 @@ func Train(plans []*plan.Plan, r plan.ResourceKind, t *ScaleTable, cfg Config) (
 	e := &Estimator{Resource: r, Mode: cfg.Mode, Ops: make(map[plan.OpKind]*OperatorModels, len(byOp))}
 	var sum float64
 	var n int
-	for op, samples := range byOp {
+	// Operators are trained in declaration order, not map order, so the
+	// fallback mean's float accumulation (and hence the whole estimator)
+	// is deterministic run to run.
+	for _, op := range plan.Kinds() {
+		samples, ok := byOp[op]
+		if !ok {
+			continue
+		}
 		var om *OperatorModels
 		var err error
 		if cfg.DisableScaling {

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/features"
+	"repro/internal/plan"
+)
+
+// Golden-file regression tests: a small fixed training set produces a
+// deterministic estimator, and its predictions over held-out node
+// vectors are pinned in testdata/golden/*.json. Any refactor of the
+// prediction path — the compiled batch layout included — must keep
+// these outputs bit-identical (float64 values survive the JSON round
+// trip exactly; Go prints the shortest representation that parses back
+// to the same bits). Regenerate deliberately with
+//
+//	go test ./internal/core -run TestGolden -update
+//
+// after a change that is *supposed* to alter predictions (e.g. a
+// training algorithm change), and eyeball the diff.
+//
+// Note: goldens are generated on amd64; architectures where the Go
+// compiler fuses multiply-adds (e.g. arm64) may round differently.
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current predictions")
+
+type goldenCase struct {
+	Op         string    `json:"op"`
+	Vec        []float64 `json:"vec"`
+	Prediction float64   `json:"prediction"`
+}
+
+type goldenFile struct {
+	Resource string       `json:"resource"`
+	Cases    []goldenCase `json:"cases"`
+}
+
+// goldenEstimator trains the fixed estimator for one resource: seed 61
+// workload, first 72 plans, 100 boosting iterations. Returns the
+// held-out plans the cases are drawn from.
+func goldenEstimator(t *testing.T, r plan.ResourceKind) (*Estimator, []*plan.Plan) {
+	t.Helper()
+	plans := execPlans(61, 96)
+	cfg := DefaultConfig()
+	cfg.Mart.Iterations = 100
+	est, err := Train(plans[:72], r, NewScaleTable(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est, plans[72:]
+}
+
+// goldenCases extracts a deterministic spread of (operator, vector)
+// cases from the held-out plans, at most perOp per operator kind so
+// every trained operator model is exercised.
+func goldenCases(est *Estimator, test []*plan.Plan, perOp int) []goldenCase {
+	seen := make(map[plan.OpKind]int)
+	var out []goldenCase
+	for _, p := range test {
+		vecs := features.ExtractPlan(p, est.Mode)
+		for i, n := range p.Nodes() {
+			if _, ok := est.Ops[n.Kind]; !ok {
+				continue // fallback mean depends on map iteration order
+			}
+			if seen[n.Kind] >= perOp {
+				continue
+			}
+			seen[n.Kind]++
+			vec := make([]float64, len(vecs[i]))
+			copy(vec, vecs[i][:])
+			out = append(out, goldenCase{Op: n.Kind.String(), Vec: vec})
+		}
+	}
+	return out
+}
+
+func goldenPath(r plan.ResourceKind) string {
+	name := "cpu.json"
+	if r == plan.LogicalIO {
+		name = "io.json"
+	}
+	return filepath.Join("testdata", "golden", name)
+}
+
+func TestGoldenPredictions(t *testing.T) {
+	for _, r := range []plan.ResourceKind{plan.CPUTime, plan.LogicalIO} {
+		t.Run(r.String(), func(t *testing.T) {
+			est, test := goldenEstimator(t, r)
+			path := goldenPath(r)
+
+			if *updateGolden {
+				cases := goldenCases(est, test, 6)
+				for i := range cases {
+					kind, err := plan.ParseOpKind(cases[i].Op)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var v features.Vector
+					copy(v[:], cases[i].Vec)
+					cases[i].Prediction = est.PredictVector(kind, &v)
+				}
+				data, err := json.MarshalIndent(goldenFile{Resource: r.String(), Cases: cases}, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s with %d cases", path, len(cases))
+				return
+			}
+
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			var gf goldenFile
+			if err := json.Unmarshal(data, &gf); err != nil {
+				t.Fatal(err)
+			}
+			if gf.Resource != r.String() || len(gf.Cases) == 0 {
+				t.Fatalf("golden file %s malformed: resource %q, %d cases", path, gf.Resource, len(gf.Cases))
+			}
+
+			kinds := make([]plan.OpKind, len(gf.Cases))
+			vecs := make([]features.Vector, len(gf.Cases))
+			for i, c := range gf.Cases {
+				kind, err := plan.ParseOpKind(c.Op)
+				if err != nil {
+					t.Fatal(err)
+				}
+				kinds[i] = kind
+				copy(vecs[i][:], c.Vec)
+			}
+			batch := est.PredictBatch(kinds, vecs, nil)
+			for i, c := range gf.Cases {
+				seq := est.PredictVector(kinds[i], &vecs[i])
+				if math.Float64bits(seq) != math.Float64bits(c.Prediction) {
+					t.Errorf("case %d (%s): sequential prediction %v drifted from golden %v",
+						i, c.Op, seq, c.Prediction)
+				}
+				if math.Float64bits(batch[i]) != math.Float64bits(c.Prediction) {
+					t.Errorf("case %d (%s): batch prediction %v drifted from golden %v",
+						i, c.Op, batch[i], c.Prediction)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenSurvivesReload pins the persisted-model path too: a
+// save/load round trip must reproduce the golden predictions exactly.
+func TestGoldenSurvivesReload(t *testing.T) {
+	est, _ := goldenEstimator(t, plan.CPUTime)
+	data, err := os.ReadFile(goldenPath(plan.CPUTime))
+	if err != nil {
+		t.Skipf("golden file not generated yet: %v", err)
+	}
+	var gf goldenFile
+	if err := json.Unmarshal(data, &gf); err != nil {
+		t.Fatal(err)
+	}
+	loaded := reloadEstimator(t, est)
+	for i, c := range gf.Cases {
+		kind, err := plan.ParseOpKind(c.Op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v features.Vector
+		copy(v[:], c.Vec)
+		if got := loaded.PredictVector(kind, &v); math.Float64bits(got) != math.Float64bits(c.Prediction) {
+			t.Errorf("case %d (%s): reloaded prediction %v drifted from golden %v", i, c.Op, got, c.Prediction)
+		}
+	}
+}

@@ -154,10 +154,28 @@ func TrainOperator(op plan.OpKind, r plan.ResourceKind, samples []Sample,
 // with the smallest maximum out-ratio, ties broken by fewer scale
 // features and then by the second-largest out-ratio.
 func (om *OperatorModels) Select(v *features.Vector) *CombinedModel {
+	var scratch []float64
+	return om.selectWith(v, &scratch)
+}
+
+// selectWith is Select with a caller-owned scratch buffer for the
+// candidate transforms, letting the batch path select thousands of
+// vectors without a per-candidate allocation. The decision is identical
+// to Select (same candidate order, same scores).
+func (om *OperatorModels) selectWith(v *features.Vector, scratch *[]float64) *CombinedModel {
+	transformed := func(c *CombinedModel) []float64 {
+		if cap(*scratch) < len(c.Inputs) {
+			*scratch = make([]float64, len(c.Inputs)+8)
+		}
+		x := (*scratch)[:len(c.Inputs)]
+		c.fillTransform(x, v)
+		return x
+	}
 	// The default wins outright when all its features are in range —
 	// but a default that itself scales (§6.1 allows this) must also see
 	// its scaled-by features within their validated range.
-	if om.Default.OutRatio(v) == 0 && om.Default.belowScalePenalty(v) == 0 {
+	if first, _ := om.Default.outRatiosOf(transformed(om.Default)); first == 0 &&
+		om.Default.belowScalePenalty(v) == 0 {
 		return om.Default
 	}
 	type scored struct {
@@ -167,7 +185,7 @@ func (om *OperatorModels) Select(v *features.Vector) *CombinedModel {
 	best := scored{m: nil, first: -1}
 	const eps = 1e-12
 	for _, c := range om.Candidates {
-		f, s := c.topTwoOutRatios(v)
+		f, s := c.outRatiosOf(transformed(c))
 		f += c.belowScalePenalty(v)
 		cand := scored{m: c, first: f, second: s}
 		if best.m == nil {

@@ -52,10 +52,10 @@ type baselineJSON struct {
 }
 
 type estimatorJSON struct {
-	Version      int      `json:"version"`
-	Resource     int      `json:"resource"`
-	Mode         int      `json:"mode"`
-	FallbackMean float64  `json:"fallback_mean"`
+	Version      int     `json:"version"`
+	Resource     int     `json:"resource"`
+	Mode         int     `json:"mode"`
+	FallbackMean float64 `json:"fallback_mean"`
 	// Baseline is optional so model files predating the feedback
 	// subsystem keep loading (and old readers ignore the extra field).
 	Baseline *baselineJSON `json:"baseline,omitempty"`
@@ -189,6 +189,7 @@ func decodeCombined(op plan.OpKind, r plan.ResourceKind, cj combinedJSON) (*Comb
 		Op:        op,
 		Resource:  r,
 		Mart:      m,
+		compiled:  mart.Compile(m),
 		Low:       cj.Low,
 		High:      cj.High,
 		YLow:      cj.YLow,
@@ -214,5 +215,6 @@ func decodeCombined(op plan.OpKind, r plan.ResourceKind, cj combinedJSON) (*Comb
 		c.ScaleLow[features.ID(f)] = cj.ScaleLow[i]
 		c.ScaleHigh[features.ID(f)] = cj.ScaleHigh[i]
 	}
+	c.scaleFeats = sortedScaleFeatures(c)
 	return c, nil
 }

@@ -1,0 +1,44 @@
+package features
+
+import (
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// TestExtractPlansMatchesExtractPlan proves the batched, map-free walk
+// yields exactly the vectors of the per-plan path, with offsets
+// partitioning the flat slice in plan order.
+func TestExtractPlansMatchesExtractPlan(t *testing.T) {
+	qs := sampleQueries(t, 32)
+	plans := make([]*plan.Plan, len(qs))
+	for i, q := range qs {
+		plans[i] = q.Plan
+	}
+	for _, mode := range []Mode{Exact, Estimated} {
+		vecs, offs := ExtractPlans(plans, mode)
+		if len(offs) != len(plans)+1 || offs[0] != 0 || offs[len(plans)] != len(vecs) {
+			t.Fatalf("mode %d: bad offsets %v for %d vectors", mode, offs, len(vecs))
+		}
+		for i, p := range plans {
+			want := ExtractPlan(p, mode)
+			got := vecs[offs[i]:offs[i+1]]
+			if len(got) != len(want) {
+				t.Fatalf("plan %d: %d vectors, want %d", i, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("plan %d node %d: batch vector differs\n%v\nvs\n%v", i, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestExtractPlansEmpty covers the zero-plan batch.
+func TestExtractPlansEmpty(t *testing.T) {
+	vecs, offs := ExtractPlans(nil, Exact)
+	if len(vecs) != 0 || len(offs) != 1 || offs[0] != 0 {
+		t.Fatalf("empty batch: vecs=%v offs=%v", vecs, offs)
+	}
+}

@@ -1,0 +1,288 @@
+package mart
+
+import (
+	"math"
+	"unsafe"
+)
+
+// Compiled is the batch-serving layout of a trained ensemble: every
+// tree's nodes flattened into one contiguous slab of 16-byte nodes,
+// visited tree-outer / sample-inner so a tree's handful of nodes stays
+// in cache while an entire batch routes through it.
+//
+// Three structural tricks make the walk fast:
+//
+//   - Children are laid out as adjacent pairs (right = left + 1), so
+//     routing is "i = left + goRight".
+//   - Thresholds are stored as order-preserving integer keys (see
+//     floatKey), so goRight is an integer comparison the compiler turns
+//     into a flag-set instruction instead of a floating-point branch.
+//     The data-dependent branch mispredictions of the pointer walk —
+//     its dominant cost, and one a pipeline flush makes impossible to
+//     hide with instruction-level parallelism — disappear entirely.
+//   - Leaves route to themselves (their key is the maximum, which no
+//     sample key strictly exceeds), so a walk can run for the tree's
+//     full depth with no per-node exit test, and PredictBatch keeps
+//     eight independent walks in flight per tree to overlap the
+//     node-load/compare latency chains.
+//
+// The layout is built once at model load/publish time and is immutable
+// afterwards; predictions are bit-identical to the pointer walk of
+// Model.Predict: the integer key comparison routes exactly like the
+// float comparison (NaN features route right in both, matching IEEE
+// "x <= t is false"), and the per-sample accumulation order (base, then
+// each tree's shrunken leaf value, in tree order) is the same float
+// operations.
+type Compiled struct {
+	base    float64
+	rate    float64
+	maxFeat int32   // highest feature index any node reads
+	roots   []int32 // per-tree root index into nodes
+	depth   []int32 // per-tree max root→leaf step count
+	nodes   []cnode // all trees' nodes, tree by tree
+	leaf    []float64
+}
+
+// cnode is one flattened tree node: the split feature, the left child's
+// absolute index (right child = left+1) and the split threshold as an
+// order-preserving key. A leaf has left = its own index and the maximum
+// key, so a walk that reaches it stays; its prediction lives in
+// Compiled.leaf at the same index.
+type cnode struct {
+	feat int32
+	left int32
+	key  uint64
+}
+
+// floatKey maps a float64 to an integer key such that for all non-NaN
+// x, v: x > v ⟺ floatKey(x) > floatKey(v) (the usual sign-fold: negative
+// floats flip all bits, positives set the sign bit). NaN maps to the
+// maximum key, which exceeds every threshold key — so a NaN feature
+// routes right, exactly like the float comparison "x <= t" being false
+// in the pointer walk. (Unreachable corner: a tree threshold of -0
+// would order strictly below a +0 feature; trained thresholds come from
+// observed non-negative feature values and are never -0.)
+func floatKey(f float64) uint64 {
+	b := math.Float64bits(f)
+	key := b ^ (uint64(int64(b)>>63) | 0x8000000000000000)
+	if b&0x7FFFFFFFFFFFFFFF > 0x7FF0000000000000 { // NaN
+		key = ^uint64(0)
+	}
+	return key
+}
+
+// leafKey never satisfies "sample key > leafKey": the self-loop trap.
+const leafKey = ^uint64(0)
+
+// Compile flattens the model into the contiguous serving layout,
+// re-laying each tree so sibling children are adjacent.
+func Compile(m *Model) *Compiled {
+	c := &Compiled{base: m.Base, rate: m.Rate, roots: make([]int32, 0, len(m.Trees))}
+	total := 0
+	for i := range m.Trees {
+		total += len(m.Trees[i].nodes)
+	}
+	c.nodes = make([]cnode, 0, total)
+	c.leaf = make([]float64, 0, total)
+	for ti := range m.Trees {
+		root, depth := c.compileTree(&m.Trees[ti])
+		c.roots = append(c.roots, root)
+		c.depth = append(c.depth, depth)
+	}
+	return c
+}
+
+// compileTree appends one tree to the slab, allocating child pairs
+// adjacently, and returns its root index and maximum depth.
+func (c *Compiled) compileTree(t *Tree) (root, maxDepth int32) {
+	root = int32(len(c.nodes))
+	c.nodes = append(c.nodes, cnode{})
+	c.leaf = append(c.leaf, 0)
+	type item struct{ old, new, depth int32 }
+	stack := []item{{0, root, 0}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.nodes[it.old]
+		if n.Feature < 0 {
+			c.nodes[it.new] = cnode{feat: 0, left: it.new, key: leafKey}
+			c.leaf[it.new] = n.Value
+			if it.depth > maxDepth {
+				maxDepth = it.depth
+			}
+			continue
+		}
+		li := int32(len(c.nodes))
+		c.nodes = append(c.nodes, cnode{}, cnode{})
+		c.leaf = append(c.leaf, 0, 0)
+		c.nodes[it.new] = cnode{feat: n.Feature, left: li, key: floatKey(n.Threshold)}
+		if n.Feature > c.maxFeat {
+			c.maxFeat = n.Feature
+		}
+		stack = append(stack, item{n.Left, li, it.depth + 1}, item{n.Right, li + 1, it.depth + 1})
+	}
+	return root, maxDepth
+}
+
+// NumTrees returns the number of compiled trees.
+func (c *Compiled) NumTrees() int { return len(c.roots) }
+
+// FeatureKeys converts a feature row into walk keys (floatKey per
+// feature), appending to dst. Converting once per row instead of once
+// per node visit takes the bit-fold off the walk's critical path: a
+// sample visits ~trees×depth nodes but has only a handful of features.
+func FeatureKeys(dst []uint64, x []float64) []uint64 {
+	for _, f := range x {
+		dst = append(dst, floatKey(f))
+	}
+	return dst
+}
+
+// walk routes one pre-keyed sample for at most depth steps and returns
+// its leaf index. A leaf routes to itself, so "the index stopped
+// moving" is the settled condition.
+func (c *Compiled) walk(root, depth int32, k []uint64) int32 {
+	i := root
+	nodes := c.nodes
+	for d := int32(0); d < depth; d++ {
+		n := nodes[i]
+		l := n.left
+		if k[n.feat] > n.key {
+			l++
+		}
+		if l == i {
+			break
+		}
+		i = l
+	}
+	return i
+}
+
+// Predict evaluates one feature vector, bit-identical to Model.Predict
+// on the source model.
+func (c *Compiled) Predict(x []float64) float64 {
+	var buf [32]uint64
+	k := FeatureKeys(buf[:0], x)
+	y := c.base
+	for t, root := range c.roots {
+		y += c.rate * c.leaf[c.walk(root, c.depth[t], k)]
+	}
+	return y
+}
+
+// PredictBatch evaluates every row of xs into out (parallel slices,
+// len(out) must equal len(xs); every row must have more than
+// Compiled.maxFeat features, which is checked up front). Rows are
+// converted to walk keys once (FeatureKeys), trees are the outer loop
+// so each tree's nodes stay hot across the whole batch, and eight
+// samples walk each tree concurrently with branchless routing; per
+// sample the accumulation order is identical to Predict, so results
+// are bit-identical to calling Predict row by row.
+//
+// The inner walk reads nodes and keys through unsafe pointer
+// arithmetic: the row lengths are validated once above the loop, node
+// child indexes are in range by construction (Compile lays them out),
+// and removing the per-access bounds checks is what lets the compiler
+// turn the routing comparison into flag-based selection instead of a
+// mispredicting branch — the branch mispredictions of the pointer walk
+// were its dominant cost, and a pipeline flush cannot be hidden by
+// instruction-level parallelism.
+func (c *Compiled) PredictBatch(xs [][]float64, out []float64) {
+	for i := range out {
+		out[i] = c.base
+	}
+	if len(c.nodes) == 0 || len(xs) == 0 {
+		return
+	}
+	need := int(c.maxFeat)
+	total := 0
+	for _, x := range xs {
+		if len(x) <= need {
+			_ = x[need] // panic with the standard bounds-check error
+		}
+		total += len(x)
+	}
+	keySlab := make([]uint64, 0, total)
+	keys := make([][]uint64, len(xs))
+	for j, x := range xs {
+		off := len(keySlab)
+		keySlab = FeatureKeys(keySlab, x)
+		keys[j] = keySlab[off:len(keySlab):len(keySlab)]
+	}
+
+	const nodeSize = unsafe.Sizeof(cnode{})
+	np := unsafe.Pointer(unsafe.SliceData(c.nodes))
+	rate := c.rate
+	for t, root := range c.roots {
+		depth := c.depth[t]
+		j := 0
+		for ; j+8 <= len(keys); j += 8 {
+			p0 := unsafe.Pointer(unsafe.SliceData(keys[j]))
+			p1 := unsafe.Pointer(unsafe.SliceData(keys[j+1]))
+			p2 := unsafe.Pointer(unsafe.SliceData(keys[j+2]))
+			p3 := unsafe.Pointer(unsafe.SliceData(keys[j+3]))
+			p4 := unsafe.Pointer(unsafe.SliceData(keys[j+4]))
+			p5 := unsafe.Pointer(unsafe.SliceData(keys[j+5]))
+			p6 := unsafe.Pointer(unsafe.SliceData(keys[j+6]))
+			p7 := unsafe.Pointer(unsafe.SliceData(keys[j+7]))
+			i0, i1, i2, i3 := root, root, root, root
+			i4, i5, i6, i7 := root, root, root, root
+			for d := int32(0); d < depth; d++ {
+				n0 := (*cnode)(unsafe.Add(np, uintptr(i0)*nodeSize))
+				n1 := (*cnode)(unsafe.Add(np, uintptr(i1)*nodeSize))
+				n2 := (*cnode)(unsafe.Add(np, uintptr(i2)*nodeSize))
+				n3 := (*cnode)(unsafe.Add(np, uintptr(i3)*nodeSize))
+				n4 := (*cnode)(unsafe.Add(np, uintptr(i4)*nodeSize))
+				n5 := (*cnode)(unsafe.Add(np, uintptr(i5)*nodeSize))
+				n6 := (*cnode)(unsafe.Add(np, uintptr(i6)*nodeSize))
+				n7 := (*cnode)(unsafe.Add(np, uintptr(i7)*nodeSize))
+				var d0, d1, d2, d3, d4, d5, d6, d7 int32
+				if *(*uint64)(unsafe.Add(p0, uintptr(n0.feat)*8)) > n0.key {
+					d0 = 1
+				}
+				if *(*uint64)(unsafe.Add(p1, uintptr(n1.feat)*8)) > n1.key {
+					d1 = 1
+				}
+				if *(*uint64)(unsafe.Add(p2, uintptr(n2.feat)*8)) > n2.key {
+					d2 = 1
+				}
+				if *(*uint64)(unsafe.Add(p3, uintptr(n3.feat)*8)) > n3.key {
+					d3 = 1
+				}
+				if *(*uint64)(unsafe.Add(p4, uintptr(n4.feat)*8)) > n4.key {
+					d4 = 1
+				}
+				if *(*uint64)(unsafe.Add(p5, uintptr(n5.feat)*8)) > n5.key {
+					d5 = 1
+				}
+				if *(*uint64)(unsafe.Add(p6, uintptr(n6.feat)*8)) > n6.key {
+					d6 = 1
+				}
+				if *(*uint64)(unsafe.Add(p7, uintptr(n7.feat)*8)) > n7.key {
+					d7 = 1
+				}
+				l0, l1, l2, l3 := n0.left+d0, n1.left+d1, n2.left+d2, n3.left+d3
+				l4, l5, l6, l7 := n4.left+d4, n5.left+d5, n6.left+d6, n7.left+d7
+				// All settled on leaves (self-loops): done early, so a
+				// deep outlier leaf doesn't pad every walk.
+				if l0 == i0 && l1 == i1 && l2 == i2 && l3 == i3 &&
+					l4 == i4 && l5 == i5 && l6 == i6 && l7 == i7 {
+					break
+				}
+				i0, i1, i2, i3 = l0, l1, l2, l3
+				i4, i5, i6, i7 = l4, l5, l6, l7
+			}
+			out[j] += rate * c.leaf[i0]
+			out[j+1] += rate * c.leaf[i1]
+			out[j+2] += rate * c.leaf[i2]
+			out[j+3] += rate * c.leaf[i3]
+			out[j+4] += rate * c.leaf[i4]
+			out[j+5] += rate * c.leaf[i5]
+			out[j+6] += rate * c.leaf[i6]
+			out[j+7] += rate * c.leaf[i7]
+		}
+		for ; j < len(keys); j++ {
+			out[j] += rate * c.leaf[c.walk(root, depth, keys[j])]
+		}
+	}
+}

@@ -2,9 +2,15 @@ package plan
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// ErrUnknownOp marks a wire plan naming an operator kind this build
+// does not know. Callers (e.g. the HTTP layer) match it with errors.Is
+// to map the failure to a structured client error.
+var ErrUnknownOp = errors.New("plan: unknown operator kind")
 
 // The wire codec is the JSON encoding external clients use to submit
 // physical plans to the estimation service (cmd/resserve) instead of
@@ -18,13 +24,19 @@ import (
 // WireVersion is the current plan wire-format version.
 const WireVersion = 1
 
-type wirePlan struct {
+// Wire is the decoded JSON structure of a plan — the wire format's
+// direct Go shape. Exporting it lets batch endpoints embed plans in a
+// larger request envelope and parse everything in a single
+// json.Unmarshal pass (no per-plan RawMessage re-scan); ToPlan finishes
+// the conversion. DecodeJSON is the one-plan convenience wrapper.
+type Wire struct {
 	Version int       `json:"version"`
 	Tag     string    `json:"tag,omitempty"`
-	Root    *wireNode `json:"root"`
+	Root    *WireNode `json:"root"`
 }
 
-type wireNode struct {
+// WireNode is one operator of a wire-format plan.
+type WireNode struct {
 	Kind string `json:"kind"`
 
 	// Base-table metadata (leaves).
@@ -56,7 +68,7 @@ type wireNode struct {
 	ActualCPU float64 `json:"actual_cpu,omitempty"`
 	ActualIO  float64 `json:"actual_io,omitempty"`
 
-	Children []*wireNode `json:"children,omitempty"`
+	Children []*WireNode `json:"children,omitempty"`
 }
 
 // kindNames maps wire names back to operator kinds.
@@ -72,13 +84,13 @@ var kindNames = func() map[string]OpKind {
 func ParseOpKind(s string) (OpKind, error) {
 	k, ok := kindNames[s]
 	if !ok {
-		return 0, fmt.Errorf("plan: unknown operator kind %q", s)
+		return 0, fmt.Errorf("%w %q", ErrUnknownOp, s)
 	}
 	return k, nil
 }
 
-func toWire(n *Node) *wireNode {
-	w := &wireNode{
+func toWire(n *Node) *WireNode {
+	w := &WireNode{
 		Kind:          n.Kind.String(),
 		Table:         n.Table,
 		TableRows:     n.TableRows,
@@ -107,7 +119,7 @@ func toWire(n *Node) *wireNode {
 	return w
 }
 
-func fromWire(w *wireNode) (*Node, error) {
+func fromWire(w *WireNode) (*Node, error) {
 	kind, err := ParseOpKind(w.Kind)
 	if err != nil {
 		return nil, err
@@ -147,7 +159,7 @@ func EncodeJSON(p *Plan) ([]byte, error) {
 	if p == nil || p.Root == nil {
 		return nil, fmt.Errorf("plan: encode nil plan")
 	}
-	return json.Marshal(&wirePlan{Version: WireVersion, Tag: p.Tag, Root: toWire(p.Root)})
+	return json.Marshal(&Wire{Version: WireVersion, Tag: p.Tag, Root: toWire(p.Root)})
 }
 
 // WriteJSON writes the wire encoding followed by a newline.
@@ -165,9 +177,19 @@ func WriteJSON(w io.Writer, p *Plan) error {
 // and validates the structural invariants (child counts, leaf table
 // stats, non-negative cardinalities).
 func DecodeJSON(data []byte) (*Plan, error) {
-	var wp wirePlan
+	var wp Wire
 	if err := json.Unmarshal(data, &wp); err != nil {
 		return nil, fmt.Errorf("plan: decode: %w", err)
+	}
+	return wp.ToPlan()
+}
+
+// ToPlan converts a decoded wire structure into a validated plan:
+// operator-kind resolution, preorder renumbering and the structural
+// invariant checks of Validate.
+func (wp *Wire) ToPlan() (*Plan, error) {
+	if wp == nil {
+		return nil, fmt.Errorf("plan: decode: missing plan")
 	}
 	if wp.Version != WireVersion {
 		return nil, fmt.Errorf("plan: decode: unsupported wire version %d", wp.Version)

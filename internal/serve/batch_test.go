@@ -1,0 +1,370 @@
+package serve_test
+
+// Tests for the batched estimation path: bit-exact equivalence with
+// sequential /estimate, cache sharing between the two paths, the HTTP
+// endpoint (including its structured error shapes), and concurrent
+// batches under hot-swap (run with -race).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/serve"
+)
+
+// TestEstimateBatchMatchesSequential is the serving-level equivalence
+// property: a batch response must carry, per plan, exactly the values
+// sequential Estimate calls produce — operators, pipelines and totals,
+// bit for bit.
+func TestEstimateBatchMatchesSequential(t *testing.T) {
+	for _, entries := range []int{-1, 4096} {
+		reg := serve.NewRegistry()
+		svc := newService(t, serve.Options{Registry: reg, CacheEntries: entries})
+		reg.Publish("tpch", cpuEst)
+		ctx := context.Background()
+
+		batch, err := svc.EstimateBatch(ctx, serve.BatchRequest{Schema: "tpch", Plans: testPlans})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch.Plans) != len(testPlans) {
+			t.Fatalf("cache=%d: %d results for %d plans", entries, len(batch.Plans), len(testPlans))
+		}
+		for i, p := range testPlans {
+			seq, err := svc.Estimate(ctx, serve.Request{Schema: "tpch", Plan: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := batch.Plans[i]
+			if math.Float64bits(got.Total) != math.Float64bits(seq.Total) {
+				t.Fatalf("cache=%d plan %d: batch total %v != sequential %v", entries, i, got.Total, seq.Total)
+			}
+			if len(got.Operators) != len(seq.Operators) {
+				t.Fatalf("plan %d: operator count %d != %d", i, len(got.Operators), len(seq.Operators))
+			}
+			for j := range got.Operators {
+				if got.Operators[j] != seq.Operators[j] {
+					t.Fatalf("plan %d op %d: %+v != %+v", i, j, got.Operators[j], seq.Operators[j])
+				}
+			}
+			if len(got.Pipelines) != len(seq.Pipelines) {
+				t.Fatalf("plan %d: pipeline count mismatch", i)
+			}
+			for j := range got.Pipelines {
+				if math.Float64bits(got.Pipelines[j].Estimate) != math.Float64bits(seq.Pipelines[j].Estimate) {
+					t.Fatalf("plan %d pipeline %d: %v != %v", i, j,
+						got.Pipelines[j].Estimate, seq.Pipelines[j].Estimate)
+				}
+			}
+		}
+	}
+}
+
+// TestEstimateBatchCacheSharing proves the two paths share one cache: a
+// batch warms it for sequential requests and vice versa.
+func TestEstimateBatchCacheSharing(t *testing.T) {
+	svc := newService(t, serve.Options{CacheEntries: 1 << 14})
+	svc.Registry().Publish("tpch", cpuEst)
+	ctx := context.Background()
+
+	cold, err := svc.EstimateBatch(ctx, serve.BatchRequest{Schema: "tpch", Plans: testPlans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHits != 0 && cold.CacheMisses == 0 {
+		t.Fatalf("cold batch: hits %d misses %d", cold.CacheHits, cold.CacheMisses)
+	}
+	// Sequential requests must now hit the batch-populated entries.
+	seq, err := svc.Estimate(ctx, serve.Request{Schema: "tpch", Plan: testPlans[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.CacheMisses != 0 {
+		t.Fatalf("sequential after batch: %d misses, want 0", seq.CacheMisses)
+	}
+	// And a repeated batch is all hits.
+	warm, err := svc.EstimateBatch(ctx, serve.BatchRequest{Schema: "tpch", Plans: testPlans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheMisses != 0 {
+		t.Fatalf("warm batch: %d misses, want 0", warm.CacheMisses)
+	}
+	m := svc.Metrics()
+	if m.BatchRequests != 2 || m.BatchPlans != uint64(2*len(testPlans)) {
+		t.Fatalf("batch counters: %d requests, %d plans", m.BatchRequests, m.BatchPlans)
+	}
+}
+
+// TestEstimateBatchErrors covers the service-level failure modes.
+func TestEstimateBatchErrors(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	ctx := context.Background()
+	if _, err := svc.EstimateBatch(ctx, serve.BatchRequest{Schema: "tpch"}); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := svc.EstimateBatch(ctx, serve.BatchRequest{Schema: "tpch", Plans: testPlans[:2]}); err == nil {
+		t.Fatal("batch without model accepted")
+	}
+	svc.Registry().Publish("tpch", cpuEst)
+	bad := plan.New(plan.NewLeaf(plan.TableScan, "t"), "bad") // no table stats
+	_, err := svc.EstimateBatch(ctx, serve.BatchRequest{Schema: "tpch", Plans: []*plan.Plan{testPlans[0], bad}})
+	if err == nil || !strings.Contains(err.Error(), "plan 1") {
+		t.Fatalf("invalid batch plan: %v (want error naming plan 1)", err)
+	}
+	if _, err := svc.EstimateBatch(ctx, serve.BatchRequest{
+		Schema: "tpch", Plans: testPlans, Timeout: time.Nanosecond,
+	}); err == nil {
+		t.Fatal("nanosecond batch deadline met")
+	}
+}
+
+// postDecode posts a JSON body (via postJSON from the feedback tests)
+// and decodes the response envelope into out.
+func postDecode(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	resp, data := postJSON(t, url, body)
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decoding %s response %q: %v", url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// wireErrorJSON mirrors the service's structured error envelope.
+type wireErrorJSON struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+	Plan  *int   `json:"plan"`
+}
+
+// TestHTTPEstimateBatch drives POST /estimate/batch end to end and
+// checks it against per-plan POST /estimate responses.
+func TestHTTPEstimateBatch(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	svc.Registry().Publish("tpch", cpuEst)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	raws := make([]json.RawMessage, len(testPlans))
+	for i, p := range testPlans {
+		enc, err := plan.EncodeJSON(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raws[i] = enc
+	}
+	var batch serve.BatchResponse
+	if code := postDecode(t, srv.URL+"/estimate/batch", map[string]any{
+		"schema": "tpch", "resource": "cpu", "plans": raws,
+	}, &batch); code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+	if len(batch.Plans) != len(testPlans) {
+		t.Fatalf("%d batch results for %d plans", len(batch.Plans), len(testPlans))
+	}
+	for i, raw := range raws {
+		var single serve.Response
+		if code := postDecode(t, srv.URL+"/estimate", map[string]any{
+			"schema": "tpch", "resource": "cpu", "plan": json.RawMessage(raw),
+		}, &single); code != http.StatusOK {
+			t.Fatalf("single status %d", code)
+		}
+		if math.Float64bits(batch.Plans[i].Total) != math.Float64bits(single.Total) {
+			t.Fatalf("plan %d: HTTP batch total %v != single %v", i, batch.Plans[i].Total, single.Total)
+		}
+	}
+}
+
+// TestHTTPErrorShapes asserts the structured error envelope — message,
+// stable code, and (for batches) the offending plan index — for
+// unknown schemas, unknown operators and unknown resources on both
+// estimate endpoints.
+func TestHTTPErrorShapes(t *testing.T) {
+	svc := newService(t, serve.Options{})
+	svc.Registry().Publish("tpch", cpuEst)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	good, err := plan.EncodeJSON(testPlans[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	badOp := json.RawMessage(`{"version":1,"root":{"kind":"QuantumScan","table":"t","table_rows":1,"table_pages":1}}`)
+
+	cases := []struct {
+		name     string
+		url      string
+		body     map[string]any
+		status   int
+		code     string
+		planIdx  *int
+		contains string
+	}{
+		{
+			name: "estimate unknown schema", url: "/estimate",
+			body:   map[string]any{"schema": "nosuch", "resource": "io", "plan": json.RawMessage(good)},
+			status: http.StatusNotFound, code: "unknown_schema", contains: "nosuch",
+		},
+		{
+			name: "estimate unknown operator", url: "/estimate",
+			body:   map[string]any{"schema": "tpch", "plan": badOp},
+			status: http.StatusBadRequest, code: "unknown_operator", contains: "QuantumScan",
+		},
+		{
+			name: "estimate unknown resource", url: "/estimate",
+			body:   map[string]any{"schema": "tpch", "resource": "gpu", "plan": json.RawMessage(good)},
+			status: http.StatusBadRequest, code: "unknown_resource", contains: "gpu",
+		},
+		{
+			name: "batch unknown schema", url: "/estimate/batch",
+			body:   map[string]any{"schema": "nosuch", "plans": []json.RawMessage{good}},
+			status: http.StatusNotFound, code: "unknown_schema", contains: "nosuch",
+		},
+		{
+			name: "batch unknown operator names plan", url: "/estimate/batch",
+			body:    map[string]any{"schema": "tpch", "plans": []json.RawMessage{good, badOp}},
+			status:  http.StatusBadRequest,
+			code:    "unknown_operator",
+			planIdx: intp(1), contains: "QuantumScan",
+		},
+		{
+			name: "batch empty", url: "/estimate/batch",
+			body:   map[string]any{"schema": "tpch"},
+			status: http.StatusBadRequest, code: "bad_request", contains: "missing plans",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var e wireErrorJSON
+			code := postDecode(t, srv.URL+tc.url, tc.body, &e)
+			if code != tc.status {
+				t.Fatalf("status %d, want %d (%+v)", code, tc.status, e)
+			}
+			if e.Code != tc.code {
+				t.Fatalf("error code %q, want %q (%+v)", e.Code, tc.code, e)
+			}
+			if e.Error == "" || !strings.Contains(e.Error, tc.contains) {
+				t.Fatalf("error message %q does not mention %q", e.Error, tc.contains)
+			}
+			if (tc.planIdx == nil) != (e.Plan == nil) {
+				t.Fatalf("plan index presence: got %v, want %v", e.Plan, tc.planIdx)
+			}
+			if tc.planIdx != nil && *e.Plan != *tc.planIdx {
+				t.Fatalf("plan index %d, want %d", *e.Plan, *tc.planIdx)
+			}
+		})
+	}
+
+	// A batch over the plan-count limit is rejected up front.
+	big := make([]json.RawMessage, 1025)
+	for i := range big {
+		big[i] = good
+	}
+	var e wireErrorJSON
+	if code := postDecode(t, srv.URL+"/estimate/batch", map[string]any{"schema": "tpch", "plans": big}, &e); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch status %d (%+v)", code, e)
+	}
+	if e.Code != "batch_too_large" {
+		t.Fatalf("oversized batch code %q", e.Code)
+	}
+}
+
+func intp(i int) *int { return &i }
+
+// TestConcurrentBatchDuringHotSwap hammers EstimateBatch from many
+// goroutines while the model is republished and sequential traffic runs
+// alongside — the -race equivalence target: every batch response must
+// be internally consistent and match the immutable estimator exactly.
+func TestConcurrentBatchDuringHotSwap(t *testing.T) {
+	svc := newService(t, serve.Options{Workers: 8})
+	first := svc.Registry().Publish("tpch", cpuEst)
+
+	want := make([]float64, len(testPlans))
+	for i, p := range testPlans {
+		want[i] = cpuEst.PredictPlan(p)
+	}
+
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			svc.Registry().Publish("tpch", cpuEst)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for r := 0; r < 25; r++ {
+				if c%2 == 0 {
+					resp, err := svc.EstimateBatch(ctx, serve.BatchRequest{Schema: "tpch", Plans: testPlans})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if resp.Model.Version < first.Version {
+						errs <- fmt.Errorf("batch served version %d before first publish %d",
+							resp.Model.Version, first.Version)
+						return
+					}
+					for i, pe := range resp.Plans {
+						var sum float64
+						for _, oe := range pe.Operators {
+							sum += oe.Estimate
+						}
+						if math.Abs(sum-pe.Total) > 1e-9 {
+							errs <- fmt.Errorf("batch plan %d inconsistent under swap", i)
+							return
+						}
+						if math.Float64bits(pe.Total) != math.Float64bits(want[i]) {
+							errs <- fmt.Errorf("batch plan %d: %v != reference %v", i, pe.Total, want[i])
+							return
+						}
+					}
+				} else {
+					p := testPlans[(c+r)%len(testPlans)]
+					resp, err := svc.Estimate(ctx, serve.Request{Schema: "tpch", Plan: p})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if math.Float64bits(resp.Total) != math.Float64bits(want[(c+r)%len(testPlans)]) {
+						errs <- fmt.Errorf("sequential total diverged under swap")
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	swapper.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -150,6 +150,117 @@ func (c *Cache) Put(k cacheKey, v float64) {
 	s.mu.Unlock()
 }
 
+// shardPlan groups a key batch by shard in one pass: a counting sort
+// producing, per shard s, the key indexes order[starts[s]:starts[s+1]].
+// Hashing each key once here is what GetMulti and PutMulti share.
+type shardPlan struct {
+	order  []int32
+	starts [cacheShards + 1]int32
+}
+
+func planShards(keys []cacheKey) *shardPlan {
+	sp := &shardPlan{order: make([]int32, len(keys))}
+	shardOf := make([]uint8, len(keys))
+	var counts [cacheShards]int32
+	for i := range keys {
+		s := uint8(keys[i].hash() % cacheShards)
+		shardOf[i] = s
+		counts[s]++
+	}
+	var sum int32
+	for s := 0; s < cacheShards; s++ {
+		sp.starts[s] = sum
+		sum += counts[s]
+	}
+	sp.starts[cacheShards] = sum
+	next := sp.starts
+	for i := range keys {
+		s := shardOf[i]
+		sp.order[next[s]] = int32(i)
+		next[s]++
+	}
+	return sp
+}
+
+// GetMulti looks up a whole batch of keys, writing memoized values into
+// vals and lookup outcomes into hit (all three slices parallel), and
+// returns the hit count plus the shard grouping for a follow-up
+// PutMulti (nil when the cache is disabled). Keys are grouped by shard
+// so each shard lock is taken at most once per batch instead of once
+// per key; the counters are bumped once with the batch totals.
+func (c *Cache) GetMulti(keys []cacheKey, vals []float64, hit []bool) (int, *shardPlan) {
+	if c == nil {
+		for i := range hit {
+			hit[i] = false
+		}
+		return 0, nil
+	}
+	sp := planShards(keys)
+	hits := 0
+	for si := 0; si < cacheShards; si++ {
+		group := sp.order[sp.starts[si]:sp.starts[si+1]]
+		if len(group) == 0 {
+			continue
+		}
+		s := &c.shards[si]
+		s.mu.Lock()
+		for _, i := range group {
+			if el, ok := s.m[keys[i]]; ok {
+				s.lru.MoveToFront(el)
+				vals[i] = el.Value.(*cacheEntry).val
+				hit[i] = true
+				hits++
+			} else {
+				hit[i] = false
+			}
+		}
+		s.mu.Unlock()
+	}
+	c.hits.Add(uint64(hits))
+	c.misses.Add(uint64(len(keys) - hits))
+	return hits, sp
+}
+
+// PutMulti memoizes the batch entries whose skip flag is false (the
+// misses of a preceding GetMulti), reusing that GetMulti's shard
+// grouping so key hashes are computed once per batch.
+func (c *Cache) PutMulti(keys []cacheKey, vals []float64, skip []bool, sp *shardPlan) {
+	if c == nil {
+		return
+	}
+	if sp == nil {
+		sp = planShards(keys)
+	}
+	for si := 0; si < cacheShards; si++ {
+		group := sp.order[sp.starts[si]:sp.starts[si+1]]
+		locked := false
+		s := &c.shards[si]
+		for _, i := range group {
+			if skip[i] {
+				continue
+			}
+			if !locked {
+				s.mu.Lock()
+				locked = true
+			}
+			if el, ok := s.m[keys[i]]; ok {
+				el.Value.(*cacheEntry).val = vals[i]
+				s.lru.MoveToFront(el)
+				continue
+			}
+			s.m[keys[i]] = s.lru.PushFront(&cacheEntry{key: keys[i], val: vals[i]})
+			if s.lru.Len() > s.cap {
+				old := s.lru.Back()
+				s.lru.Remove(old)
+				delete(s.m, old.Value.(*cacheEntry).key)
+			}
+		}
+		if locked {
+			s.mu.Unlock()
+		}
+	}
+}
+
 // Stats snapshots the counters and current occupancy.
 func (c *Cache) Stats() CacheStats {
 	if c == nil {

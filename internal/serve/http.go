@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -27,8 +28,41 @@ type estimateRequestJSON struct {
 	Plan json.RawMessage `json:"plan"`
 }
 
+// errorJSON is the structured error envelope every endpoint returns on
+// failure: a human-readable message plus a stable machine-readable code
+// (see the errCode* constants). Batch endpoints additionally set Plan
+// to the index of the offending plan.
 type errorJSON struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
+	Plan  *int   `json:"plan,omitempty"`
+}
+
+// Stable error codes for the wire. Clients should branch on these, not
+// on message text.
+const (
+	errCodeBadRequest      = "bad_request"
+	errCodeUnknownResource = "unknown_resource"
+	errCodeUnknownOperator = "unknown_operator"
+	errCodeBadPlan         = "bad_plan"
+	errCodeUnknownSchema   = "unknown_schema"
+	errCodeNoHistory       = "no_history"
+	errCodeConflict        = "conflict"
+	errCodeUnavailable     = "unavailable"
+	errCodeTimeout         = "timeout"
+	errCodeForbidden       = "forbidden"
+	errCodeBatchTooLarge   = "batch_too_large"
+	errCodeInternal        = "internal"
+)
+
+// jsonError builds the envelope; planIdx < 0 omits the plan index.
+func jsonError(msg, code string, planIdx int) errorJSON {
+	e := errorJSON{Error: msg, Code: code}
+	if planIdx >= 0 {
+		idx := planIdx
+		e.Plan = &idx
+	}
+	return e
 }
 
 // ParseResource maps the wire resource names to plan.ResourceKind.
@@ -51,15 +85,23 @@ type publishRequestJSON struct {
 }
 
 // Request body bounds: a plan tree is small (operators, not data), and
-// the publish body is just a schema and a path.
+// the publish body is just a schema and a path. Batches get a larger
+// envelope plus a plan-count cap so a single request cannot monopolize
+// a worker for unbounded time.
 const (
 	maxEstimateBody = 8 << 20
 	maxPublishBody  = 4 << 10
+	maxBatchBody    = 64 << 20
+	maxBatchPlans   = 1024
 )
 
 // Handler returns the service's HTTP API:
 //
 //	POST /estimate         {schema, resource, timeout_ms, plan} → Response
+//	POST /estimate/batch   {schema, resource, timeout_ms, plans: [plan...]}
+//	                       → BatchResponse: one model lookup, one pool
+//	                       dispatch and one cache multi-get for the whole
+//	                       batch (≤ 1024 plans)
 //	POST /observe          {schema, resource, model_version, predicted, plan}
 //	                       → feeds the online feedback loop (403 when no
 //	                       loop is attached); the plan must carry actuals
@@ -69,9 +111,14 @@ const (
 //	                       previously published version)
 //	GET  /metrics          → Metrics (incl. per-model feedback error gauges)
 //	GET  /healthz          → 200 once at least one model is published
+//
+// Failures return the structured errorJSON envelope: a message, a
+// stable machine-readable code, and — on batch requests — the index of
+// the offending plan.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /estimate", s.handleEstimate)
+	mux.HandleFunc("POST /estimate/batch", s.handleEstimateBatch)
 	mux.HandleFunc("POST /observe", s.handleObserve)
 	mux.HandleFunc("GET /models", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.reg.Models())
@@ -83,7 +130,8 @@ func (s *Service) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if len(s.reg.Models()) == 0 {
-			writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "no models published"})
+			writeJSON(w, http.StatusServiceUnavailable,
+				jsonError("no models published", errCodeUnavailable, -1))
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -94,21 +142,21 @@ func (s *Service) Handler() http.Handler {
 func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	var req estimateRequestJSON
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEstimateBody)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, jsonError("bad request body: "+err.Error(), errCodeBadRequest, -1))
 		return
 	}
 	resource, err := ParseResource(req.Resource)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, jsonError(err.Error(), errCodeUnknownResource, -1))
 		return
 	}
 	if len(req.Plan) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "missing plan"})
+		writeJSON(w, http.StatusBadRequest, jsonError("missing plan", errCodeBadRequest, -1))
 		return
 	}
 	p, err := plan.DecodeJSON(req.Plan)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, jsonError(err.Error(), planErrCode(err), -1))
 		return
 	}
 	resp, err := s.Estimate(r.Context(), Request{
@@ -118,10 +166,115 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
 	})
 	if err != nil {
-		writeJSON(w, statusFor(err), errorJSON{Error: err.Error()})
+		status, body := errorFor(err)
+		writeJSON(w, status, body)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchEstimateRequestJSON is the wire form of POST /estimate/batch:
+// the single-plan request with plans (an array of wire-encoded plans)
+// in place of plan. Plans decode as plan.Wire structures directly, so
+// the whole envelope — plan payloads included — parses in one
+// json.Decode pass instead of buffering RawMessages and re-parsing
+// each (JSON parsing is a quarter of a large batch's serving cost).
+type batchEstimateRequestJSON struct {
+	Schema    string     `json:"schema,omitempty"`
+	Resource  string     `json:"resource,omitempty"`
+	TimeoutMS int        `json:"timeout_ms,omitempty"`
+	Plans     batchPlans `json:"plans"`
+}
+
+// errTooManyPlans aborts a batch decode at the plan cap.
+var errTooManyPlans = fmt.Errorf("serve: batch exceeds the %d-plan limit", maxBatchPlans)
+
+// batchPlans decodes a plans array with the count cap enforced *during*
+// decoding. A flat []*plan.Wire would materialize every element of a
+// maxBatchBody-sized request (millions of tiny entries, ~10-15x memory
+// amplification) before the handler could count them; this stops at
+// maxBatchPlans+1 with the rest of the array unparsed.
+type batchPlans []*plan.Wire
+
+func (b *batchPlans) UnmarshalJSON(data []byte) error {
+	*b = nil
+	if string(data) == "null" {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return fmt.Errorf("plans must be an array")
+	}
+	for dec.More() {
+		if len(*b) >= maxBatchPlans {
+			return errTooManyPlans
+		}
+		var wp plan.Wire
+		if err := dec.Decode(&wp); err != nil {
+			return err
+		}
+		*b = append(*b, &wp)
+	}
+	_, err = dec.Token() // closing ]
+	return err
+}
+
+func (s *Service) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchEstimateRequestJSON
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody)).Decode(&req); err != nil {
+		if errors.Is(err, errTooManyPlans) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				jsonError(err.Error(), errCodeBatchTooLarge, -1))
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, jsonError("bad request body: "+err.Error(), errCodeBadRequest, -1))
+		return
+	}
+	resource, err := ParseResource(req.Resource)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, jsonError(err.Error(), errCodeUnknownResource, -1))
+		return
+	}
+	if len(req.Plans) == 0 {
+		writeJSON(w, http.StatusBadRequest, jsonError("missing plans", errCodeBadRequest, -1))
+		return
+	}
+	plans := make([]*plan.Plan, len(req.Plans))
+	for i, wp := range req.Plans {
+		p, err := wp.ToPlan()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				jsonError(fmt.Sprintf("plan %d: %v", i, err), planErrCode(err), i))
+			return
+		}
+		plans[i] = p
+	}
+	resp, err := s.EstimateBatch(r.Context(), BatchRequest{
+		Schema:   req.Schema,
+		Resource: resource,
+		Plans:    plans,
+		Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
+	if err != nil {
+		status, body := errorFor(err)
+		writeJSON(w, status, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// planErrCode classifies a plan.DecodeJSON failure: a plan naming an
+// operator this build does not know is distinguished from structurally
+// bad plans so clients can react (e.g. strip unsupported operators).
+func planErrCode(err error) string {
+	if errors.Is(err, plan.ErrUnknownOp) {
+		return errCodeUnknownOperator
+	}
+	return errCodeBadPlan
 }
 
 // handlePublish rolls out a new model version from a file under the
@@ -132,26 +285,26 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handlePublish(w http.ResponseWriter, r *http.Request) {
 	if s.opts.ModelDir == "" {
 		writeJSON(w, http.StatusForbidden,
-			errorJSON{Error: "model publishing disabled (no model directory configured)"})
+			jsonError("model publishing disabled (no model directory configured)", errCodeForbidden, -1))
 		return
 	}
 	var req publishRequestJSON
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPublishBody)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, jsonError("bad request body: "+err.Error(), errCodeBadRequest, -1))
 		return
 	}
 	if req.Path == "" {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "missing path"})
+		writeJSON(w, http.StatusBadRequest, jsonError("missing path", errCodeBadRequest, -1))
 		return
 	}
 	if !filepath.IsLocal(req.Path) {
 		writeJSON(w, http.StatusBadRequest,
-			errorJSON{Error: "path must be relative to the model directory"})
+			jsonError("path must be relative to the model directory", errCodeBadRequest, -1))
 		return
 	}
 	info, err := s.reg.PublishFile(req.Schema, filepath.Join(s.opts.ModelDir, req.Path))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, jsonError(err.Error(), errCodeBadRequest, -1))
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -176,26 +329,26 @@ func (s *Service) handleObserve(w http.ResponseWriter, r *http.Request) {
 	loop := s.opts.Feedback
 	if loop == nil {
 		writeJSON(w, http.StatusForbidden,
-			errorJSON{Error: "observation ingest disabled (no feedback loop attached)"})
+			jsonError("observation ingest disabled (no feedback loop attached)", errCodeForbidden, -1))
 		return
 	}
 	var req observeRequestJSON
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEstimateBody)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, jsonError("bad request body: "+err.Error(), errCodeBadRequest, -1))
 		return
 	}
 	resource, err := ParseResource(req.Resource)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, jsonError(err.Error(), errCodeUnknownResource, -1))
 		return
 	}
 	if len(req.Plan) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "missing plan"})
+		writeJSON(w, http.StatusBadRequest, jsonError("missing plan", errCodeBadRequest, -1))
 		return
 	}
 	p, err := plan.DecodeJSON(req.Plan)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, jsonError(err.Error(), planErrCode(err), -1))
 		return
 	}
 	err = loop.Observe(&feedback.Observation{
@@ -209,14 +362,14 @@ func (s *Service) handleObserve(w http.ResponseWriter, r *http.Request) {
 		// Malformed observations are the client's fault; anything else
 		// (log I/O, shutdown) is a server-side failure — never a 4xx
 		// that would teach clients to drop valid reports.
-		status := http.StatusInternalServerError
+		status, code := http.StatusInternalServerError, errCodeInternal
 		switch {
 		case errors.Is(err, feedback.ErrInvalid):
-			status = http.StatusBadRequest
+			status, code = http.StatusBadRequest, errCodeBadRequest
 		case errors.Is(err, feedback.ErrClosed):
-			status = http.StatusServiceUnavailable
+			status, code = http.StatusServiceUnavailable, errCodeUnavailable
 		}
-		writeJSON(w, status, errorJSON{Error: err.Error()})
+		writeJSON(w, status, jsonError(err.Error(), code, -1))
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]string{"status": "accepted"})
@@ -233,35 +386,42 @@ type rollbackRequestJSON struct {
 func (s *Service) handleRollback(w http.ResponseWriter, r *http.Request) {
 	var req rollbackRequestJSON
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPublishBody)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, jsonError("bad request body: "+err.Error(), errCodeBadRequest, -1))
 		return
 	}
 	resource, err := ParseResource(req.Resource)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, jsonError(err.Error(), errCodeUnknownResource, -1))
 		return
 	}
 	info, err := s.reg.Rollback(req.Schema, resource)
 	if err != nil {
-		writeJSON(w, statusFor(err), errorJSON{Error: err.Error()})
+		status, body := errorFor(err)
+		writeJSON(w, status, body)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
 }
 
-func statusFor(err error) int {
+// errorFor maps a service-layer error to its HTTP status and structured
+// wire envelope.
+func errorFor(err error) (int, errorJSON) {
+	status, code := http.StatusBadRequest, errCodeBadRequest
 	switch {
-	case errors.Is(err, ErrNoModel), errors.Is(err, ErrNoHistory):
-		return http.StatusNotFound
+	case errors.Is(err, ErrNoModel):
+		status, code = http.StatusNotFound, errCodeUnknownSchema
+	case errors.Is(err, ErrNoHistory):
+		status, code = http.StatusNotFound, errCodeNoHistory
 	case errors.Is(err, ErrRollbackConflict):
-		return http.StatusConflict
+		status, code = http.StatusConflict, errCodeConflict
 	case errors.Is(err, ErrClosed), errors.Is(err, feedback.ErrClosed):
-		return http.StatusServiceUnavailable
+		status, code = http.StatusServiceUnavailable, errCodeUnavailable
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		return http.StatusGatewayTimeout
-	default:
-		return http.StatusBadRequest
+		status, code = http.StatusGatewayTimeout, errCodeTimeout
+	case errors.Is(err, plan.ErrUnknownOp):
+		status, code = http.StatusBadRequest, errCodeUnknownOperator
 	}
+	return status, jsonError(err.Error(), code, -1)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -9,8 +9,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/feedback"
 	"repro/internal/features"
+	"repro/internal/feedback"
 	"repro/internal/plan"
 )
 
@@ -122,13 +122,54 @@ type Response struct {
 // quantiles, drift and retrain counters per route) when the online
 // feedback loop is attached.
 type Metrics struct {
-	Requests     uint64                `json:"requests"`
-	Failures     uint64                `json:"failures"`
-	AvgLatencyMS float64               `json:"avg_latency_ms"`
-	Workers      int                   `json:"workers"`
-	Cache        CacheStats            `json:"cache"`
-	Models       []ModelInfo           `json:"models"`
-	Feedback     []feedback.RouteStats `json:"feedback,omitempty"`
+	Requests uint64 `json:"requests"`
+	Failures uint64 `json:"failures"`
+	// BatchRequests counts the subset of Requests that were batches;
+	// BatchPlans counts the plans they carried.
+	BatchRequests uint64                `json:"batch_requests"`
+	BatchPlans    uint64                `json:"batch_plans"`
+	AvgLatencyMS  float64               `json:"avg_latency_ms"`
+	Workers       int                   `json:"workers"`
+	Cache         CacheStats            `json:"cache"`
+	Models        []ModelInfo           `json:"models"`
+	Feedback      []feedback.RouteStats `json:"feedback,omitempty"`
+}
+
+// BatchRequest asks for estimates for several plans in one call. The
+// whole batch routes to one model version, runs as a single worker-pool
+// job with one multi-get against the prediction cache, and evaluates
+// its cache misses through the estimator's batched hot path
+// (core.Estimator.PredictBatch) — amortizing queueing, feature
+// extraction and tree-walk cache misses over the batch.
+type BatchRequest struct {
+	// Schema routes to the model trained for this workload schema
+	// (falls back to the registry's "" wildcard).
+	Schema string
+	// Resource selects the predicted resource.
+	Resource plan.ResourceKind
+	// Plans are the physical plans to estimate, all against the same
+	// (schema, resource) model.
+	Plans []*plan.Plan
+	// Timeout overrides the service default deadline when > 0. It
+	// covers the whole batch.
+	Timeout time.Duration
+}
+
+// PlanEstimate is one plan's predictions within a batch response — the
+// same three granularities as Response, minus the shared model header.
+type PlanEstimate struct {
+	Total     float64            `json:"total"`
+	Operators []OperatorEstimate `json:"operators"`
+	Pipelines []PipelineEstimate `json:"pipelines"`
+}
+
+// BatchResponse carries per-plan predictions, parallel to the request's
+// Plans, plus batch-level cache counters.
+type BatchResponse struct {
+	Model       ModelInfo      `json:"model"`
+	Plans       []PlanEstimate `json:"plans"`
+	CacheHits   int            `json:"cache_hits"`
+	CacheMisses int            `json:"cache_misses"`
 }
 
 type job struct {
@@ -136,6 +177,9 @@ type job struct {
 	model *Model
 	plan  *plan.Plan
 	out   chan *Response
+	// Batch jobs carry plans and deliver on bout instead; plan is nil.
+	plans []*plan.Plan
+	bout  chan *BatchResponse
 }
 
 // Service is the concurrent estimation front end: model lookup through
@@ -151,10 +195,12 @@ type Service struct {
 	wg   sync.WaitGroup
 	once sync.Once
 
-	requests  atomic.Uint64
-	failures  atomic.Uint64
-	latencyNS atomic.Int64
-	completed atomic.Uint64
+	requests      atomic.Uint64
+	failures      atomic.Uint64
+	latencyNS     atomic.Int64
+	completed     atomic.Uint64
+	batchRequests atomic.Uint64
+	batchPlans    atomic.Uint64
 }
 
 // New starts a service and its worker pool. Close releases the workers.
@@ -211,7 +257,11 @@ func (s *Service) runJob(j *job) {
 	if j.ctx.Err() != nil {
 		return
 	}
-	j.out <- s.predict(j.model, j.plan)
+	if j.plan != nil {
+		j.out <- s.predict(j.model, j.plan)
+		return
+	}
+	j.bout <- s.predictBatch(j.model, j.plans)
 }
 
 // Estimate runs one request through the pool and returns predictions at
@@ -282,6 +332,164 @@ func (s *Service) estimate(ctx context.Context, req Request) (*Response, error) 
 	}
 }
 
+// EstimateBatch runs a whole plan batch through the pool as one job and
+// returns per-plan predictions, parallel to req.Plans. Per-operator
+// values are exactly what sequential Estimate calls against the same
+// model version would produce (the batched tree layout is bit-identical
+// to the pointer walk, and cached values are shared between the two
+// paths); only the throughput differs.
+func (s *Service) EstimateBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	start := time.Now()
+	s.requests.Add(1)
+	s.batchRequests.Add(1)
+	resp, err := s.estimateBatch(ctx, req)
+	if err != nil {
+		s.failures.Add(1)
+		return nil, err
+	}
+	s.batchPlans.Add(uint64(len(req.Plans)))
+	s.latencyNS.Add(int64(time.Since(start)))
+	s.completed.Add(1)
+	return resp, nil
+}
+
+func (s *Service) estimateBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	if len(req.Plans) == 0 {
+		return nil, fmt.Errorf("serve: batch request without plans")
+	}
+	for i, p := range req.Plans {
+		if p == nil || p.Root == nil {
+			return nil, fmt.Errorf("serve: batch plan %d missing", i)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: batch plan %d: %w", i, err)
+		}
+	}
+	model, ok := s.reg.Lookup(req.Schema, req.Resource)
+	if !ok {
+		return nil, fmt.Errorf("%w: schema %q resource %s", ErrNoModel, req.Schema, req.Resource)
+	}
+
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.opts.DefaultTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	select {
+	case <-s.quit:
+		return nil, ErrClosed
+	default:
+	}
+
+	j := &job{ctx: ctx, model: model, plans: req.Plans, bout: make(chan *BatchResponse, 1)}
+	select {
+	case s.jobs <- j:
+	case <-s.quit:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serve: queue wait: %w", ctx.Err())
+	}
+	select {
+	case resp := <-j.bout:
+		return resp, nil
+	case <-s.quit:
+		select {
+		case resp := <-j.bout:
+			return resp, nil
+		case <-ctx.Done():
+			return nil, ErrClosed
+		}
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serve: estimation: %w", ctx.Err())
+	}
+}
+
+// predictBatch is the batched analogue of predict: one flat feature
+// extraction over every node of every plan, one multi-get against the
+// sharded cache, one core.PredictBatch over the misses (grouped by
+// operator onto the compiled tree slabs), one multi-put back.
+func (s *Service) predictBatch(model *Model, plans []*plan.Plan) *BatchResponse {
+	est := model.Est
+	vecs, offs := features.ExtractPlans(plans, est.Mode)
+	kinds := make([]plan.OpKind, len(vecs))
+	keys := make([]cacheKey, len(vecs))
+	for pi, p := range plans {
+		j := offs[pi]
+		p.Walk(func(n *plan.Node) {
+			kinds[j] = n.Kind
+			keys[j] = cacheKey{version: model.Info.Version, op: n.Kind, vec: vecs[j]}
+			j++
+		})
+	}
+
+	vals := make([]float64, len(vecs))
+	hit := make([]bool, len(vecs))
+	hits, shards := s.cache.GetMulti(keys, vals, hit)
+
+	if miss := len(vecs) - hits; miss > 0 {
+		// Deduplicate identical (version, op, vector) misses before
+		// predicting: production batches repeat operator shapes (the
+		// same scans under different queries), and with caching
+		// disabled this is the only thing collapsing them. Predictions
+		// are pure functions of the key, so scattering one result to
+		// every duplicate is exact.
+		uniq := make(map[cacheKey]int, miss)
+		missKinds := make([]plan.OpKind, 0, miss)
+		missVecs := make([]features.Vector, 0, miss)
+		slot := make([]int, 0, miss) // per input index: unique slot
+		idxOf := make([]int, 0, miss)
+		for i := range vecs {
+			if hit[i] {
+				continue
+			}
+			u, ok := uniq[keys[i]]
+			if !ok {
+				u = len(missKinds)
+				uniq[keys[i]] = u
+				missKinds = append(missKinds, kinds[i])
+				missVecs = append(missVecs, vecs[i])
+			}
+			slot = append(slot, u)
+			idxOf = append(idxOf, i)
+		}
+		missVals := est.PredictBatch(missKinds, missVecs, nil)
+		for k, i := range idxOf {
+			vals[i] = missVals[slot[k]]
+		}
+		s.cache.PutMulti(keys, vals, hit, shards)
+	}
+
+	resp := &BatchResponse{
+		Model:       model.Info,
+		Plans:       make([]PlanEstimate, len(plans)),
+		CacheHits:   hits,
+		CacheMisses: len(vecs) - hits,
+	}
+	for pi, p := range plans {
+		nodes := p.Nodes()
+		pe := PlanEstimate{Operators: make([]OperatorEstimate, len(nodes))}
+		perNode := make(map[*plan.Node]float64, len(nodes))
+		for i, n := range nodes {
+			v := vals[offs[pi]+i]
+			perNode[n] = v
+			pe.Operators[i] = OperatorEstimate{ID: n.ID, Kind: n.Kind.String(), Estimate: v}
+			pe.Total += v
+		}
+		for _, pl := range p.Pipelines() {
+			ppe := PipelineEstimate{ID: pl.ID, Operators: make([]int, 0, len(pl.Nodes))}
+			for _, n := range pl.Nodes {
+				ppe.Estimate += perNode[n]
+				ppe.Operators = append(ppe.Operators, n.ID)
+			}
+			pe.Pipelines = append(pe.Pipelines, ppe)
+		}
+		resp.Plans[pi] = pe
+	}
+	return resp
+}
+
 // predict computes per-operator predictions (through the cache) and
 // aggregates them into pipeline and query totals. Aggregating from the
 // same per-node values guarantees the three granularities are mutually
@@ -323,11 +531,13 @@ func (s *Service) predict(model *Model, p *plan.Plan) *Response {
 // Metrics snapshots the service counters.
 func (s *Service) Metrics() Metrics {
 	m := Metrics{
-		Requests: s.requests.Load(),
-		Failures: s.failures.Load(),
-		Workers:  s.opts.Workers,
-		Cache:    s.cache.Stats(),
-		Models:   s.reg.Models(),
+		Requests:      s.requests.Load(),
+		Failures:      s.failures.Load(),
+		BatchRequests: s.batchRequests.Load(),
+		BatchPlans:    s.batchPlans.Load(),
+		Workers:       s.opts.Workers,
+		Cache:         s.cache.Stats(),
+		Models:        s.reg.Models(),
 	}
 	if s.opts.Feedback != nil {
 		m.Feedback = s.opts.Feedback.Snapshot()

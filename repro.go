@@ -224,6 +224,26 @@ func (e *Estimator) EstimatePipelines(p *Plan) []float64 {
 	return e.inner.PredictPipelines(p)
 }
 
+// EstimatePlans predicts the total resource usage of a whole plan batch
+// in one pass over the batched hot path: features are extracted into a
+// flat buffer, nodes are grouped by operator and evaluated on the
+// compiled (cache-friendly, flattened) tree layout. The result is
+// parallel to plans, and every total is bit-identical to EstimatePlan
+// on the same plan — batching changes throughput, never predictions.
+func (e *Estimator) EstimatePlans(plans []*Plan) []float64 {
+	return e.inner.PredictPlans(plans)
+}
+
+// EstimateQueries predicts the total resource usage of workload
+// queries through the same batched pass as EstimatePlans.
+func (e *Estimator) EstimateQueries(qs []*Query) []float64 {
+	plans := make([]*Plan, len(qs))
+	for i, q := range qs {
+		plans[i] = q.Plan
+	}
+	return e.inner.PredictPlans(plans)
+}
+
 // Save writes the trained model set to w. The format embeds the compact
 // per-tree binary encoding of §7.3.
 func (e *Estimator) Save(w io.Writer) error { return e.inner.Save(w) }
@@ -290,6 +310,16 @@ type (
 	EstimateRequest = serve.Request
 	// EstimateResponse carries query/pipeline/operator predictions.
 	EstimateResponse = serve.Response
+	// BatchEstimateRequest carries a whole plan batch for one model; the
+	// service runs it as a single worker-pool job with one cache
+	// multi-get and the batched prediction hot path (Service.
+	// EstimateBatch, POST /estimate/batch on the HTTP surface).
+	BatchEstimateRequest = serve.BatchRequest
+	// BatchEstimateResponse carries per-plan predictions, parallel to
+	// the request's Plans, plus batch-level cache counters.
+	BatchEstimateResponse = serve.BatchResponse
+	// PlanEstimate is one plan's predictions within a batch response.
+	PlanEstimate = serve.PlanEstimate
 	// ModelInfo describes a published model version.
 	ModelInfo = serve.ModelInfo
 )
