@@ -2,6 +2,12 @@
 // usage for freshly generated queries, comparing against the simulator's
 // actual measurements.
 //
+// Models come from a single model file (-model) or from the versioned
+// model store (-store): the store path loads the newest intact snapshot
+// for the schema and evaluates every resource it holds — CPU and I/O —
+// in one multi-resource pass that extracts each plan's features once
+// and fans them out across the per-resource models.
+//
 // By default the whole query set is estimated in one batched pass over
 // the compiled tree layout (bit-identical to per-query estimation, just
 // faster); -batch=false falls back to one EstimateQuery call per query.
@@ -11,6 +17,7 @@
 //	resestimate -model cpu-model.json -schema tpch -n 20
 //	resestimate -model cpu-model.json -schema tpcds -n 20 -pipelines
 //	resestimate -model cpu-model.json -n 5000 -batch=false
+//	resestimate -store ./models-store -schema tpch -n 20   # all resources
 package main
 
 import (
@@ -24,7 +31,8 @@ import (
 
 func main() {
 	var (
-		modelPath = flag.String("model", "model.json", "trained model path (see restrain)")
+		modelPath = flag.String("model", "", "trained model path (see restrain)")
+		storeDir  = flag.String("store", "", "versioned model-store directory; loads the newest snapshot for -schema and evaluates all its resources in one pass")
 		schema    = flag.String("schema", "tpch", "workload schema for test queries")
 		n         = flag.Int("n", 20, "number of test queries")
 		seed      = flag.Uint64("seed", 999, "random seed (use a seed different from training)")
@@ -33,21 +41,47 @@ func main() {
 	)
 	flag.Parse()
 
-	est, err := repro.LoadFile(*modelPath)
-	if err != nil {
-		fatal(err)
+	if *storeDir != "" && *modelPath != "" {
+		fatal(fmt.Errorf("-model and -store are mutually exclusive"))
 	}
+	if *storeDir == "" && *modelPath == "" {
+		*modelPath = "model.json"
+	}
+
 	qs, err := repro.GenerateWorkload(repro.WorkloadOptions{Schema: *schema, N: *n, Seed: *seed})
 	if err != nil {
 		fatal(err)
 	}
 	repro.Execute(qs)
 
-	resName := "CPU ms"
-	if est.Resource() == repro.LogicalIO {
-		resName = "logical reads"
+	if *storeDir != "" {
+		st, err := repro.OpenModelStore(*storeDir, repro.ModelStoreOptions{Retain: -1})
+		if err != nil {
+			fatal(err)
+		}
+		set, man, err := repro.LoadLatestEstimators(st, *schema)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("snapshot v%d (%s, published by %s)\n", man.Version, man.CreatedAt.Format("2006-01-02 15:04:05"), man.Source)
+		// One multi-resource pass: features extracted once per node,
+		// fanned out across every resource's model.
+		preds := set.EstimateQueriesAll(qs)
+		for _, res := range set.Resources() {
+			fmt.Printf("\n== %s ==\n", res)
+			single := make([]float64, len(qs))
+			for i := range qs {
+				single[i] = preds[i].Get(res)
+			}
+			report(qs, single, set.Estimator(res), *pipelines)
+		}
+		return
 	}
-	fmt.Printf("%-32s %14s %14s %8s\n", "query", "estimated", "actual", "ratio")
+
+	est, err := repro.LoadFile(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
 	var preds []float64
 	if *batch {
 		preds = est.EstimateQueries(qs)
@@ -57,6 +91,17 @@ func main() {
 			preds[i] = est.EstimateQuery(q)
 		}
 	}
+	report(qs, preds, est, *pipelines)
+}
+
+// report prints the per-query comparison table and error summary for
+// one resource.
+func report(qs []*repro.Query, preds []float64, est *repro.Estimator, pipelines bool) {
+	resName := "CPU ms"
+	if est.Resource() == repro.LogicalIO {
+		resName = "logical reads"
+	}
+	fmt.Printf("%-32s %14s %14s %8s\n", "query", "estimated", "actual", "ratio")
 	var ests, truths []float64
 	for i, q := range qs {
 		pred := preds[i]
@@ -64,9 +109,9 @@ func main() {
 		ests = append(ests, pred)
 		truths = append(truths, truth)
 		fmt.Printf("%-32s %14.1f %14.1f %8.2f\n", q.Plan.Tag, pred, truth, stats.RatioErr(pred, truth))
-		if *pipelines {
-			for i, v := range est.EstimatePipelines(q.Plan) {
-				fmt.Printf("    pipeline %d: %.1f %s\n", i, v, resName)
+		if pipelines {
+			for j, v := range est.EstimatePipelines(q.Plan) {
+				fmt.Printf("    pipeline %d: %.1f %s\n", j, v, resName)
 			}
 		}
 	}

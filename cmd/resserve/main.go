@@ -12,6 +12,17 @@
 //	resserve -model cpu.json -model io.json   # wildcard-schema models
 //	resserve -bootstrap tpch -model-dir ./models   # allow runtime swaps
 //
+// With -store-dir the versioned model store is enabled and becomes the
+// single durable source of truth: every publish — bootstrap training, a
+// POST /models upload, a feedback retrain — persists an atomic snapshot
+// (model files + checksummed manifest) in that directory, the server
+// restores the latest intact snapshots at startup (so a restart resumes
+// serving exactly what it last persisted, and -bootstrap is skipped for
+// restored schemas), and POST /models/rollback walks snapshot history —
+// rollback keeps working across restarts:
+//
+//	resserve -bootstrap tpch -store-dir ./models-store
+//
 // With -feedback-dir the online feedback loop is enabled: executed
 // plans reported to POST /observe are persisted to a crash-safe
 // observation log in that directory, per-model error windows are
@@ -24,7 +35,10 @@
 //
 // Endpoints:
 //
-//	POST /estimate         {"schema","resource","timeout_ms","plan"} → estimates
+//	POST /estimate         {"schema","resource","timeout_ms","plan"} → estimates;
+//	                       "resources": ["cpu","io"] (or "all") returns every
+//	                       named resource from one feature-extraction pass,
+//	                       bit-identical to the single-resource responses
 //	POST /estimate/batch   {"schema","resource","timeout_ms","plans":[plan...]}
 //	                       estimate up to 1024 plans in one request: one model
 //	                       lookup, one worker-pool dispatch and one cache
@@ -86,6 +100,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "estimation workers (0 = GOMAXPROCS)")
 		timeout     = flag.Duration("timeout", 2*time.Second, "default per-request deadline")
 		modelDir    = flag.String("model-dir", "", "directory POST /models may load model files from (empty disables the endpoint)")
+		storeDir    = flag.String("store-dir", "", "versioned model-store directory; every publish persists an atomic snapshot there, startup restores the latest ones, and rollback walks snapshot history")
+		storeRetain = flag.Int("store-retain", 16, "snapshots retained per schema in the model store (negative disables pruning)")
 		feedbackDir = flag.String("feedback-dir", "", "observation-log directory; enables the online feedback loop (POST /observe, drift-triggered retraining)")
 		driftThresh = flag.Float64("drift-threshold", 2, "retrain when the recent P90 relative error exceeds this multiple of the model's training-time baseline")
 		retrainMin  = flag.Int("retrain-min-observations", 256, "minimum logged observations before a drift-triggered retrain (also the cooldown between attempts)")
@@ -125,10 +141,47 @@ func main() {
 		svc = repro.NewService(serveOpts)
 	}
 
+	// The model store, when enabled, is attached before any model is
+	// published so every producer below — restored snapshots aside —
+	// persists through it.
+	restored := make(map[string]bool)
+	if *storeDir != "" {
+		st, err := repro.OpenModelStore(*storeDir, repro.ModelStoreOptions{
+			Retain: *storeRetain,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "resserve: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		infos, err := repro.AttachModelStore(svc, st, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "resserve: "+format+"\n", args...)
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, info := range infos {
+			logModel("restored", info, fmt.Sprintf("snapshot v%d", info.Snapshot))
+			restored[info.Schema] = true
+		}
+		fmt.Fprintf(os.Stderr, "resserve: model store at %s (%d models restored, retaining %d snapshots per schema)\n",
+			*storeDir, len(infos), *storeRetain)
+	}
+
 	for _, spec := range models {
 		schema, path := "", spec
 		if i := strings.IndexByte(spec, '='); i >= 0 {
 			schema, path = spec[:i], spec[i+1:]
+		}
+		if restored[schema] {
+			// The store's serving set supersedes the file: republishing
+			// it would revert any retrained/uploaded model the store
+			// accumulated, on every restart. Swap files in explicitly
+			// via POST /models when that is really wanted.
+			fmt.Fprintf(os.Stderr, "resserve: %s restored from the model store; ignoring -model %s\n",
+				schemaName(schema), path)
+			continue
 		}
 		info, err := repro.PublishModelFile(svc, schema, path)
 		if err != nil {
@@ -138,6 +191,13 @@ func main() {
 	}
 
 	for _, schema := range splitList(*bootstrap) {
+		if restored[schema] {
+			// The store already holds this schema's latest serving set;
+			// retraining it at every restart would waste minutes and
+			// discard accumulated model history.
+			fmt.Fprintf(os.Stderr, "resserve: %s restored from the model store; skipping bootstrap\n", schema)
+			continue
+		}
 		if err := bootstrapSchema(svc, schema, *bootN, *bootIters); err != nil {
 			fatal(err)
 		}
@@ -209,7 +269,7 @@ func bootstrapSchema(svc *repro.Service, schema string, n, iters int) error {
 		if err != nil {
 			return err
 		}
-		logModel("trained", repro.Publish(svc, schema, est), "")
+		logModel("trained", repro.PublishAs(svc, schema, est, "bootstrap"), "")
 	}
 	return nil
 }
@@ -224,11 +284,15 @@ func splitList(s string) []string {
 	return out
 }
 
-func logModel(verb string, info repro.ModelInfo, path string) {
-	schema := info.Schema
+func schemaName(schema string) string {
 	if schema == "" {
-		schema = "*"
+		return "*"
 	}
+	return schema
+}
+
+func logModel(verb string, info repro.ModelInfo, path string) {
+	schema := schemaName(info.Schema)
 	suffix := ""
 	if path != "" {
 		suffix = " from " + path

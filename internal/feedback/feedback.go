@@ -16,6 +16,15 @@
 // the log (reject-if-worse guard), and publishes it to the serving
 // registry — where the version-keyed prediction cache self-invalidates
 // and traffic moves over with zero downtime.
+//
+// Observation, drift tracking and retraining are all per (schema,
+// resource) route: CPU and I/O models drift and retrain independently.
+// Durability of the rollout is the registry's concern: when the serving
+// registry has a model store attached (serve.Registry.AttachStore), a
+// retrained model's publish persists a coherent snapshot of the
+// schema's whole model set — the retrained resource alongside the
+// incumbent others — so a crash after rollout restores exactly the
+// serving state the loop produced.
 package feedback
 
 import (

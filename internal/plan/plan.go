@@ -128,7 +128,24 @@ type ResourceKind int
 const (
 	CPUTime   ResourceKind = iota // CPU milliseconds
 	LogicalIO                     // logical page reads
+	numResources
 )
+
+// NumResources is the number of resource kinds — the fan-out width of
+// multi-resource estimation (arrays indexed by ResourceKind use it).
+const NumResources = int(numResources)
+
+// ResourceKinds lists every resource kind, in declaration order.
+func ResourceKinds() []ResourceKind {
+	ks := make([]ResourceKind, NumResources)
+	for i := range ks {
+		ks[i] = ResourceKind(i)
+	}
+	return ks
+}
+
+// Valid reports whether k is a known resource kind.
+func (k ResourceKind) Valid() bool { return k >= 0 && k < numResources }
 
 // String names the resource for reports.
 func (k ResourceKind) String() string {
@@ -136,6 +153,15 @@ func (k ResourceKind) String() string {
 		return "CPU"
 	}
 	return "IO"
+}
+
+// WireName is the lowercase identifier used on every external surface
+// (HTTP request/response fields, store manifests): "cpu" or "io".
+func (k ResourceKind) WireName() string {
+	if k == CPUTime {
+		return "cpu"
+	}
+	return "io"
 }
 
 // Resources holds the measured (or predicted) consumption of a single
@@ -151,6 +177,15 @@ func (r Resources) Get(k ResourceKind) float64 {
 		return r.CPU
 	}
 	return r.IO
+}
+
+// Set assigns the component selected by k.
+func (r *Resources) Set(k ResourceKind, v float64) {
+	if k == CPUTime {
+		r.CPU = v
+		return
+	}
+	r.IO = v
 }
 
 // Add accumulates r2 into r.

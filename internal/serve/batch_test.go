@@ -52,8 +52,10 @@ func TestEstimateBatchMatchesSequential(t *testing.T) {
 				t.Fatalf("plan %d: operator count %d != %d", i, len(got.Operators), len(seq.Operators))
 			}
 			for j := range got.Operators {
-				if got.Operators[j] != seq.Operators[j] {
-					t.Fatalf("plan %d op %d: %+v != %+v", i, j, got.Operators[j], seq.Operators[j])
+				g, s := got.Operators[j], seq.Operators[j]
+				if g.ID != s.ID || g.Kind != s.Kind ||
+					math.Float64bits(g.Estimate) != math.Float64bits(s.Estimate) {
+					t.Fatalf("plan %d op %d: %+v != %+v", i, j, g, s)
 				}
 			}
 			if len(got.Pipelines) != len(seq.Pipelines) {

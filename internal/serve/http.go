@@ -20,12 +20,64 @@ import (
 type estimateRequestJSON struct {
 	// Schema routes to a published model; empty uses the wildcard.
 	Schema string `json:"schema,omitempty"`
-	// Resource is "cpu" (default) or "io".
+	// Resource is "cpu" (default) or "io". Ignored when Resources is
+	// present.
 	Resource string `json:"resource,omitempty"`
+	// Resources selects several resources in one request: an array of
+	// resource names (["cpu","io"]) or the string "all". The plan's
+	// features are extracted once and fanned out across every named
+	// resource's model.
+	Resources resourceSetJSON `json:"resources,omitempty"`
 	// TimeoutMS overrides the service's default deadline when > 0.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 	// Plan is the wire-encoded physical plan (plan.EncodeJSON).
 	Plan json.RawMessage `json:"plan"`
+}
+
+// resourceSetJSON decodes the wire forms of a resource set: the string
+// "all", a single resource name, or an array of resource names.
+type resourceSetJSON struct {
+	names []string
+	all   bool
+}
+
+func (r *resourceSetJSON) UnmarshalJSON(data []byte) error {
+	r.names, r.all = nil, false
+	if string(data) == "null" {
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		if s == "all" {
+			r.all = true
+			return nil
+		}
+		r.names = []string{s}
+		return nil
+	}
+	var names []string
+	if err := json.Unmarshal(data, &names); err != nil {
+		return fmt.Errorf(`resources must be "all", a resource name, or an array of resource names`)
+	}
+	r.names = names
+	return nil
+}
+
+// kinds resolves the wire selection against the single-resource
+// fallback field. Unknown names yield ErrUnknownResource (the
+// structured unknown_resource envelope on the wire, never a bare 400).
+func (r *resourceSetJSON) kinds(single string) ([]plan.ResourceKind, error) {
+	if r.all {
+		return plan.ResourceKinds(), nil
+	}
+	if len(r.names) == 0 {
+		k, err := ParseResource(single)
+		if err != nil {
+			return nil, err
+		}
+		return []plan.ResourceKind{k}, nil
+	}
+	return ParseResourceSet(r.names)
 }
 
 // errorJSON is the structured error envelope every endpoint returns on
@@ -48,6 +100,7 @@ const (
 	errCodeUnknownSchema   = "unknown_schema"
 	errCodeNoHistory       = "no_history"
 	errCodeConflict        = "conflict"
+	errCodeModeMismatch    = "mode_mismatch"
 	errCodeUnavailable     = "unavailable"
 	errCodeTimeout         = "timeout"
 	errCodeForbidden       = "forbidden"
@@ -66,6 +119,9 @@ func jsonError(msg, code string, planIdx int) errorJSON {
 }
 
 // ParseResource maps the wire resource names to plan.ResourceKind.
+// Unknown names yield an error wrapping ErrUnknownResource, which the
+// HTTP layer maps to the structured {error, code, plan} envelope with
+// code "unknown_resource" (never a bare 400 string).
 func ParseResource(s string) (plan.ResourceKind, error) {
 	switch s {
 	case "", "cpu", "CPU":
@@ -73,7 +129,33 @@ func ParseResource(s string) (plan.ResourceKind, error) {
 	case "io", "IO":
 		return plan.LogicalIO, nil
 	}
-	return 0, fmt.Errorf("serve: unknown resource %q (want cpu or io)", s)
+	return 0, fmt.Errorf("%w %q (want cpu or io)", ErrUnknownResource, s)
+}
+
+// ParseResourceSet maps a list of wire resource names to kinds,
+// preserving order and dropping duplicates. "all" anywhere in the list
+// selects every resource kind.
+func ParseResourceSet(names []string) ([]plan.ResourceKind, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%w: empty resource set", ErrUnknownResource)
+	}
+	kinds := make([]plan.ResourceKind, 0, len(names))
+	var seen [plan.NumResources]bool
+	for _, name := range names {
+		if name == "all" {
+			return plan.ResourceKinds(), nil
+		}
+		k, err := ParseResource(name)
+		if err != nil {
+			return nil, err
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
 }
 
 type publishRequestJSON struct {
@@ -97,8 +179,15 @@ const (
 
 // Handler returns the service's HTTP API:
 //
-//	POST /estimate         {schema, resource, timeout_ms, plan} → Response
-//	POST /estimate/batch   {schema, resource, timeout_ms, plans: [plan...]}
+//	POST /estimate         {schema, resource | resources, timeout_ms, plan}
+//	                       → Response. resources is ["cpu","io"] or "all":
+//	                       features are extracted once and fanned out
+//	                       across every named resource's model; the
+//	                       response carries per-resource totals/estimates.
+//	                       Single-resource requests keep the exact
+//	                       pre-multi-resource wire shape.
+//	POST /estimate/batch   {schema, resource | resources, timeout_ms,
+//	                       plans: [plan...]}
 //	                       → BatchResponse: one model lookup, one pool
 //	                       dispatch and one cache multi-get for the whole
 //	                       batch (≤ 1024 plans)
@@ -145,9 +234,10 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, jsonError("bad request body: "+err.Error(), errCodeBadRequest, -1))
 		return
 	}
-	resource, err := ParseResource(req.Resource)
+	kinds, err := req.Resources.kinds(req.Resource)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, jsonError(err.Error(), errCodeUnknownResource, -1))
+		status, body := errorFor(err)
+		writeJSON(w, status, body)
 		return
 	}
 	if len(req.Plan) == 0 {
@@ -160,10 +250,10 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := s.Estimate(r.Context(), Request{
-		Schema:   req.Schema,
-		Resource: resource,
-		Plan:     p,
-		Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
+		Schema:    req.Schema,
+		Resources: kinds,
+		Plan:      p,
+		Timeout:   time.Duration(req.TimeoutMS) * time.Millisecond,
 	})
 	if err != nil {
 		status, body := errorFor(err)
@@ -180,10 +270,11 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 // json.Decode pass instead of buffering RawMessages and re-parsing
 // each (JSON parsing is a quarter of a large batch's serving cost).
 type batchEstimateRequestJSON struct {
-	Schema    string     `json:"schema,omitempty"`
-	Resource  string     `json:"resource,omitempty"`
-	TimeoutMS int        `json:"timeout_ms,omitempty"`
-	Plans     batchPlans `json:"plans"`
+	Schema    string          `json:"schema,omitempty"`
+	Resource  string          `json:"resource,omitempty"`
+	Resources resourceSetJSON `json:"resources,omitempty"`
+	TimeoutMS int             `json:"timeout_ms,omitempty"`
+	Plans     batchPlans      `json:"plans"`
 }
 
 // errTooManyPlans aborts a batch decode at the plan cap.
@@ -234,9 +325,10 @@ func (s *Service) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, jsonError("bad request body: "+err.Error(), errCodeBadRequest, -1))
 		return
 	}
-	resource, err := ParseResource(req.Resource)
+	kinds, err := req.Resources.kinds(req.Resource)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, jsonError(err.Error(), errCodeUnknownResource, -1))
+		status, body := errorFor(err)
+		writeJSON(w, status, body)
 		return
 	}
 	if len(req.Plans) == 0 {
@@ -254,10 +346,10 @@ func (s *Service) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 		plans[i] = p
 	}
 	resp, err := s.EstimateBatch(r.Context(), BatchRequest{
-		Schema:   req.Schema,
-		Resource: resource,
-		Plans:    plans,
-		Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
+		Schema:    req.Schema,
+		Resources: kinds,
+		Plans:     plans,
+		Timeout:   time.Duration(req.TimeoutMS) * time.Millisecond,
 	})
 	if err != nil {
 		status, body := errorFor(err)
@@ -339,7 +431,8 @@ func (s *Service) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	resource, err := ParseResource(req.Resource)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, jsonError(err.Error(), errCodeUnknownResource, -1))
+		status, body := errorFor(err)
+		writeJSON(w, status, body)
 		return
 	}
 	if len(req.Plan) == 0 {
@@ -391,7 +484,8 @@ func (s *Service) handleRollback(w http.ResponseWriter, r *http.Request) {
 	}
 	resource, err := ParseResource(req.Resource)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, jsonError(err.Error(), errCodeUnknownResource, -1))
+		status, body := errorFor(err)
+		writeJSON(w, status, body)
 		return
 	}
 	info, err := s.reg.Rollback(req.Schema, resource)
@@ -408,6 +502,10 @@ func (s *Service) handleRollback(w http.ResponseWriter, r *http.Request) {
 func errorFor(err error) (int, errorJSON) {
 	status, code := http.StatusBadRequest, errCodeBadRequest
 	switch {
+	case errors.Is(err, ErrUnknownResource):
+		status, code = http.StatusBadRequest, errCodeUnknownResource
+	case errors.Is(err, ErrModeMismatch):
+		status, code = http.StatusConflict, errCodeModeMismatch
 	case errors.Is(err, ErrNoModel):
 		status, code = http.StatusNotFound, errCodeUnknownSchema
 	case errors.Is(err, ErrNoHistory):

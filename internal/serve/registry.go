@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/features"
 	"repro/internal/plan"
+	"repro/internal/store"
 )
 
 // ErrNoHistory means a rollback was requested for a slot with no prior
@@ -51,6 +52,10 @@ type ModelInfo struct {
 	Version   uint64    `json:"version"`
 	NumModels int       `json:"num_models"`
 	LoadedAt  time.Time `json:"loaded_at"`
+	// Snapshot is the model-store snapshot version this publish was
+	// persisted under (0 when no store is attached, the snapshot write
+	// failed, or the model was restored rather than freshly published).
+	Snapshot uint64 `json:"snapshot,omitempty"`
 }
 
 // Model pairs an immutable estimator with its registry metadata.
@@ -69,6 +74,18 @@ type Registry struct {
 	slots   map[ModelKey]*atomic.Pointer[Model]
 	history map[ModelKey][]*Model // superseded versions, oldest first
 	version atomic.Uint64         // global, monotonically increasing
+
+	// Store-backed mode (AttachStore): every publish persists a
+	// coherent per-schema snapshot, rollback walks snapshot history
+	// instead of the in-memory stack, and crash recovery restores the
+	// latest snapshots. cursor tracks, per slot, the snapshot version
+	// whose model is currently serving; it is what makes "previous
+	// version" well-defined across restarts.
+	storeMu   sync.Mutex
+	store     *store.Store
+	cursor    map[ModelKey]uint64
+	dirty     map[string]bool // schemas whose last snapshot persist failed
+	storeLogf func(format string, args ...any)
 }
 
 // NewRegistry returns an empty registry.
@@ -76,7 +93,32 @@ func NewRegistry() *Registry {
 	return &Registry{
 		slots:   make(map[ModelKey]*atomic.Pointer[Model]),
 		history: make(map[ModelKey][]*Model),
+		cursor:  make(map[ModelKey]uint64),
+		dirty:   make(map[string]bool),
 	}
+}
+
+// AttachStore puts the registry in store-backed mode: every subsequent
+// publish — bootstrap, POST /models upload, feedback retrain rollout —
+// persists a coherent snapshot of the schema's full model set through
+// st, Rollback restores previous versions from those snapshots (so it
+// works across process restarts), and RestoreFromStore republishes the
+// latest snapshots at boot. logf (optional) receives store events.
+func (r *Registry) AttachStore(st *store.Store, logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	r.storeMu.Lock()
+	r.store = st
+	r.storeLogf = logf
+	r.storeMu.Unlock()
+}
+
+// Store returns the attached model store, or nil.
+func (r *Registry) Store() *store.Store {
+	r.storeMu.Lock()
+	defer r.storeMu.Unlock()
+	return r.store
 }
 
 func modeName(m features.Mode) string {
@@ -91,15 +133,31 @@ func modeName(m features.Mode) string {
 // version's metadata. Publishing under schema "" installs the fallback
 // model used when a request's schema has no dedicated entry. The
 // replaced version (if any) is retained on the slot's bounded rollback
-// history.
+// history, and — when a store is attached — a coherent snapshot of the
+// schema's full model set is persisted.
 func (r *Registry) Publish(schema string, est *core.Estimator) ModelInfo {
-	info, _, _ := r.publish(schema, est, true)
+	return r.PublishAs(schema, est, "api")
+}
+
+// PublishAs is Publish with the producer recorded in the store
+// manifest ("bootstrap", "upload", "retrain", ...).
+func (r *Registry) PublishAs(schema string, est *core.Estimator, source string) ModelInfo {
+	info, _, installed := r.publish(schema, est, true)
+	if installed {
+		if snap, err := r.persistSnapshot(schema, source); err != nil {
+			r.logStore("store: persisting %s/%s publish: %v", schema, est.Resource, err)
+		} else {
+			info.Snapshot = snap
+		}
+	}
 	return info
 }
 
 // publish additionally returns the model it replaced and whether this
-// version actually installed (false when a concurrent publish with a
-// higher version won the slot).
+// version actually installed. When a concurrent publish with a higher
+// version won the slot, installed is false and the returned ModelInfo
+// and *Model describe the *winner* — callers can report which version
+// actually serves.
 func (r *Registry) publish(schema string, est *core.Estimator, keepHistory bool) (ModelInfo, *Model, bool) {
 	info := ModelInfo{
 		Schema:    schema,
@@ -130,7 +188,9 @@ func (r *Registry) publish(schema string, est *core.Estimator, keepHistory bool)
 		old := slot.Load()
 		if old != nil && old.Info.Version > info.Version {
 			// A newer version won the race; ours is already superseded.
-			return info, nil, false
+			// Hand the winner back so the caller can report the version
+			// that actually serves.
+			return old.Info, old, false
 		}
 		if slot.CompareAndSwap(old, m) {
 			if old != nil && keepHistory {
@@ -139,6 +199,189 @@ func (r *Registry) publish(schema string, est *core.Estimator, keepHistory bool)
 			return info, old, true
 		}
 	}
+}
+
+func (r *Registry) logStore(format string, args ...any) {
+	r.storeMu.Lock()
+	logf := r.storeLogf
+	r.storeMu.Unlock()
+	if logf != nil {
+		logf(format, args...)
+	}
+}
+
+// persistSnapshot writes schema's complete current model set (every
+// resource with a live exact-schema slot) to the attached store as one
+// snapshot, then advances the store cursors and pins for the slots the
+// snapshot now backs. A publish of one resource therefore persists a
+// *coherent* multi-resource snapshot — crash recovery restores the
+// exact serving set, not a single orphaned model. No-op without a
+// store.
+func (r *Registry) persistSnapshot(schema, source string) (uint64, error) {
+	r.storeMu.Lock()
+	st := r.store
+	r.storeMu.Unlock()
+	if st == nil {
+		return 0, nil
+	}
+	models := make(map[plan.ResourceKind]*core.Estimator)
+	r.mu.RLock()
+	for _, k := range plan.ResourceKinds() {
+		if slot, ok := r.slots[ModelKey{Schema: schema, Resource: k}]; ok {
+			if m := slot.Load(); m != nil {
+				models[k] = m.Est
+			}
+		}
+	}
+	r.mu.RUnlock()
+	if len(models) == 0 {
+		return 0, nil
+	}
+	man, err := st.Publish(store.Snapshot{Schema: schema, Source: source, Models: models})
+	if err != nil {
+		r.storeMu.Lock()
+		// The serving set and the store have diverged; stop trusting
+		// snapshot history for this schema until a publish persists
+		// again (Rollback falls back to the in-memory stack).
+		r.dirty[schema] = true
+		r.storeMu.Unlock()
+		return 0, err
+	}
+	r.storeMu.Lock()
+	delete(r.dirty, schema)
+	for k := range models {
+		key := ModelKey{Schema: schema, Resource: k}
+		// Advance-only: with two publishes for the same schema racing,
+		// the one that allocated the higher snapshot may persist (and
+		// update cursors) first — the straggler must not drag the
+		// serving cursor, pins, and the durable current.json backwards
+		// to its older snapshot, or a restart would restore the loser.
+		// (Rollback moves cursors backwards deliberately, under its own
+		// path.)
+		if man.Version > r.cursor[key] {
+			r.cursor[key] = man.Version
+		}
+	}
+	pins := r.schemaPinsLocked(schema)
+	r.storeMu.Unlock()
+	st.SetPins(schema, pins...)
+	r.saveCurrent(st, schema)
+	return man.Version, nil
+}
+
+// saveCurrent records schema's serving cursors durably in the store,
+// so a restart restores the snapshots that were actually serving —
+// which after a rollback is *not* the newest one.
+func (r *Registry) saveCurrent(st *store.Store, schema string) {
+	r.storeMu.Lock()
+	cursors := make(map[string]uint64)
+	for key, v := range r.cursor {
+		if key.Schema == schema && v != 0 {
+			cursors[key.Resource.WireName()] = v
+		}
+	}
+	r.storeMu.Unlock()
+	if err := st.SetCurrent(schema, cursors); err != nil {
+		r.logStore("store: recording serving cursors for %q: %v", schema, err)
+	}
+}
+
+// schemaPinsLocked collects the distinct snapshot versions serving any
+// of schema's slots. Caller holds storeMu.
+func (r *Registry) schemaPinsLocked(schema string) []uint64 {
+	seen := make(map[uint64]struct{})
+	var out []uint64
+	for key, v := range r.cursor {
+		if key.Schema != schema || v == 0 {
+			continue
+		}
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// RestoreFromStore republishes the model set every schema in the
+// attached store was last *serving* — crash recovery. Each route's
+// snapshot comes from the durable serving-cursor record (so a route
+// rolled back before the restart resumes on its rolled-back model, not
+// the newest snapshot); routes without a record fall back to the
+// newest intact snapshot, and corrupt snapshots are skipped (logged).
+// Restored publishes do not write new snapshots.
+func (r *Registry) RestoreFromStore() ([]ModelInfo, error) {
+	r.storeMu.Lock()
+	st := r.store
+	r.storeMu.Unlock()
+	if st == nil {
+		return nil, errors.New("serve: no store attached")
+	}
+	schemas, err := st.Schemas()
+	if err != nil {
+		return nil, err
+	}
+	var out []ModelInfo
+	for _, schema := range schemas {
+		cursors := st.Current(schema)
+		loadedAt := make(map[uint64]*store.Loaded)
+		loadVersion := func(v uint64) *store.Loaded {
+			if l, ok := loadedAt[v]; ok {
+				return l
+			}
+			l, err := st.LoadVersion(v)
+			if err != nil {
+				r.logStore("store: restore %q v%d: %v", schema, v, err)
+				l = nil
+			}
+			loadedAt[v] = l
+			return l
+		}
+		var latest *store.Loaded
+		latestTried := false
+		loadLatest := func() *store.Loaded {
+			if !latestTried {
+				latestTried = true
+				var err error
+				if latest, err = st.LoadLatest(schema); err != nil {
+					r.logStore("store: restore %q: %v", schema, err)
+					latest = nil
+				}
+			}
+			return latest
+		}
+		for _, k := range plan.ResourceKinds() {
+			var loaded *store.Loaded
+			if v, ok := cursors[k.WireName()]; ok {
+				loaded = loadVersion(v)
+			}
+			if loaded == nil {
+				loaded = loadLatest()
+			}
+			if loaded == nil {
+				continue
+			}
+			est, ok := loaded.Models[k]
+			if !ok {
+				continue
+			}
+			info, _, installed := r.publish(schema, est, true)
+			if !installed {
+				continue
+			}
+			info.Snapshot = loaded.Manifest.Version
+			r.storeMu.Lock()
+			r.cursor[ModelKey{Schema: schema, Resource: k}] = loaded.Manifest.Version
+			r.storeMu.Unlock()
+			out = append(out, info)
+		}
+		r.storeMu.Lock()
+		pins := r.schemaPinsLocked(schema)
+		r.storeMu.Unlock()
+		st.SetPins(schema, pins...)
+		r.saveCurrent(st, schema)
+	}
+	return out, nil
 }
 
 // pushHistory retains a superseded version for rollback, dropping the
@@ -167,9 +410,44 @@ func (r *Registry) pushHistory(key ModelKey, old *Model) {
 // model is intentionally not pushed onto the history — repeated
 // rollbacks walk further back instead of ping-ponging. A publish racing
 // the rollback and winning the version race yields ErrRollbackConflict
-// with the history entry restored, never a silent no-op reported as
-// success.
+// whose ModelInfo result names the version that won, never a silent
+// no-op reported as success.
+//
+// With a store attached, rollback restores the previous version from
+// the snapshot history on disk instead of the in-memory stack — so it
+// keeps working across process restarts, and what it restores is
+// exactly what was persisted.
 func (r *Registry) Rollback(schema string, resource plan.ResourceKind) (ModelInfo, error) {
+	r.storeMu.Lock()
+	st := r.store
+	dirty := r.dirty[schema]
+	r.storeMu.Unlock()
+	if st != nil && !dirty {
+		info, err := r.rollbackFromStore(st, schema, resource)
+		// The store can lack history the in-memory stack still has:
+		// models published before the store was attached, or whose
+		// snapshot writes failed. Fall back rather than refusing a
+		// rollback the registry can actually perform.
+		if errors.Is(err, ErrNoHistory) && r.hasMemoryHistory(schema, resource) {
+			r.logStore("store: no snapshot history for %s/%s, rolling back from the in-memory stack", schema, resource)
+			return r.rollbackFromMemory(schema, resource)
+		}
+		return info, err
+	}
+	if st != nil {
+		r.logStore("store: last snapshot persist for %q failed; rolling back from the in-memory stack", schema)
+	}
+	return r.rollbackFromMemory(schema, resource)
+}
+
+func (r *Registry) hasMemoryHistory(schema string, resource plan.ResourceKind) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.history[ModelKey{Schema: schema, Resource: resource}]) > 0
+}
+
+// rollbackFromMemory pops the slot's in-memory history stack.
+func (r *Registry) rollbackFromMemory(schema string, resource plan.ResourceKind) (ModelInfo, error) {
 	key := ModelKey{Schema: schema, Resource: resource}
 	r.mu.Lock()
 	h := r.history[key]
@@ -184,9 +462,10 @@ func (r *Registry) Rollback(schema string, resource plan.ResourceKind) (ModelInf
 	info, replaced, installed := r.publish(schema, prev.Est, false)
 	if !installed {
 		// A concurrent publish allocated a higher version and won the
-		// slot; our rollback never served. Put the entry back.
+		// slot; our rollback never served. Put the entry back and
+		// report the winner (publish handed back its info).
 		r.pushHistory(key, prev)
-		return ModelInfo{}, ErrRollbackConflict
+		return info, fmt.Errorf("%w: version %d is now serving", ErrRollbackConflict, info.Version)
 	}
 	// The model we displaced is normally the one being rolled away from
 	// and is deliberately dropped (no ping-pong). But if a concurrent
@@ -196,6 +475,93 @@ func (r *Registry) Rollback(schema string, resource plan.ResourceKind) (ModelInf
 	if replaced != nil && (expected == nil || replaced.Info.Version != expected.Info.Version) {
 		r.pushHistory(key, replaced)
 	}
+	return info, nil
+}
+
+// rollbackFromStore restores the newest snapshot older than the
+// serving one whose model for the resource actually differs in content
+// (consecutive snapshots written by *other* resources' publishes carry
+// the same model file for this resource — skipping by checksum is what
+// makes rollback mean "previous model", not "previous snapshot").
+func (r *Registry) rollbackFromStore(st *store.Store, schema string, resource plan.ResourceKind) (ModelInfo, error) {
+	key := ModelKey{Schema: schema, Resource: resource}
+	wire := resource.WireName()
+	mans, err := st.List()
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	r.storeMu.Lock()
+	cur := r.cursor[key]
+	r.storeMu.Unlock()
+	var curSha string
+	if cur == 0 {
+		// No cursor (models published before the store was attached):
+		// the newest schema snapshot carrying the resource stands in
+		// for "currently serving".
+		for i := len(mans) - 1; i >= 0; i-- {
+			if m := mans[i]; m.Schema == schema {
+				if e, ok := m.Resource(wire); ok {
+					cur, curSha = m.Version, e.SHA256
+					break
+				}
+			}
+		}
+		if cur == 0 {
+			return ModelInfo{}, fmt.Errorf("%w: schema %q resource %s (no snapshots)", ErrNoHistory, schema, resource)
+		}
+	} else {
+		for _, m := range mans {
+			if m.Version == cur {
+				if e, ok := m.Resource(wire); ok {
+					curSha = e.SHA256
+				}
+				break
+			}
+		}
+	}
+	var target uint64
+	for i := len(mans) - 1; i >= 0; i-- {
+		m := mans[i]
+		if m.Version >= cur || m.Schema != schema {
+			continue
+		}
+		e, ok := m.Resource(wire)
+		if !ok {
+			continue
+		}
+		if curSha != "" && e.SHA256 == curSha {
+			continue
+		}
+		target = m.Version
+		break
+	}
+	if target == 0 {
+		return ModelInfo{}, fmt.Errorf("%w: schema %q resource %s", ErrNoHistory, schema, resource)
+	}
+	loaded, err := st.LoadVersion(target)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	est, ok := loaded.Models[resource]
+	if !ok {
+		return ModelInfo{}, fmt.Errorf("%w: snapshot v%d lost its %s model", store.ErrCorrupt, target, resource)
+	}
+	expected, _ := r.Lookup(schema, resource)
+	info, replaced, installed := r.publish(schema, est, false)
+	if !installed {
+		return info, fmt.Errorf("%w: version %d is now serving", ErrRollbackConflict, info.Version)
+	}
+	if replaced != nil && (expected == nil || replaced.Info.Version != expected.Info.Version) {
+		r.pushHistory(key, replaced)
+	}
+	info.Snapshot = target
+	r.storeMu.Lock()
+	r.cursor[key] = target
+	pins := r.schemaPinsLocked(schema)
+	r.storeMu.Unlock()
+	st.SetPins(schema, pins...)
+	r.saveCurrent(st, schema)
+	r.logStore("store: rolled %s/%s back to snapshot v%d (registry v%d)", schema, resource, target, info.Version)
 	return info, nil
 }
 
@@ -212,9 +578,11 @@ func (r *Registry) CurrentEstimator(schema string, resource plan.ResourceKind) (
 }
 
 // PublishEstimator atomically installs est for schema and returns the
-// assigned version (feedback.Publisher).
+// assigned version (feedback.Publisher). With a store attached, the
+// retrained model is persisted as a coherent snapshot alongside the
+// schema's other live models.
 func (r *Registry) PublishEstimator(schema string, est *core.Estimator) uint64 {
-	return r.Publish(schema, est).Version
+	return r.PublishAs(schema, est, "retrain").Version
 }
 
 // PublishFile loads an estimator saved by core (*Estimator).Save and
@@ -229,7 +597,7 @@ func (r *Registry) PublishFile(schema, path string) (ModelInfo, error) {
 	if err != nil {
 		return ModelInfo{}, fmt.Errorf("serve: load %s: %w", path, err)
 	}
-	return r.Publish(schema, est), nil
+	return r.PublishAs(schema, est, "upload"), nil
 }
 
 // Lookup returns the current model for (schema, resource), falling back
@@ -249,16 +617,26 @@ func (r *Registry) Lookup(schema string, resource plan.ResourceKind) (*Model, bo
 }
 
 // Models lists the currently published model versions, sorted by
-// version for stable output.
+// version for stable output. In store-backed mode each entry carries
+// the snapshot version currently backing its slot.
 func (r *Registry) Models() []ModelInfo {
 	r.mu.RLock()
 	out := make([]ModelInfo, 0, len(r.slots))
-	for _, slot := range r.slots {
+	keys := make([]ModelKey, 0, len(r.slots))
+	for key, slot := range r.slots {
 		if m := slot.Load(); m != nil {
 			out = append(out, m.Info)
+			keys = append(keys, key)
 		}
 	}
 	r.mu.RUnlock()
+	r.storeMu.Lock()
+	if r.store != nil {
+		for i, key := range keys {
+			out[i].Snapshot = r.cursor[key]
+		}
+	}
+	r.storeMu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
 	return out
 }

@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"errors"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/plan"
+	"repro/internal/store"
 )
 
 // TestPushHistoryOrdersByVersion pins the rollback-ordering invariant
@@ -37,5 +40,80 @@ func TestPushHistoryOrdersByVersion(t *testing.T) {
 	}
 	if h[0].Info.Version != 12 || h[len(h)-1].Info.Version != 19 {
 		t.Fatalf("cap kept versions %d..%d, want 12..19", h[0].Info.Version, h[len(h)-1].Info.Version)
+	}
+}
+
+// TestRollbackConflictReportsWinner pins the losing-rollback contract:
+// when a concurrent publish wins the slot between Rollback's history
+// pop and its install, the returned ModelInfo must name the version
+// that actually serves — not a zero value — alongside
+// ErrRollbackConflict, and the popped history entry must be restored
+// for a retry. The interleaving is reproduced deterministically by
+// installing the racing winner directly into the slot, exactly where a
+// concurrent Publish would have CASed it.
+func TestRollbackConflictReportsWinner(t *testing.T) {
+	r := NewRegistry()
+	est := func() *core.Estimator { return &core.Estimator{Resource: plan.CPUTime} }
+	r.Publish("s", est()) // v1 → history after next publish
+	r.Publish("s", est()) // v2 serving, history [v1]
+	key := ModelKey{Schema: "s", Resource: plan.CPUTime}
+
+	// The racing publish: a higher version lands in the slot before the
+	// rollback's own publish (which will allocate v3 < 99) can install.
+	winner := &Model{
+		Info: ModelInfo{Schema: "s", Resource: "CPU", Version: 99},
+		Est:  est(),
+	}
+	r.mu.RLock()
+	r.slots[key].Store(winner)
+	r.mu.RUnlock()
+
+	info, err := r.Rollback("s", plan.CPUTime)
+	if !errors.Is(err, ErrRollbackConflict) {
+		t.Fatalf("rollback yielded %v, want ErrRollbackConflict", err)
+	}
+	if info.Version != winner.Info.Version {
+		t.Fatalf("conflict reported version %d, want the winner's %d", info.Version, winner.Info.Version)
+	}
+	if got := len(r.history[key]); got != 1 {
+		t.Fatalf("history holds %d entries after failed rollback, want the restored 1", got)
+	}
+	if cur := r.slots[key].Load(); cur != winner {
+		t.Fatal("failed rollback displaced the winning model")
+	}
+}
+
+// TestPersistSnapshotCursorMonotonic pins the racing-publish guard:
+// a straggler whose snapshot version is older than the cursor must not
+// drag the serving cursor (and hence the durable current.json a
+// restart restores from) backwards.
+func TestPersistSnapshotCursorMonotonic(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	r.AttachStore(st, nil)
+	r.PublishAs("s", &core.Estimator{Resource: plan.CPUTime}, "test") // snapshot v1
+	key := ModelKey{Schema: "s", Resource: plan.CPUTime}
+
+	// Simulate the faster racer having already persisted snapshot 7.
+	r.storeMu.Lock()
+	r.cursor[key] = 7
+	r.storeMu.Unlock()
+
+	// The straggler's persist allocates snapshot v2 (< 7): the cursor
+	// must hold.
+	if _, err := r.persistSnapshot("s", "test"); err != nil {
+		t.Fatal(err)
+	}
+	r.storeMu.Lock()
+	got := r.cursor[key]
+	r.storeMu.Unlock()
+	if got != 7 {
+		t.Fatalf("straggler persist moved the cursor to %d, want 7 kept", got)
+	}
+	if cur := st.Current("s"); cur["cpu"] != 7 {
+		t.Fatalf("durable cursor moved to %d, want 7 kept", cur["cpu"])
 	}
 }

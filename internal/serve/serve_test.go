@@ -195,9 +195,10 @@ func TestCacheCorrectness(t *testing.T) {
 			t.Fatalf("%s: disabled cache reported hits", p.Tag)
 		}
 		for i := range cold.Operators {
-			if cold.Operators[i] != warm.Operators[i] || cold.Operators[i] != plain.Operators[i] {
+			c, w, pl := cold.Operators[i], warm.Operators[i], plain.Operators[i]
+			if c.ID != w.ID || c.ID != pl.ID || c.Estimate != w.Estimate || c.Estimate != pl.Estimate {
 				t.Fatalf("%s: operator %d diverges: cold %+v warm %+v plain %+v",
-					p.Tag, i, cold.Operators[i], warm.Operators[i], plain.Operators[i])
+					p.Tag, i, c, w, pl)
 			}
 		}
 		if cold.Total != warm.Total || cold.Total != plain.Total {

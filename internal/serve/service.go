@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/features"
 	"repro/internal/feedback"
 	"repro/internal/plan"
@@ -22,6 +23,15 @@ var (
 	ErrNoModel = errors.New("serve: no model for request")
 	// ErrClosed means the service has been shut down.
 	ErrClosed = errors.New("serve: service closed")
+	// ErrUnknownResource means a request named a resource kind this
+	// build does not model. The HTTP layer maps it to the structured
+	// error envelope with code "unknown_resource".
+	ErrUnknownResource = errors.New("serve: unknown resource")
+	// ErrModeMismatch means a multi-resource request routed to models
+	// that disagree on the feature mode (exact vs estimated), so one
+	// extraction pass cannot serve them together. Publish consistently
+	// trained models, or request the resources separately.
+	ErrModeMismatch = errors.New("serve: models for the requested resources disagree on feature mode")
 )
 
 // Options configures a Service.
@@ -82,35 +92,61 @@ type Request struct {
 	// Schema routes to the model trained for this workload schema
 	// (falls back to the registry's "" wildcard).
 	Schema string
-	// Resource selects the predicted resource.
+	// Resource selects the predicted resource for single-resource
+	// requests. Ignored when Resources is non-empty.
 	Resource plan.ResourceKind
+	// Resources selects several resources at once: the plan's features
+	// are extracted once and fanned out across every named resource's
+	// model in one pass. Order matters only for the response's primary
+	// (top-level) fields, which mirror the first entry; duplicates are
+	// ignored. Empty means single-resource (Resource).
+	Resources []plan.ResourceKind
 	// Plan is the physical plan to estimate.
 	Plan *plan.Plan
 	// Timeout overrides the service default deadline when > 0.
 	Timeout time.Duration
 }
 
-// OperatorEstimate is one operator's prediction.
+// OperatorEstimate is one operator's prediction. Estimate carries the
+// request's primary (first-listed) resource; Estimates breaks the
+// prediction out per resource — parallel to the response's Resources
+// list — on multi-resource requests, and is omitted on single-resource
+// ones, keeping their wire shape unchanged.
 type OperatorEstimate struct {
-	ID       int     `json:"id"`
-	Kind     string  `json:"kind"`
-	Estimate float64 `json:"estimate"`
+	ID        int       `json:"id"`
+	Kind      string    `json:"kind"`
+	Estimate  float64   `json:"estimate"`
+	Estimates []float64 `json:"estimates,omitempty"`
 }
 
 // PipelineEstimate aggregates the operators of one pipeline, in
 // execution order — the granularity scheduling consumes (§5.2).
+// Estimates is per-resource on multi-resource requests, like
+// OperatorEstimate's.
 type PipelineEstimate struct {
-	ID        int     `json:"id"`
-	Estimate  float64 `json:"estimate"`
-	Operators []int   `json:"operators"`
+	ID        int       `json:"id"`
+	Estimate  float64   `json:"estimate"`
+	Estimates []float64 `json:"estimates,omitempty"`
+	Operators []int     `json:"operators"`
 }
 
 // Response carries predictions at all three granularities. Total is
 // always the exact sum of Operators, and Pipelines partition Operators,
 // whether or not individual predictions came from the cache.
+//
+// Single-resource requests populate exactly the fields they always
+// did (wire-compatible with pre-multi-resource clients). Multi-resource
+// requests additionally carry Resources (the requested resources' wire
+// names, request order), Models (one ModelInfo per entry of Resources)
+// and Totals (per-resource totals, parallel to Resources — as is every
+// Estimates list in the response); Model and Total then describe the
+// primary (first-requested) resource.
 type Response struct {
 	Model       ModelInfo          `json:"model"`
+	Models      []ModelInfo        `json:"models,omitempty"`
+	Resources   []string           `json:"resources,omitempty"`
 	Total       float64            `json:"total"`
+	Totals      []float64          `json:"totals,omitempty"`
 	Operators   []OperatorEstimate `json:"operators"`
 	Pipelines   []PipelineEstimate `json:"pipelines"`
 	CacheHits   int                `json:"cache_hits"`
@@ -136,19 +172,24 @@ type Metrics struct {
 }
 
 // BatchRequest asks for estimates for several plans in one call. The
-// whole batch routes to one model version, runs as a single worker-pool
-// job with one multi-get against the prediction cache, and evaluates
-// its cache misses through the estimator's batched hot path
-// (core.Estimator.PredictBatch) — amortizing queueing, feature
-// extraction and tree-walk cache misses over the batch.
+// whole batch routes to one model version per requested resource, runs
+// as a single worker-pool job with one multi-get against the prediction
+// cache, and evaluates its cache misses through the estimator's batched
+// hot path (core.EstimatorSet.PredictAllBatch) — amortizing queueing,
+// feature extraction and tree-walk cache misses over the batch, and
+// sharing the extraction across resources.
 type BatchRequest struct {
 	// Schema routes to the model trained for this workload schema
 	// (falls back to the registry's "" wildcard).
 	Schema string
-	// Resource selects the predicted resource.
+	// Resource selects the predicted resource for single-resource
+	// batches. Ignored when Resources is non-empty.
 	Resource plan.ResourceKind
+	// Resources selects several resources at once (see
+	// Request.Resources).
+	Resources []plan.ResourceKind
 	// Plans are the physical plans to estimate, all against the same
-	// (schema, resource) model.
+	// (schema, resource-set) models.
 	Plans []*plan.Plan
 	// Timeout overrides the service default deadline when > 0. It
 	// covers the whole batch.
@@ -159,24 +200,121 @@ type BatchRequest struct {
 // same three granularities as Response, minus the shared model header.
 type PlanEstimate struct {
 	Total     float64            `json:"total"`
+	Totals    []float64          `json:"totals,omitempty"`
 	Operators []OperatorEstimate `json:"operators"`
 	Pipelines []PipelineEstimate `json:"pipelines"`
 }
 
 // BatchResponse carries per-plan predictions, parallel to the request's
-// Plans, plus batch-level cache counters.
+// Plans, plus batch-level cache counters. Model/Models/Resources follow
+// the same single- vs multi-resource convention as Response.
 type BatchResponse struct {
 	Model       ModelInfo      `json:"model"`
+	Models      []ModelInfo    `json:"models,omitempty"`
+	Resources   []string       `json:"resources,omitempty"`
 	Plans       []PlanEstimate `json:"plans"`
 	CacheHits   int            `json:"cache_hits"`
 	CacheMisses int            `json:"cache_misses"`
 }
 
+// modelSet is a request's resolved routing: one model per requested
+// resource, the cache's version vector, and the multi-resource
+// estimator fan-out built over the models' (shared-mode) estimators.
+type modelSet struct {
+	kinds    []plan.ResourceKind
+	models   [plan.NumResources]*Model
+	versions versionVector
+	est      *core.EstimatorSet
+}
+
+// primary returns the model the response's top-level fields describe.
+func (ms *modelSet) primary() *Model { return ms.models[ms.kinds[0]] }
+
+// multi reports whether the response should carry per-resource fields.
+func (ms *modelSet) multi() bool { return len(ms.kinds) > 1 }
+
+// infos lists the models in request order.
+func (ms *modelSet) infos() []ModelInfo {
+	out := make([]ModelInfo, len(ms.kinds))
+	for i, k := range ms.kinds {
+		out[i] = ms.models[k].Info
+	}
+	return out
+}
+
+// wireNames lists the requested resources' wire names, request order —
+// the Resources field every Estimates/Totals list is parallel to.
+func (ms *modelSet) wireNames() []string {
+	out := make([]string, len(ms.kinds))
+	for i, k := range ms.kinds {
+		out[i] = k.WireName()
+	}
+	return out
+}
+
+// appendValues appends v's components for the requested resources, in
+// request order. Responses carve their per-operator Estimates lists out
+// of one pre-sized backing slice via this, so a multi-resource response
+// costs one float allocation per plan, not one map per operator.
+func (ms *modelSet) appendValues(dst []float64, v plan.Resources) []float64 {
+	for _, k := range ms.kinds {
+		dst = append(dst, v.Get(k))
+	}
+	return dst
+}
+
+// normalizeResources resolves a request's resource selection into a
+// validated, deduplicated kind list (order-preserving). An empty
+// multi-set falls back to the single Resource field.
+func normalizeResources(single plan.ResourceKind, set []plan.ResourceKind) ([]plan.ResourceKind, error) {
+	if len(set) == 0 {
+		set = []plan.ResourceKind{single}
+	}
+	out := make([]plan.ResourceKind, 0, len(set))
+	var seen [plan.NumResources]bool
+	for _, k := range set {
+		if !k.Valid() {
+			return nil, fmt.Errorf("%w: kind %d", ErrUnknownResource, int(k))
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// lookupModels routes a request's resource set through the registry and
+// builds the shared-extraction estimator fan-out.
+func (s *Service) lookupModels(schema string, kinds []plan.ResourceKind) (*modelSet, error) {
+	ms := &modelSet{kinds: kinds}
+	ests := make([]*core.Estimator, 0, len(kinds))
+	for _, k := range kinds {
+		m, ok := s.reg.Lookup(schema, k)
+		if !ok {
+			return nil, fmt.Errorf("%w: schema %q resource %s", ErrNoModel, schema, k)
+		}
+		ms.models[k] = m
+		ms.versions[k] = m.Info.Version
+		ests = append(ests, m.Est)
+	}
+	set, err := core.NewEstimatorSet(ests...)
+	if err != nil {
+		if errors.Is(err, core.ErrModeMismatch) {
+			return nil, fmt.Errorf("%w (schema %q)", ErrModeMismatch, schema)
+		}
+		return nil, err
+	}
+	ms.est = set
+	return ms, nil
+}
+
 type job struct {
-	ctx   context.Context
-	model *Model
-	plan  *plan.Plan
-	out   chan *Response
+	ctx    context.Context
+	models *modelSet
+	plan   *plan.Plan
+	out    chan *Response
 	// Batch jobs carry plans and deliver on bout instead; plan is nil.
 	plans []*plan.Plan
 	bout  chan *BatchResponse
@@ -258,14 +396,16 @@ func (s *Service) runJob(j *job) {
 		return
 	}
 	if j.plan != nil {
-		j.out <- s.predict(j.model, j.plan)
+		j.out <- s.predict(j.models, j.plan)
 		return
 	}
-	j.bout <- s.predictBatch(j.model, j.plans)
+	j.bout <- s.predictBatch(j.models, j.plans)
 }
 
 // Estimate runs one request through the pool and returns predictions at
-// query, pipeline and operator granularity.
+// query, pipeline and operator granularity — for one resource or, when
+// the request names several, for all of them from a single
+// feature-extraction pass.
 func (s *Service) Estimate(ctx context.Context, req Request) (*Response, error) {
 	start := time.Now()
 	s.requests.Add(1)
@@ -286,9 +426,13 @@ func (s *Service) estimate(ctx context.Context, req Request) (*Response, error) 
 	if err := req.Plan.Validate(); err != nil {
 		return nil, err
 	}
-	model, ok := s.reg.Lookup(req.Schema, req.Resource)
-	if !ok {
-		return nil, fmt.Errorf("%w: schema %q resource %s", ErrNoModel, req.Schema, req.Resource)
+	kinds, err := normalizeResources(req.Resource, req.Resources)
+	if err != nil {
+		return nil, err
+	}
+	models, err := s.lookupModels(req.Schema, kinds)
+	if err != nil {
+		return nil, err
 	}
 
 	timeout := req.Timeout
@@ -307,7 +451,7 @@ func (s *Service) estimate(ctx context.Context, req Request) (*Response, error) 
 	default:
 	}
 
-	j := &job{ctx: ctx, model: model, plan: req.Plan, out: make(chan *Response, 1)}
+	j := &job{ctx: ctx, models: models, plan: req.Plan, out: make(chan *Response, 1)}
 	select {
 	case s.jobs <- j:
 	case <-s.quit:
@@ -335,7 +479,7 @@ func (s *Service) estimate(ctx context.Context, req Request) (*Response, error) 
 // EstimateBatch runs a whole plan batch through the pool as one job and
 // returns per-plan predictions, parallel to req.Plans. Per-operator
 // values are exactly what sequential Estimate calls against the same
-// model version would produce (the batched tree layout is bit-identical
+// model versions would produce (the batched tree layout is bit-identical
 // to the pointer walk, and cached values are shared between the two
 // paths); only the throughput differs.
 func (s *Service) EstimateBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
@@ -365,9 +509,13 @@ func (s *Service) estimateBatch(ctx context.Context, req BatchRequest) (*BatchRe
 			return nil, fmt.Errorf("serve: batch plan %d: %w", i, err)
 		}
 	}
-	model, ok := s.reg.Lookup(req.Schema, req.Resource)
-	if !ok {
-		return nil, fmt.Errorf("%w: schema %q resource %s", ErrNoModel, req.Schema, req.Resource)
+	kinds, err := normalizeResources(req.Resource, req.Resources)
+	if err != nil {
+		return nil, err
+	}
+	models, err := s.lookupModels(req.Schema, kinds)
+	if err != nil {
+		return nil, err
 	}
 
 	timeout := req.Timeout
@@ -383,7 +531,7 @@ func (s *Service) estimateBatch(ctx context.Context, req BatchRequest) (*BatchRe
 	default:
 	}
 
-	j := &job{ctx: ctx, model: model, plans: req.Plans, bout: make(chan *BatchResponse, 1)}
+	j := &job{ctx: ctx, models: models, plans: req.Plans, bout: make(chan *BatchResponse, 1)}
 	select {
 	case s.jobs <- j:
 	case <-s.quit:
@@ -408,28 +556,29 @@ func (s *Service) estimateBatch(ctx context.Context, req BatchRequest) (*BatchRe
 
 // predictBatch is the batched analogue of predict: one flat feature
 // extraction over every node of every plan, one multi-get against the
-// sharded cache, one core.PredictBatch over the misses (grouped by
-// operator onto the compiled tree slabs), one multi-put back.
-func (s *Service) predictBatch(model *Model, plans []*plan.Plan) *BatchResponse {
-	est := model.Est
-	vecs, offs := features.ExtractPlans(plans, est.Mode)
+// sharded cache, one EstimatorSet.PredictAllBatch over the misses
+// (grouped by operator onto the compiled tree slabs, fanned out across
+// the requested resources), one multi-put back.
+func (s *Service) predictBatch(ms *modelSet, plans []*plan.Plan) *BatchResponse {
+	set := ms.est
+	vecs, offs := features.ExtractPlans(plans, set.Mode)
 	kinds := make([]plan.OpKind, len(vecs))
 	keys := make([]cacheKey, len(vecs))
 	for pi, p := range plans {
 		j := offs[pi]
 		p.Walk(func(n *plan.Node) {
 			kinds[j] = n.Kind
-			keys[j] = cacheKey{version: model.Info.Version, op: n.Kind, vec: vecs[j]}
+			keys[j] = cacheKey{versions: ms.versions, op: n.Kind, vec: vecs[j]}
 			j++
 		})
 	}
 
-	vals := make([]float64, len(vecs))
+	vals := make([]plan.Resources, len(vecs))
 	hit := make([]bool, len(vecs))
 	hits, shards := s.cache.GetMulti(keys, vals, hit)
 
 	if miss := len(vecs) - hits; miss > 0 {
-		// Deduplicate identical (version, op, vector) misses before
+		// Deduplicate identical (versions, op, vector) misses before
 		// predicting: production batches repeat operator shapes (the
 		// same scans under different queries), and with caching
 		// disabled this is the only thing collapsing them. Predictions
@@ -454,34 +603,67 @@ func (s *Service) predictBatch(model *Model, plans []*plan.Plan) *BatchResponse 
 			slot = append(slot, u)
 			idxOf = append(idxOf, i)
 		}
-		missVals := est.PredictBatch(missKinds, missVecs, nil)
+		missVals := set.PredictAllBatch(missKinds, missVecs, nil)
 		for k, i := range idxOf {
 			vals[i] = missVals[slot[k]]
 		}
 		s.cache.PutMulti(keys, vals, hit, shards)
 	}
 
+	primary := ms.kinds[0]
+	multi := ms.multi()
+	nk := len(ms.kinds)
 	resp := &BatchResponse{
-		Model:       model.Info,
+		Model:       ms.primary().Info,
 		Plans:       make([]PlanEstimate, len(plans)),
 		CacheHits:   hits,
 		CacheMisses: len(vecs) - hits,
 	}
+	if multi {
+		resp.Models = ms.infos()
+		resp.Resources = ms.wireNames()
+	}
 	for pi, p := range plans {
 		nodes := p.Nodes()
+		pipes := p.Pipelines()
 		pe := PlanEstimate{Operators: make([]OperatorEstimate, len(nodes))}
-		perNode := make(map[*plan.Node]float64, len(nodes))
+		// One backing slice per plan holds every per-resource list of
+		// the response (operators, pipelines, totals); sub-slicing it is
+		// what keeps the multi-resource fan-out allocation-flat. Sized
+		// exactly, so appends never reallocate out from under the
+		// sub-slices already handed out.
+		var backing []float64
+		if multi {
+			backing = make([]float64, 0, (len(nodes)+len(pipes)+1)*nk)
+		}
+		perNode := make(map[*plan.Node]plan.Resources, len(nodes))
+		var total plan.Resources
 		for i, n := range nodes {
 			v := vals[offs[pi]+i]
 			perNode[n] = v
-			pe.Operators[i] = OperatorEstimate{ID: n.ID, Kind: n.Kind.String(), Estimate: v}
-			pe.Total += v
+			pe.Operators[i] = OperatorEstimate{ID: n.ID, Kind: n.Kind.String(), Estimate: v.Get(primary)}
+			if multi {
+				backing = ms.appendValues(backing, v)
+				pe.Operators[i].Estimates = backing[len(backing)-nk : len(backing) : len(backing)]
+			}
+			total.Add(v)
 		}
-		for _, pl := range p.Pipelines() {
+		pe.Total = total.Get(primary)
+		if multi {
+			backing = ms.appendValues(backing, total)
+			pe.Totals = backing[len(backing)-nk : len(backing) : len(backing)]
+		}
+		for _, pl := range pipes {
 			ppe := PipelineEstimate{ID: pl.ID, Operators: make([]int, 0, len(pl.Nodes))}
+			var ptotal plan.Resources
 			for _, n := range pl.Nodes {
-				ppe.Estimate += perNode[n]
+				ptotal.Add(perNode[n])
 				ppe.Operators = append(ppe.Operators, n.ID)
+			}
+			ppe.Estimate = ptotal.Get(primary)
+			if multi {
+				backing = ms.appendValues(backing, ptotal)
+				ppe.Estimates = backing[len(backing)-nk : len(backing) : len(backing)]
 			}
 			pe.Pipelines = append(pe.Pipelines, ppe)
 		}
@@ -493,35 +675,65 @@ func (s *Service) predictBatch(model *Model, plans []*plan.Plan) *BatchResponse 
 // predict computes per-operator predictions (through the cache) and
 // aggregates them into pipeline and query totals. Aggregating from the
 // same per-node values guarantees the three granularities are mutually
-// consistent.
-func (s *Service) predict(model *Model, p *plan.Plan) *Response {
-	est := model.Est
+// consistent. On multi-resource requests the plan's features are
+// extracted once and fanned out across every requested resource's
+// model — the per-resource values are bit-identical to single-resource
+// requests against the same model versions.
+func (s *Service) predict(ms *modelSet, p *plan.Plan) *Response {
+	set := ms.est
 	nodes := p.Nodes()
-	vecs := features.ExtractPlan(p, est.Mode)
+	pipes := p.Pipelines()
+	vecs := features.ExtractPlan(p, set.Mode)
+	primary := ms.kinds[0]
+	multi := ms.multi()
+	nk := len(ms.kinds)
 	resp := &Response{
-		Model:     model.Info,
+		Model:     ms.primary().Info,
 		Operators: make([]OperatorEstimate, len(nodes)),
 	}
-	perNode := make(map[*plan.Node]float64, len(nodes))
+	// See predictBatch for the backing-slice scheme.
+	var backing []float64
+	if multi {
+		resp.Models = ms.infos()
+		resp.Resources = ms.wireNames()
+		backing = make([]float64, 0, (len(nodes)+len(pipes)+1)*nk)
+	}
+	perNode := make(map[*plan.Node]plan.Resources, len(nodes))
+	var total plan.Resources
 	for i, n := range nodes {
-		key := cacheKey{version: model.Info.Version, op: n.Kind, vec: vecs[i]}
+		key := cacheKey{versions: ms.versions, op: n.Kind, vec: vecs[i]}
 		v, ok := s.cache.Get(key)
 		if ok {
 			resp.CacheHits++
 		} else {
 			resp.CacheMisses++
-			v = est.PredictVector(n.Kind, &vecs[i])
+			v = set.PredictAll(n.Kind, &vecs[i])
 			s.cache.Put(key, v)
 		}
 		perNode[n] = v
-		resp.Operators[i] = OperatorEstimate{ID: n.ID, Kind: n.Kind.String(), Estimate: v}
-		resp.Total += v
+		resp.Operators[i] = OperatorEstimate{ID: n.ID, Kind: n.Kind.String(), Estimate: v.Get(primary)}
+		if multi {
+			backing = ms.appendValues(backing, v)
+			resp.Operators[i].Estimates = backing[len(backing)-nk : len(backing) : len(backing)]
+		}
+		total.Add(v)
 	}
-	for _, pl := range p.Pipelines() {
+	resp.Total = total.Get(primary)
+	if multi {
+		backing = ms.appendValues(backing, total)
+		resp.Totals = backing[len(backing)-nk : len(backing) : len(backing)]
+	}
+	for _, pl := range pipes {
 		pe := PipelineEstimate{ID: pl.ID, Operators: make([]int, 0, len(pl.Nodes))}
+		var ptotal plan.Resources
 		for _, n := range pl.Nodes {
-			pe.Estimate += perNode[n]
+			ptotal.Add(perNode[n])
 			pe.Operators = append(pe.Operators, n.ID)
+		}
+		pe.Estimate = ptotal.Get(primary)
+		if multi {
+			backing = ms.appendValues(backing, ptotal)
+			pe.Estimates = backing[len(backing)-nk : len(backing) : len(backing)]
 		}
 		resp.Pipelines = append(resp.Pipelines, pe)
 	}

@@ -1,0 +1,631 @@
+// Package store is the versioned on-disk model store — the single
+// source of truth for every published model snapshot.
+//
+// Before it existed, the three model producers each persisted their
+// own way: resserve -bootstrap trained in memory and kept nothing,
+// POST /models read loose files from a directory, and the feedback
+// retrainer published straight into the registry with no durable
+// record. The store unifies them: every publish writes one *snapshot* —
+// a directory holding the schema's model files (one per resource) plus
+// a JSON manifest with checksums — atomically, via temp-dir + rename.
+// The serving registry reads the same snapshots back for crash
+// recovery (load-latest at boot) and rollback (load the previous
+// version), and retention GC prunes old snapshots without ever touching
+// the pinned (currently serving) ones.
+//
+// Layout:
+//
+//	<dir>/v0000000007/manifest.json   snapshot 7's manifest
+//	<dir>/v0000000007/cpu.model.json  model blobs (core.Estimator.Save)
+//	<dir>/v0000000007/io.model.json
+//	<dir>/.tmp-*                      in-flight publishes (cleaned at Open)
+//
+// A crash mid-publish leaves only a .tmp-* directory, which Open
+// removes; a snapshot directory either exists completely (the rename
+// is atomic) or not at all. Corruption after the fact — torn writes,
+// bit rot, tampering — is caught at load time by the manifest's SHA-256
+// checksums, and LoadLatest falls back to the newest intact snapshot.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/plan"
+)
+
+var (
+	// ErrNotFound means no snapshot matches the request.
+	ErrNotFound = errors.New("store: snapshot not found")
+	// ErrCorrupt wraps snapshots that exist on disk but fail
+	// validation: unreadable or invalid manifest, missing model files,
+	// or checksum mismatches.
+	ErrCorrupt = errors.New("store: corrupt snapshot")
+)
+
+// Options configures a Store.
+type Options struct {
+	// Retain bounds the number of snapshots kept per schema: GC removes
+	// older ones (pinned snapshots are always kept). 0 selects the
+	// default (16); negative disables GC entirely.
+	Retain int
+	// Logf, when set, receives one line per notable event (tmp cleanup,
+	// corrupt snapshot skipped, GC).
+	Logf func(format string, args ...any)
+}
+
+// Store is a versioned on-disk model store. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir    string
+	retain int
+	logf   func(format string, args ...any)
+
+	mu   sync.Mutex
+	next uint64                         // next snapshot version to assign
+	pins map[string]map[uint64]struct{} // schema → pinned (serving) versions
+}
+
+// Snapshot is the input to Publish: one schema's model set.
+type Snapshot struct {
+	// Schema the models serve ("" = wildcard).
+	Schema string
+	// Source labels the producer for the manifest ("bootstrap",
+	// "upload", "retrain", ...).
+	Source string
+	// Models holds at least one estimator per resource kind to persist.
+	Models map[plan.ResourceKind]*core.Estimator
+}
+
+// Loaded is a snapshot read back from disk.
+type Loaded struct {
+	Manifest *Manifest
+	Models   map[plan.ResourceKind]*core.Estimator
+}
+
+const (
+	manifestName = "manifest.json"
+	currentName  = "current.json"
+	tmpPrefix    = ".tmp-"
+	dirFormat    = "v%010d"
+)
+
+// currentFile is the durable serving-cursor record: which snapshot
+// version each (schema, resource) route is currently serving from.
+// Publishes move a route's cursor to the new snapshot; rollbacks move
+// it backwards — and because rollback deliberately writes no new
+// snapshot, this file is what lets a restart resume the *rolled-back*
+// serving state instead of the newest snapshot.
+type currentFile struct {
+	// Schemas maps schema → resource wire name → snapshot version.
+	Schemas map[string]map[string]uint64 `json:"schemas"`
+}
+
+// Open opens (creating if needed) the store rooted at dir, removes
+// temp directories left by crashed publishes, and positions the
+// version counter after the highest snapshot on disk.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:    dir,
+		retain: opts.Retain,
+		logf:   opts.Logf,
+		pins:   make(map[string]map[uint64]struct{}),
+	}
+	if s.retain == 0 {
+		s.retain = 16
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			// A crash mid-publish: the rename never happened, so the
+			// snapshot never existed. Remove the debris.
+			s.logf("store: removing partial publish %s", e.Name())
+			if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+				return nil, fmt.Errorf("store: cleaning partial publish: %w", err)
+			}
+			continue
+		}
+		if v, ok := parseVersionDir(e.Name()); ok && v >= s.next {
+			s.next = v + 1
+		}
+	}
+	if s.next == 0 {
+		s.next = 1
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func parseVersionDir(name string) (uint64, bool) {
+	var v uint64
+	if n, err := fmt.Sscanf(name, dirFormat, &v); n != 1 || err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func (s *Store) versionDir(v uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf(dirFormat, v))
+}
+
+// Publish persists snap as a new snapshot version: model files and
+// manifest are written to a temp directory, synced, and renamed into
+// place in one atomic step — a reader (or a crash) sees either the
+// whole snapshot or none of it. Retention GC runs afterwards.
+func (s *Store) Publish(snap Snapshot) (*Manifest, error) {
+	if len(snap.Models) == 0 {
+		return nil, errors.New("store: publish with no models")
+	}
+	s.mu.Lock()
+	version := s.next
+	s.next++
+	s.mu.Unlock()
+
+	man := &Manifest{
+		FormatVersion: ManifestFormatVersion,
+		Version:       version,
+		Schema:        snap.Schema,
+		Source:        snap.Source,
+		CreatedAt:     time.Now().UTC(),
+	}
+	var files []namedBlob
+	// Resource-kind order keeps manifests deterministic regardless of
+	// map iteration.
+	for _, r := range plan.ResourceKinds() {
+		est, ok := snap.Models[r]
+		if !ok {
+			continue
+		}
+		if est == nil {
+			return nil, fmt.Errorf("store: publish with nil %s model", r)
+		}
+		if est.Resource != r {
+			return nil, fmt.Errorf("store: %s model keyed as %s", est.Resource, r)
+		}
+		var buf strings.Builder
+		if err := est.Save(&buf); err != nil {
+			return nil, fmt.Errorf("store: encode %s model: %w", r, err)
+		}
+		blob := []byte(buf.String())
+		sum := sha256.Sum256(blob)
+		entry := ModelEntry{
+			Resource:  r.WireName(),
+			File:      r.WireName() + ".model.json",
+			SHA256:    hex.EncodeToString(sum[:]),
+			Mode:      modeName(est),
+			NumModels: est.NumModels(),
+			Baseline:  est.Baseline,
+		}
+		man.Models = append(man.Models, entry)
+		files = append(files, namedBlob{name: entry.File, data: blob})
+	}
+	return s.write(man, files)
+}
+
+// namedBlob pairs a snapshot-relative file name with its contents.
+type namedBlob struct {
+	name string
+	data []byte
+}
+
+func (s *Store) write(man *Manifest, files []namedBlob) (*Manifest, error) {
+	manBytes, err := man.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("store: encode manifest: %w", err)
+	}
+	tmp, err := os.MkdirTemp(s.dir, tmpPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer os.RemoveAll(tmp) // no-op after a successful rename
+
+	for _, f := range append(files, namedBlob{name: manifestName, data: manBytes}) {
+		if err := writeSynced(filepath.Join(tmp, f.name), f.data); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := syncDir(tmp); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	final := s.versionDir(man.Version)
+	if err := os.Rename(tmp, final); err != nil {
+		return nil, fmt.Errorf("store: publish rename: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if removed, err := s.GC(); err != nil {
+		s.logf("store: gc after publish v%d: %v", man.Version, err)
+	} else if len(removed) > 0 {
+		s.logf("store: gc removed %d old snapshots", len(removed))
+	}
+	return man, nil
+}
+
+func writeSynced(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func syncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// versions lists the snapshot version numbers present on disk,
+// ascending.
+func (s *Store) versions() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []uint64
+	for _, e := range entries {
+		if v, ok := parseVersionDir(e.Name()); ok {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Manifest reads and validates snapshot v's manifest (checksums are
+// not verified — see LoadVersion).
+func (s *Store) Manifest(v uint64) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(s.versionDir(v), manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: v%d", ErrNotFound, v)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: v%d: %v", ErrCorrupt, v, err)
+	}
+	man, err := DecodeManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: v%d: %v", ErrCorrupt, v, err)
+	}
+	if man.Version != v {
+		return nil, fmt.Errorf("%w: v%d: manifest claims version %d", ErrCorrupt, v, man.Version)
+	}
+	return man, nil
+}
+
+// List returns the manifests of every readable snapshot, ascending by
+// version. Corrupt snapshots are skipped (and logged).
+func (s *Store) List() ([]*Manifest, error) {
+	vs, err := s.versions()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Manifest, 0, len(vs))
+	for _, v := range vs {
+		man, err := s.Manifest(v)
+		if err != nil {
+			s.logf("store: skipping v%d: %v", v, err)
+			continue
+		}
+		out = append(out, man)
+	}
+	return out, nil
+}
+
+// Schemas returns the distinct schemas with at least one readable
+// snapshot, sorted.
+func (s *Store) Schemas() ([]string, error) {
+	mans, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, m := range mans {
+		if !seen[m.Schema] {
+			seen[m.Schema] = true
+			out = append(out, m.Schema)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// LoadVersion loads snapshot v, verifying every model file against the
+// manifest's checksum before decoding it. A mismatch — a torn write, a
+// truncated file, tampering — yields ErrCorrupt, never a silently
+// wrong model.
+func (s *Store) LoadVersion(v uint64) (*Loaded, error) {
+	man, err := s.Manifest(v)
+	if err != nil {
+		return nil, err
+	}
+	out := &Loaded{Manifest: man, Models: make(map[plan.ResourceKind]*core.Estimator, len(man.Models))}
+	for _, e := range man.Models {
+		r, ok := wireResource(e.Resource)
+		if !ok {
+			return nil, fmt.Errorf("%w: v%d: unknown resource %q", ErrCorrupt, v, e.Resource)
+		}
+		data, err := os.ReadFile(filepath.Join(s.versionDir(v), e.File))
+		if err != nil {
+			return nil, fmt.Errorf("%w: v%d: %v", ErrCorrupt, v, err)
+		}
+		sum := sha256.Sum256(data)
+		if hex.EncodeToString(sum[:]) != e.SHA256 {
+			return nil, fmt.Errorf("%w: v%d: %s checksum mismatch", ErrCorrupt, v, e.File)
+		}
+		est, err := core.LoadEstimator(strings.NewReader(string(data)))
+		if err != nil {
+			return nil, fmt.Errorf("%w: v%d: %s: %v", ErrCorrupt, v, e.File, err)
+		}
+		if est.Resource != r {
+			return nil, fmt.Errorf("%w: v%d: %s holds a %s model", ErrCorrupt, v, e.File, est.Resource)
+		}
+		out.Models[r] = est
+	}
+	return out, nil
+}
+
+// LoadLatest loads the newest intact snapshot for schema, skipping
+// corrupt ones (each skip is logged). ErrNotFound when the schema has
+// no snapshot at all; ErrCorrupt when snapshots exist but none loads.
+func (s *Store) LoadLatest(schema string) (*Loaded, error) {
+	return s.latestBelow(schema, ^uint64(0), -1)
+}
+
+// LatestBefore loads the newest intact snapshot for schema with
+// version < before that contains a model for resource r — the
+// store-backed rollback step.
+func (s *Store) LatestBefore(schema string, before uint64, r plan.ResourceKind) (*Loaded, error) {
+	return s.latestBelow(schema, before, r)
+}
+
+// latestBelow walks versions descending. r < 0 means any resource set.
+func (s *Store) latestBelow(schema string, before uint64, r plan.ResourceKind) (*Loaded, error) {
+	vs, err := s.versions()
+	if err != nil {
+		return nil, err
+	}
+	found := false
+	var lastErr error
+	for i := len(vs) - 1; i >= 0; i-- {
+		v := vs[i]
+		if v >= before {
+			continue
+		}
+		man, err := s.Manifest(v)
+		if err != nil {
+			lastErr = err
+			s.logf("store: skipping v%d: %v", v, err)
+			continue
+		}
+		if man.Schema != schema {
+			continue
+		}
+		if r >= 0 {
+			if _, ok := man.Resource(r.WireName()); !ok {
+				continue
+			}
+		}
+		found = true
+		loaded, err := s.LoadVersion(v)
+		if err != nil {
+			lastErr = err
+			s.logf("store: skipping v%d: %v", v, err)
+			continue
+		}
+		return loaded, nil
+	}
+	if found {
+		return nil, fmt.Errorf("%w: no intact snapshot for schema %q (last error: %v)", ErrCorrupt, schema, lastErr)
+	}
+	return nil, fmt.Errorf("%w: schema %q", ErrNotFound, schema)
+}
+
+// SetCurrent durably records which snapshot version each of schema's
+// resources is serving from (atomic write). An empty map clears the
+// schema's record.
+func (s *Store) SetCurrent(schema string, cursors map[string]uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.readCurrentLocked()
+	if cur.Schemas == nil {
+		cur.Schemas = make(map[string]map[string]uint64)
+	}
+	if len(cursors) == 0 {
+		delete(cur.Schemas, schema)
+	} else {
+		cp := make(map[string]uint64, len(cursors))
+		for k, v := range cursors {
+			cp[k] = v
+		}
+		cur.Schemas[schema] = cp
+	}
+	data, err := json.MarshalIndent(cur, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode current: %w", err)
+	}
+	tmp := filepath.Join(s.dir, tmpPrefix+"current")
+	if err := os.RemoveAll(tmp); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := writeSynced(tmp, append(data, '\n')); err != nil {
+		return fmt.Errorf("store: write current: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, currentName)); err != nil {
+		return fmt.Errorf("store: install current: %w", err)
+	}
+	return syncDir(s.dir)
+}
+
+// Current returns schema's recorded serving cursors (resource wire
+// name → snapshot version), or nil when none were recorded (fall back
+// to the latest snapshot).
+func (s *Store) Current(schema string) map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readCurrentLocked().Schemas[schema]
+}
+
+// readCurrentLocked parses current.json; a missing or corrupt file
+// degrades to an empty record (restores then fall back to latest).
+func (s *Store) readCurrentLocked() currentFile {
+	var cur currentFile
+	data, err := os.ReadFile(filepath.Join(s.dir, currentName))
+	if err != nil {
+		return cur
+	}
+	if err := json.Unmarshal(data, &cur); err != nil {
+		s.logf("store: ignoring corrupt %s: %v", currentName, err)
+		return currentFile{}
+	}
+	return cur
+}
+
+// SetPins replaces the pinned version set for schema. Pinned snapshots
+// are the ones the registry currently serves from — after a rollback
+// that can be an old version — and GC never removes them.
+func (s *Store) SetPins(schema string, versions ...uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := make(map[uint64]struct{}, len(versions))
+	for _, v := range versions {
+		if v != 0 {
+			set[v] = struct{}{}
+		}
+	}
+	s.pins[schema] = set
+}
+
+// Pinned reports whether schema's version v is pinned.
+func (s *Store) Pinned(schema string, v uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.pins[schema][v]
+	return ok
+}
+
+// GC enforces the retention bound: per schema, the newest Retain
+// snapshots and every pinned snapshot survive; older ones are removed.
+// Snapshots whose manifest is unreadable can never serve and are
+// removed once they age past the retention window of the whole store.
+// Returns the removed versions.
+func (s *Store) GC() ([]uint64, error) {
+	if s.retain < 0 {
+		return nil, nil
+	}
+	vs, err := s.versions()
+	if err != nil {
+		return nil, err
+	}
+	perSchema := make(map[string][]uint64) // ascending per schema
+	var unreadable []uint64
+	for _, v := range vs {
+		man, err := s.Manifest(v)
+		if err != nil {
+			unreadable = append(unreadable, v)
+			continue
+		}
+		perSchema[man.Schema] = append(perSchema[man.Schema], v)
+	}
+
+	keep := make(map[uint64]bool)
+	s.mu.Lock()
+	for schema, svs := range perSchema {
+		start := len(svs) - s.retain
+		if start < 0 {
+			start = 0
+		}
+		for _, v := range svs[start:] {
+			keep[v] = true
+		}
+		for v := range s.pins[schema] {
+			keep[v] = true
+		}
+	}
+	// Never remove a snapshot the durable serving record points at —
+	// a restart must be able to restore it even if no live registry
+	// has pinned it yet.
+	for _, cursors := range s.readCurrentLocked().Schemas {
+		for _, v := range cursors {
+			keep[v] = true
+		}
+	}
+	s.mu.Unlock()
+	// Unreadable snapshots within the newest-retain window of the whole
+	// store are left alone: the operator may still want to inspect a
+	// freshly corrupted snapshot. Older ones go.
+	cutoff := uint64(0)
+	if len(vs) > s.retain {
+		cutoff = vs[len(vs)-s.retain]
+	}
+	var removed []uint64
+	for _, v := range unreadable {
+		if v >= cutoff {
+			keep[v] = true
+		}
+	}
+	for _, v := range vs {
+		if keep[v] {
+			continue
+		}
+		if err := os.RemoveAll(s.versionDir(v)); err != nil {
+			return removed, fmt.Errorf("store: gc v%d: %w", v, err)
+		}
+		removed = append(removed, v)
+	}
+	return removed, nil
+}
+
+func wireResource(s string) (plan.ResourceKind, bool) {
+	for _, r := range plan.ResourceKinds() {
+		if s == r.WireName() {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// modeName mirrors the serving registry's mode naming.
+func modeName(e *core.Estimator) string {
+	if e.Mode == features.Estimated {
+		return "estimated"
+	}
+	return "exact"
+}

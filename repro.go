@@ -30,6 +30,7 @@ import (
 	"repro/internal/feedback"
 	"repro/internal/plan"
 	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -56,6 +57,10 @@ const (
 	CPUTime   = plan.CPUTime
 	LogicalIO = plan.LogicalIO
 )
+
+// AllResources lists every resource kind, in declaration order — the
+// multi-resource request set meaning "everything".
+func AllResources() []Resource { return plan.ResourceKinds() }
 
 // WorkloadOptions controls synthetic workload generation.
 type WorkloadOptions struct {
@@ -244,6 +249,73 @@ func (e *Estimator) EstimateQueries(qs []*Query) []float64 {
 	return e.inner.PredictPlans(plans)
 }
 
+// --- Multi-resource estimation ---------------------------------------
+//
+// The paper trains independent models per resource; an EstimatorSet
+// bundles one estimator per resource so a plan's features are
+// extracted once and fanned out across every member — per-resource
+// results bit-identical to the single estimators, at a fraction of the
+// cost of sequential calls.
+
+// EstimatorSet predicts several resources from one feature-extraction
+// pass.
+type EstimatorSet struct {
+	inner *core.EstimatorSet
+}
+
+// NewEstimatorSet bundles estimators (at most one per resource, all
+// trained with the same feature mode) into a multi-resource set.
+func NewEstimatorSet(ests ...*Estimator) (*EstimatorSet, error) {
+	inner := make([]*core.Estimator, len(ests))
+	for i, e := range ests {
+		if e == nil {
+			return nil, fmt.Errorf("repro: nil estimator in set")
+		}
+		inner[i] = e.inner
+	}
+	set, err := core.NewEstimatorSet(inner...)
+	if err != nil {
+		return nil, err
+	}
+	return &EstimatorSet{inner: set}, nil
+}
+
+// Resources lists the resource kinds the set predicts.
+func (s *EstimatorSet) Resources() []Resource { return s.inner.Resources() }
+
+// Estimator returns the member predicting r, or nil.
+func (s *EstimatorSet) Estimator(r Resource) *Estimator {
+	inner := s.inner.Estimator(r)
+	if inner == nil {
+		return nil
+	}
+	return &Estimator{inner: inner}
+}
+
+// EstimatePlanAll predicts the plan's total usage of every resource in
+// the set in one pass.
+func (s *EstimatorSet) EstimatePlanAll(p *Plan) Resources {
+	return s.inner.PredictPlanAll(p)
+}
+
+// EstimatePlansAll predicts plan-level usage for a whole batch across
+// every resource in the set: one batched feature extraction, one
+// fan-out over the compiled tree layouts. The result is parallel to
+// plans.
+func (s *EstimatorSet) EstimatePlansAll(plans []*Plan) []Resources {
+	return s.inner.PredictPlansAll(plans)
+}
+
+// EstimateQueriesAll predicts workload queries through the same
+// batched multi-resource pass as EstimatePlansAll.
+func (s *EstimatorSet) EstimateQueriesAll(qs []*Query) []Resources {
+	plans := make([]*Plan, len(qs))
+	for i, q := range qs {
+		plans[i] = q.Plan
+	}
+	return s.inner.PredictPlansAll(plans)
+}
+
 // Save writes the trained model set to w. The format embeds the compact
 // per-tree binary encoding of §7.3.
 func (e *Estimator) Save(w io.Writer) error { return e.inner.Save(w) }
@@ -327,6 +399,83 @@ type (
 // NewService starts an estimation service and its worker pool. Callers
 // should Close it when done.
 func NewService(opts ServeOptions) *Service { return serve.New(opts) }
+
+// --- Versioned model store -------------------------------------------
+//
+// The model store is the single durable source of truth for published
+// models: every publish — bootstrap training, a POST /models upload, a
+// feedback-loop retrain — persists one atomic snapshot (model files +
+// checksummed JSON manifest) per schema, and the registry restores the
+// latest snapshots at boot and rolls back through snapshot history.
+
+// Store types, re-exported like the serving types above.
+type (
+	// ModelStore is the versioned on-disk model store.
+	ModelStore = store.Store
+	// ModelStoreOptions configures retention and logging.
+	ModelStoreOptions = store.Options
+	// ModelManifest describes one persisted snapshot.
+	ModelManifest = store.Manifest
+)
+
+// OpenModelStore opens (creating if needed) the model store rooted at
+// dir, cleaning up partial publishes left by crashes.
+func OpenModelStore(dir string, opts ModelStoreOptions) (*ModelStore, error) {
+	return store.Open(dir, opts)
+}
+
+// AttachModelStore puts the service's registry in store-backed mode
+// and restores the newest intact snapshot of every schema in the
+// store: after this, every publish persists a coherent snapshot,
+// rollback walks snapshot history (surviving process restarts), and
+// the returned infos describe the models restored from disk.
+func AttachModelStore(s *Service, st *ModelStore, logf func(format string, args ...any)) ([]ModelInfo, error) {
+	s.Registry().AttachStore(st, logf)
+	return s.Registry().RestoreFromStore()
+}
+
+// PublishAs is Publish with the producing subsystem recorded in the
+// store manifest ("bootstrap", "upload", "retrain", ...).
+func PublishAs(s *Service, schema string, e *Estimator, source string) ModelInfo {
+	return s.Registry().PublishAs(schema, e.inner, source)
+}
+
+// LoadLatestEstimators loads the newest intact snapshot for schema
+// from the store as a multi-resource EstimatorSet.
+func LoadLatestEstimators(st *ModelStore, schema string) (*EstimatorSet, *ModelManifest, error) {
+	loaded, err := st.LoadLatest(schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	ests := make([]*core.Estimator, 0, len(loaded.Models))
+	for _, r := range plan.ResourceKinds() {
+		if e, ok := loaded.Models[r]; ok {
+			ests = append(ests, e)
+		}
+	}
+	set, err := core.NewEstimatorSet(ests...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &EstimatorSet{inner: set}, loaded.Manifest, nil
+}
+
+// SaveSnapshot persists a model set for schema directly to the store —
+// the offline producer's path (e.g. restrain writing into a serving
+// store), equivalent to what the serving registry does on publish.
+func SaveSnapshot(st *ModelStore, schema, source string, ests ...*Estimator) (*ModelManifest, error) {
+	models := make(map[Resource]*core.Estimator, len(ests))
+	for _, e := range ests {
+		if e == nil {
+			return nil, fmt.Errorf("repro: nil estimator in snapshot")
+		}
+		if _, dup := models[e.inner.Resource]; dup {
+			return nil, fmt.Errorf("repro: duplicate %s estimator in snapshot", e.inner.Resource)
+		}
+		models[e.inner.Resource] = e.inner
+	}
+	return st.Publish(store.Snapshot{Schema: schema, Source: source, Models: models})
+}
 
 // Publish installs a trained estimator as the current model for the
 // schema (atomically replacing any prior version; in-flight requests

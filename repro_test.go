@@ -276,3 +276,75 @@ func TestFeedbackFacade(t *testing.T) {
 		t.Fatalf("rollback version %d not fresh (published %d then %d)", info.Version, first.Version, second.Version)
 	}
 }
+
+// TestMultiResourceAndStoreFacade exercises the public multi-resource
+// and model-store surface end to end: train both resources, bundle
+// them, persist a snapshot, restore it through a store-backed service,
+// and check an "all resources" request agrees bit-for-bit with the
+// library-level one-pass prediction.
+func TestMultiResourceAndStoreFacade(t *testing.T) {
+	train, test := trainTestSplit(t, 48)
+	cpuEst, err := Train(train, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ioOpts := quickOpts()
+	ioOpts.Resource = LogicalIO
+	ioEst, err := Train(train, ioOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	set, err := NewEstimatorSet(cpuEst, ioEst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := set.EstimateQueriesAll(test)
+	for i, q := range test {
+		if math.Float64bits(both[i].CPU) != math.Float64bits(cpuEst.EstimateQuery(q)) ||
+			math.Float64bits(both[i].IO) != math.Float64bits(ioEst.EstimateQuery(q)) {
+			t.Fatalf("query %d: one-pass %+v diverges from members", i, both[i])
+		}
+	}
+
+	st, err := OpenModelStore(t.TempDir(), ModelStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := SaveSnapshot(st, "tpch", "restrain", cpuEst, ioEst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Models) != 2 {
+		t.Fatalf("snapshot holds %d models", len(man.Models))
+	}
+	loadedSet, loadedMan, err := LoadLatestEstimators(st, "tpch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loadedMan.Version != man.Version {
+		t.Fatalf("loaded snapshot v%d, want v%d", loadedMan.Version, man.Version)
+	}
+
+	svc := NewService(ServeOptions{})
+	defer svc.Close()
+	restored, err := AttachModelStore(svc, st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 2 {
+		t.Fatalf("restored %d models, want 2", len(restored))
+	}
+	resp, err := svc.Estimate(t.Context(), EstimateRequest{
+		Schema: "tpch", Resources: AllResources(), Plan: test[0].Plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := loadedSet.EstimatePlanAll(test[0].Plan)
+	if len(resp.Totals) != 2 ||
+		math.Float64bits(resp.Totals[0]) != math.Float64bits(want.CPU) ||
+		math.Float64bits(resp.Totals[1]) != math.Float64bits(want.IO) {
+		t.Fatalf("served totals %v != library one-pass %+v", resp.Totals, want)
+	}
+}
