@@ -451,6 +451,47 @@ func benchName(prefix string, n int) string {
 	return prefix + string(buf[i:])
 }
 
+// BenchmarkTrainParallel measures the deterministic parallel training
+// pipeline on the resserve -bootstrap workload shape: both resources'
+// full (operator × candidate scale-set) sweeps trained as one flattened
+// job pool, at increasing worker counts. The sub-benches process the
+// identical workload, so ns/op is directly comparable across worker
+// counts — and the trained models are bit-identical at every count
+// (see internal/core TestTrainBitIdenticalAcrossWorkers), so the only
+// thing the workers buy is wall-clock. Allocations are reported to
+// track the scratch-buffer reuse in the mart training inner loop.
+func BenchmarkTrainParallel(b *testing.B) {
+	qs, err := GenerateWorkload(WorkloadOptions{Schema: "tpch", N: 128, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	Execute(qs)
+	plans := make([]*plan.Plan, len(qs))
+	for i, q := range qs {
+		plans[i] = q.Plan
+	}
+	resources := []plan.ResourceKind{plan.CPUTime, plan.LogicalIO}
+	var samples int
+	for _, p := range plans {
+		samples += len(p.Nodes()) * len(resources)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Mart.Iterations = 100
+			cfg.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.TrainSet(plans, resources, core.NewScaleTable(), cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(samples)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
+	}
+}
+
 // BenchmarkMARTTraining isolates raw MART training throughput.
 func BenchmarkMARTTraining(b *testing.B) {
 	xs, ys := syntheticMatrix(4000)

@@ -8,10 +8,16 @@
 //	resbench -size 0.25 -iters 200    # smaller/faster run
 //
 // Experiments: table4..table13, fig1, fig2, fig3, fig6, fig7, fig8,
-// predcost, memsize.
+// predcost, memsize, trainbench.
+//
+// trainbench times the parallel training pipeline (bootstrap-shaped
+// CPU+I/O sweep at 1 worker and at GOMAXPROCS) and writes the
+// samples/sec baseline to -train-out (default BENCH_train.json) so the
+// training-performance trajectory is tracked across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +33,8 @@ func main() {
 		iters    = flag.Int("iters", 200, "MART boosting iterations")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		t13iters = flag.Int("t13iters", 1000, "boosting iterations for Table 13 timing")
+		trainN   = flag.Int("train-n", 128, "trainbench workload size (queries)")
+		trainOut = flag.String("train-out", "BENCH_train.json", "trainbench baseline output path (empty = stdout only)")
 	)
 	flag.Parse()
 
@@ -133,6 +141,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "running table13 (MART training times)...")
 		rows := experiments.Table13(nil, *t13iters)
 		fmt.Println(experiments.FormatTable13(rows, *t13iters))
+	}
+	if sel("trainbench") {
+		fmt.Fprintln(os.Stderr, "running trainbench (parallel training throughput)...")
+		tb, err := experiments.RunTrainBench(*trainN, *iters)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Training throughput (%d queries, %d samples, %d iterations):\n",
+			tb.Queries, tb.Samples, tb.Iterations)
+		for _, run := range tb.Runs {
+			fmt.Printf("  workers=%-3d %8.2f samples/s  (%.2fs, %.2fx vs sequential)\n",
+				run.Workers, run.SamplesPerSec, run.Seconds, run.SpeedupVsSequential)
+		}
+		if *trainOut != "" {
+			data, err := json.MarshalIndent(tb, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*trainOut, append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote training baseline to %s\n", *trainOut)
+		}
 	}
 }
 

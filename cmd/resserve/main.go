@@ -12,6 +12,11 @@
 //	resserve -model cpu.json -model io.json   # wildcard-schema models
 //	resserve -bootstrap tpch -model-dir ./models   # allow runtime swaps
 //
+// Bootstrap training and feedback retrains run on the deterministic
+// parallel training pipeline: -train-workers (default GOMAXPROCS)
+// bounds the worker pool, and the trained models are bit-identical at
+// any worker count — parallelism only moves wall-clock.
+//
 // With -store-dir the versioned model store is enabled and becomes the
 // single durable source of truth: every publish — bootstrap training, a
 // POST /models upload, a feedback retrain — persists an atomic snapshot
@@ -103,6 +108,7 @@ func main() {
 		storeDir    = flag.String("store-dir", "", "versioned model-store directory; every publish persists an atomic snapshot there, startup restores the latest ones, and rollback walks snapshot history")
 		storeRetain = flag.Int("store-retain", 16, "snapshots retained per schema in the model store (negative disables pruning)")
 		feedbackDir = flag.String("feedback-dir", "", "observation-log directory; enables the online feedback loop (POST /observe, drift-triggered retraining)")
+		trainWork   = flag.Int("train-workers", 0, "training worker pool size for -bootstrap and feedback retrains (0 = GOMAXPROCS); trained models are bit-identical at any worker count")
 		driftThresh = flag.Float64("drift-threshold", 2, "retrain when the recent P90 relative error exceeds this multiple of the model's training-time baseline")
 		retrainMin  = flag.Int("retrain-min-observations", 256, "minimum logged observations before a drift-triggered retrain (also the cooldown between attempts)")
 	)
@@ -128,6 +134,7 @@ func main() {
 			Dir:             *feedbackDir,
 			DriftThreshold:  *driftThresh,
 			MinObservations: *retrainMin,
+			TrainWorkers:    *trainWork,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "resserve: "+format+"\n", args...)
 			},
@@ -143,8 +150,26 @@ func main() {
 
 	// The model store, when enabled, is attached before any model is
 	// published so every producer below — restored snapshots aside —
-	// persists through it.
-	restored := make(map[string]bool)
+	// persists through it. Restores are tracked per resource: skipping
+	// bootstrap for a schema is only safe when every bootstrap resource
+	// actually came back (a crash between the CPU and IO publishes can
+	// leave a one-resource snapshot behind, which must heal, not wedge).
+	restored := make(map[string]map[string]bool)
+	markRestored := func(schema, resource string) {
+		if restored[schema] == nil {
+			restored[schema] = make(map[string]bool)
+		}
+		restored[schema][resource] = true
+	}
+	missingResources := func(schema string) []repro.Resource {
+		var missing []repro.Resource
+		for _, r := range repro.AllResources() {
+			if !restored[schema][r.String()] {
+				missing = append(missing, r)
+			}
+		}
+		return missing
+	}
 	if *storeDir != "" {
 		st, err := repro.OpenModelStore(*storeDir, repro.ModelStoreOptions{
 			Retain: *storeRetain,
@@ -163,7 +188,7 @@ func main() {
 		}
 		for _, info := range infos {
 			logModel("restored", info, fmt.Sprintf("snapshot v%d", info.Snapshot))
-			restored[info.Schema] = true
+			markRestored(info.Schema, info.Resource)
 		}
 		fmt.Fprintf(os.Stderr, "resserve: model store at %s (%d models restored, retaining %d snapshots per schema)\n",
 			*storeDir, len(infos), *storeRetain)
@@ -174,7 +199,7 @@ func main() {
 		if i := strings.IndexByte(spec, '='); i >= 0 {
 			schema, path = spec[:i], spec[i+1:]
 		}
-		if restored[schema] {
+		if len(restored[schema]) > 0 {
 			// The store's serving set supersedes the file: republishing
 			// it would revert any retrained/uploaded model the store
 			// accumulated, on every restart. Swap files in explicitly
@@ -191,14 +216,22 @@ func main() {
 	}
 
 	for _, schema := range splitList(*bootstrap) {
-		if restored[schema] {
+		missing := missingResources(schema)
+		if len(missing) == 0 {
 			// The store already holds this schema's latest serving set;
 			// retraining it at every restart would waste minutes and
 			// discard accumulated model history.
 			fmt.Fprintf(os.Stderr, "resserve: %s restored from the model store; skipping bootstrap\n", schema)
 			continue
 		}
-		if err := bootstrapSchema(svc, schema, *bootN, *bootIters); err != nil {
+		if len(restored[schema]) > 0 {
+			// Heal only what is absent: the restored resources may carry
+			// retrained or uploaded models that a fresh bootstrap would
+			// silently revert.
+			fmt.Fprintf(os.Stderr, "resserve: %s partially restored from the model store; bootstrapping only %s\n",
+				schema, resourceNames(missing))
+		}
+		if err := bootstrapSchema(svc, schema, *bootN, *bootIters, *trainWork, missing); err != nil {
 			fatal(err)
 		}
 	}
@@ -247,31 +280,44 @@ func main() {
 	fmt.Fprintln(os.Stderr, "resserve: shutdown complete")
 }
 
-// bootstrapSchema trains quick CPU and I/O estimators for a schema and
-// publishes them — a self-contained serving setup with no model files.
-func bootstrapSchema(svc *repro.Service, schema string, n, iters int) error {
-	fmt.Fprintf(os.Stderr, "resserve: bootstrapping %s models (%d queries, %d iterations)...\n",
-		schema, n, iters)
+// bootstrapSchema trains quick estimators for the given resources of a
+// schema and publishes them — a self-contained serving setup with no
+// model files. All resources train in one parallel pass: every
+// (resource, operator, candidate scale-set) fit is an independent job
+// on the training pool, so bootstrap wall-clock scales with
+// -train-workers while producing models bit-identical to sequential
+// training.
+func bootstrapSchema(svc *repro.Service, schema string, n, iters, workers int, resources []repro.Resource) error {
+	fmt.Fprintf(os.Stderr, "resserve: bootstrapping %s %s models (%d queries, %d iterations)...\n",
+		schema, resourceNames(resources), n, iters)
 	qs, err := repro.GenerateWorkload(repro.WorkloadOptions{Schema: schema, N: n, Seed: 1})
 	if err != nil {
 		return err
 	}
 	repro.Execute(qs)
-	for _, res := range []repro.Resource{repro.CPUTime, repro.LogicalIO} {
-		est, err := repro.Train(qs, repro.TrainOptions{
-			Resource:           res,
-			BoostingIterations: iters,
-			SkipScaleSelection: true,
-			// Served models get an out-of-sample drift baseline so the
-			// feedback loop's detector is calibrated, not hair-triggered.
-			BaselineProbe: true,
-		})
-		if err != nil {
-			return err
-		}
+	ests, err := repro.TrainSet(qs, repro.TrainOptions{
+		BoostingIterations: iters,
+		SkipScaleSelection: true,
+		// Served models get an out-of-sample drift baseline so the
+		// feedback loop's detector is calibrated, not hair-triggered.
+		BaselineProbe: true,
+		Workers:       workers,
+	}, resources...)
+	if err != nil {
+		return err
+	}
+	for _, est := range ests {
 		logModel("trained", repro.PublishAs(svc, schema, est, "bootstrap"), "")
 	}
 	return nil
+}
+
+func resourceNames(resources []repro.Resource) string {
+	names := make([]string, len(resources))
+	for i, r := range resources {
+		names[i] = r.String()
+	}
+	return strings.Join(names, "+")
 }
 
 func splitList(s string) []string {

@@ -26,6 +26,7 @@ func main() {
 		iters    = flag.Int("iters", 300, "MART boosting iterations")
 		estFeat  = flag.Bool("estimated-features", false, "train on optimizer-estimated features")
 		out      = flag.String("out", "model.json", "output model path")
+		workers  = flag.Int("train-workers", 0, "training worker pool size (0 = GOMAXPROCS); the trained model is bit-identical at any worker count")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 		Resource:             res,
 		BoostingIterations:   *iters,
 		UseEstimatedFeatures: *estFeat,
+		Workers:              *workers,
 	})
 	if err != nil {
 		fatal(err)

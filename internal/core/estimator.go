@@ -1,9 +1,6 @@
 package core
 
 import (
-	"errors"
-	"fmt"
-
 	"repro/internal/features"
 	"repro/internal/mart"
 	"repro/internal/plan"
@@ -22,6 +19,14 @@ type Config struct {
 	// DisableNormalization skips dependent-feature normalization
 	// (ablation of §6.1 modification 3).
 	DisableNormalization bool
+	// Workers bounds the training worker pool. The independent
+	// (operator, resource, candidate scale-set) fits fan out across it
+	// at the model level, and spare workers flow down into the
+	// tree-level MART parallelism (Mart.Workers is managed by the
+	// pipeline and need not be set). <= 0 selects GOMAXPROCS; 1 trains
+	// sequentially. The trained estimator is bit-identical at any
+	// worker count.
+	Workers int
 }
 
 // DefaultConfig returns the standard training setup. Experiments lower
@@ -70,45 +75,15 @@ func CollectSamples(plans []*plan.Plan, r plan.ResourceKind, mode features.Mode)
 
 // Train fits the estimator on executed training plans. The scale table
 // supplies the §6.2-selected scaling-function forms (nil = all linear).
+// Training fans the independent (operator, candidate scale-set) fits
+// across cfg.Workers workers — see TrainSet, which this delegates to —
+// with bit-identical output at any worker count.
 func Train(plans []*plan.Plan, r plan.ResourceKind, t *ScaleTable, cfg Config) (*Estimator, error) {
-	if len(plans) == 0 {
-		return nil, errors.New("core: no training plans")
+	ests, err := TrainSet(plans, []plan.ResourceKind{r}, t, cfg)
+	if err != nil {
+		return nil, err
 	}
-	if t == nil {
-		t = NewScaleTable()
-	}
-	byOp := CollectSamples(plans, r, cfg.Mode)
-	e := &Estimator{Resource: r, Mode: cfg.Mode, Ops: make(map[plan.OpKind]*OperatorModels, len(byOp))}
-	var sum float64
-	var n int
-	// Operators are trained in declaration order, not map order, so the
-	// fallback mean's float accumulation (and hence the whole estimator)
-	// is deterministic run to run.
-	for _, op := range plan.Kinds() {
-		samples, ok := byOp[op]
-		if !ok {
-			continue
-		}
-		var om *OperatorModels
-		var err error
-		if cfg.DisableScaling {
-			om, err = trainUnscaled(op, r, samples, cfg)
-		} else {
-			om, err = TrainOperator(op, r, samples, t, cfg)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("core: %s: %w", op, err)
-		}
-		e.Ops[op] = om
-		for _, s := range samples {
-			sum += s.Y
-			n++
-		}
-	}
-	if n > 0 {
-		e.fallbackMean = sum / float64(n)
-	}
-	return e, nil
+	return ests[r], nil
 }
 
 // trainUnscaled trains only the no-scaling candidate (plain MART).

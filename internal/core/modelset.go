@@ -124,29 +124,25 @@ type OperatorModels struct {
 
 // TrainOperator trains all candidate combined models for one operator
 // from its samples and selects the default (§6.1: the candidate with the
-// minimum estimation error on the training queries).
+// minimum estimation error on the training queries). The candidate fits
+// are independent and fan out across cfg.Workers workers; the selection
+// walks the results in candidate order, so the outcome is identical at
+// any worker count.
 func TrainOperator(op plan.OpKind, r plan.ResourceKind, samples []Sample,
 	t *ScaleTable, cfg Config) (*OperatorModels, error) {
 
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("core: no samples for %s", op)
 	}
-	om := &OperatorModels{Op: op, Resource: r, NSamples: len(samples)}
+	var jobs []fitJob
 	for _, scales := range candidateScaleSets(op, r, t) {
-		m, err := TrainCombined(op, r, scales, samples, cfg)
-		if err != nil {
-			return nil, err
-		}
-		om.Candidates = append(om.Candidates, m)
+		jobs = append(jobs, fitJob{op: op, resource: r, scales: scales, samples: samples})
 	}
-	best := om.Candidates[0]
-	for _, c := range om.Candidates[1:] {
-		if c.TrainErr < best.TrainErr {
-			best = c
-		}
+	models, err := runFitJobs(jobs, cfg)
+	if err != nil {
+		return nil, err
 	}
-	om.Default = best
-	return om, nil
+	return assembleOperator(op, r, len(samples), models), nil
 }
 
 // Select picks the model for a feature vector per §6.3: the default if

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+	"repro/internal/plan"
+)
+
+// Model-level training parallelism: every (operator, resource,
+// candidate scale-set) combination is an independent MART fit, so the
+// training sweep flattens them into a job list and fans the jobs across
+// a bounded worker pool. Determinism is by construction — job i's model
+// always lands in slot i, each fit is internally deterministic, and
+// assembly walks the slots in declaration order — so the trained
+// estimator is bit-identical to a sequential sweep at any worker count.
+
+// fitJob is one independent MART fit in the training fan-out.
+type fitJob struct {
+	op       plan.OpKind
+	resource plan.ResourceKind
+	scales   []ScaleFn
+	samples  []Sample
+}
+
+// runFitJobs trains every job on a bounded worker pool and returns the
+// models parallel to jobs. On failure the error of the lowest job index
+// wins, regardless of completion order. Spare workers flow down into
+// the tree layer: with fewer jobs than workers each MART fit gets the
+// leftover share of the pool, and once the model-level fan-out
+// saturates the pool the inner fits run sequentially — the two layers
+// share one core budget instead of multiplying goroutines.
+func runFitJobs(jobs []fitJob, cfg Config) ([]*CombinedModel, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	workers := par.Workers(cfg.Workers)
+	modelWorkers := workers
+	if modelWorkers > len(jobs) {
+		modelWorkers = len(jobs)
+	}
+	jobCfg := cfg
+	jobCfg.Mart.Workers = workers / modelWorkers
+
+	pool := par.NewPool(modelWorkers)
+	defer pool.Close()
+	models := make([]*CombinedModel, len(jobs))
+	errs := make([]error, len(jobs))
+	pool.For(len(jobs), func(_, i int) {
+		j := &jobs[i]
+		models[i], errs[i] = TrainCombined(j.op, j.resource, j.scales, j.samples, jobCfg)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", jobs[i].op, err)
+		}
+	}
+	return models, nil
+}
+
+// assembleOperator bundles an operator's trained candidates and selects
+// the default (§6.1: the candidate with the minimum estimation error on
+// the training queries, first wins ties — the same rule the sequential
+// sweep applied, evaluated over slots in candidate order).
+func assembleOperator(op plan.OpKind, r plan.ResourceKind, nSamples int,
+	candidates []*CombinedModel) *OperatorModels {
+
+	om := &OperatorModels{
+		Op:         op,
+		Resource:   r,
+		NSamples:   nSamples,
+		Candidates: append([]*CombinedModel(nil), candidates...),
+	}
+	best := om.Candidates[0]
+	for _, c := range om.Candidates[1:] {
+		if c.TrainErr < best.TrainErr {
+			best = c
+		}
+	}
+	om.Default = best
+	return om
+}

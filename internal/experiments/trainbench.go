@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// The training-throughput baseline behind cmd/resbench -exp trainbench:
+// it times the full bootstrap-shaped training sweep — both resources,
+// every (operator × candidate scale-set) combination — at one worker
+// and at GOMAXPROCS, so the BENCH_train.json it feeds tracks the
+// training-performance trajectory across PRs the same way the serving
+// benchmarks track the estimation hot path.
+
+// TrainBenchRun is one timed training pass at a fixed worker count.
+type TrainBenchRun struct {
+	Workers       int     `json:"workers"`
+	Seconds       float64 `json:"seconds"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	// SpeedupVsSequential is this run's throughput over the 1-worker
+	// run's (1.0 for the sequential run itself).
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential"`
+}
+
+// TrainBench is the serializable training-throughput baseline.
+type TrainBench struct {
+	Queries    int             `json:"queries"`
+	Samples    int             `json:"samples"` // operator-level samples per resource sweep
+	Iterations int             `json:"iterations"`
+	Resources  []string        `json:"resources"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Runs       []TrainBenchRun `json:"runs"`
+}
+
+// RunTrainBench times the bootstrap training workload at 1 worker and
+// at GOMAXPROCS (plus any extra counts given), returning the
+// samples/sec baseline. The trained models are bit-identical across
+// runs — only wall-clock differs.
+func RunTrainBench(n, iters int, extraWorkers ...int) (*TrainBench, error) {
+	qs := workload.GenTPCH(workload.Config{Seed: 1, N: n, SFs: []float64{1, 2, 4, 8}, Z: 2, Corr: 0.85})
+	eng := engine.New(nil)
+	for _, q := range qs {
+		eng.Run(q.Plan)
+	}
+	plans := Plans(qs)
+	resources := []plan.ResourceKind{plan.CPUTime, plan.LogicalIO}
+
+	res := &TrainBench{
+		Queries:    len(qs),
+		Iterations: iters,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Resources:  []string{plan.CPUTime.String(), plan.LogicalIO.String()},
+	}
+	for _, p := range plans {
+		res.Samples += len(p.Nodes()) * len(resources)
+	}
+
+	counts := []int{1}
+	if g := runtime.GOMAXPROCS(0); g > 1 {
+		counts = append(counts, g)
+	}
+	counts = append(counts, extraWorkers...)
+	seen := map[int]bool{}
+	for _, workers := range counts {
+		if workers < 1 || seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		cfg := core.DefaultConfig()
+		cfg.Mart.Iterations = iters
+		cfg.Workers = workers
+		start := time.Now()
+		if _, err := core.TrainSet(plans, resources, core.NewScaleTable(), cfg); err != nil {
+			return nil, err
+		}
+		sec := time.Since(start).Seconds()
+		res.Runs = append(res.Runs, TrainBenchRun{
+			Workers:       workers,
+			Seconds:       sec,
+			SamplesPerSec: float64(res.Samples) / sec,
+		})
+	}
+	base := res.Runs[0].SamplesPerSec
+	for i := range res.Runs {
+		res.Runs[i].SpeedupVsSequential = res.Runs[i].SamplesPerSec / base
+	}
+	return res, nil
+}

@@ -175,6 +175,12 @@ type Options struct {
 	// RetrainIterations is the MART boosting budget for retrained
 	// models (default 120).
 	RetrainIterations int
+	// TrainWorkers bounds the retrainer's worker pool (0 = GOMAXPROCS,
+	// 1 = sequential): the per-operator candidate fits of a retrain fan
+	// out across cores, shrinking the drift→retrain→hot-swap latency a
+	// degraded model keeps serving through. Retrained models are
+	// bit-identical at any worker count.
+	TrainWorkers int
 	// HoldoutFraction of the buffered observations is withheld from
 	// training and used to validate the candidate (default 0.2).
 	HoldoutFraction float64

@@ -1,0 +1,128 @@
+package feedback
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/plan"
+)
+
+// TestRetrainParallelWhileServing is the retrain-while-serving race
+// scenario for the parallel training pipeline: a drift-triggered
+// retrain fans its fits across TrainWorkers workers while concurrent
+// readers hammer whatever estimator the publisher currently serves —
+// the incumbent during the retrain, the freshly hot-swapped candidate
+// after it. Run under -race in CI, this pins the contract that the
+// training pool touches only its own buffers and never the serving
+// path's shared state.
+func TestRetrainParallelWhileServing(t *testing.T) {
+	trainPlans := executedPlans(t, 51, 72)
+	pub := &stubPublisher{}
+	trainStale(t, pub, trainPlans)
+
+	drifted := executedPlans(t, 52, 120)
+	scaleActuals(drifted, 4)
+
+	opts := driftOptions(pub, "")
+	opts.TrainWorkers = 4
+	l, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Serving traffic: readers predict against the live estimator for
+	// the whole observe→drift→retrain→publish window.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	queryPlans := executedPlans(t, 53, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sink float64
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					_ = sink
+					return
+				default:
+				}
+				est, _, ok := pub.CurrentEstimator("tpch", plan.CPUTime)
+				if !ok {
+					t.Error("no estimator while serving")
+					return
+				}
+				p := queryPlans[i%len(queryPlans)]
+				sink += est.PredictPlan(p)
+				vecs := features.ExtractPlan(p, est.Mode)
+				for j, n := range p.Nodes() {
+					sink += est.PredictVector(n.Kind, &vecs[j])
+				}
+			}
+		}()
+	}
+
+	for _, p := range drifted {
+		if err := l.Observe(&Observation{Schema: "tpch", Resource: plan.CPUTime, Plan: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Quiesce()
+	close(stop)
+	wg.Wait()
+
+	if _, version := pub.current(); version < 2 {
+		t.Fatalf("parallel retrain never published (still v%d)", version)
+	}
+}
+
+// TestRetrainBitIdenticalAcrossTrainWorkers: the retrainer's candidate
+// must not depend on TrainWorkers — same observations, same incumbent,
+// same published model bytes at any pool size.
+func TestRetrainBitIdenticalAcrossTrainWorkers(t *testing.T) {
+	drifted := executedPlans(t, 54, 96)
+	scaleActuals(drifted, 3)
+
+	trainOnce := func(workers int) *core.Estimator {
+		pub := &stubPublisher{}
+		trainStale(t, pub, executedPlans(t, 51, 72))
+		opts := driftOptions(pub, "")
+		opts.TrainWorkers = workers
+		l, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		for _, p := range drifted {
+			if err := l.Observe(&Observation{Schema: "tpch", Resource: plan.CPUTime, Plan: p}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l.Quiesce()
+		est, version := pub.current()
+		if version < 2 {
+			t.Fatalf("workers=%d: no retrain published", workers)
+		}
+		return est
+	}
+
+	want := encodeEstimator(t, trainOnce(1))
+	for _, w := range []int{2, 7} {
+		if got := encodeEstimator(t, trainOnce(w)); !bytes.Equal(got, want) {
+			t.Fatalf("TrainWorkers=%d: retrained model differs from sequential", w)
+		}
+	}
+}
+
+func encodeEstimator(t *testing.T, est *core.Estimator) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := est.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

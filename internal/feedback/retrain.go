@@ -87,6 +87,10 @@ func (l *Loop) retrainOnce(key routeKey, cur *core.Estimator, curVersion uint64,
 	trainPlans, holdout := splitObservations(obs, l.opts.HoldoutFraction)
 	cfg := core.DefaultConfig()
 	cfg.Mart.Iterations = l.opts.RetrainIterations
+	// Fan the candidate fits across the training pool so the retrain —
+	// which runs while the old model is still serving degraded estimates
+	// — finishes as fast as the hardware allows.
+	cfg.Workers = l.opts.TrainWorkers
 	if cur != nil {
 		// Keep the incumbent's feature mode: a model serving estimated
 		// cardinalities must be replaced by one trained the same way.

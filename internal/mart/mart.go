@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 
+	"repro/internal/par"
 	"repro/internal/xrand"
 )
 
@@ -16,6 +17,15 @@ type Config struct {
 	SubsampleFrac float64 // stochastic-GB row subsample per iteration
 	MinLeafSize   int     // minimum rows per leaf
 	Seed          uint64
+	// Workers bounds the tree-level training parallelism: row binning,
+	// per-node histogram split finding and the ensemble-prediction
+	// update fan out across this many workers. <= 0 selects GOMAXPROCS;
+	// 1 trains entirely on the calling goroutine. The trained model is
+	// bit-identical at any worker count (the boosting iterations
+	// themselves are inherently sequential). Callers that already fan
+	// out at the model level (internal/core) set this explicitly so the
+	// two layers share one core budget.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's setup (§7: M = 1K iterations, 10
@@ -63,8 +73,11 @@ func Train(x [][]float64, y []float64, cfg Config) (*Model, error) {
 		cfg.SubsampleFrac = 1
 	}
 
-	b := newBinner(x, nFeatures)
-	binned := b.binMatrix(x)
+	pool := par.NewPool(cfg.Workers)
+	defer pool.Close()
+
+	b := newBinner(x, nFeatures, pool)
+	binned := b.binMatrix(x, pool)
 
 	var mean float64
 	for _, v := range y {
@@ -87,6 +100,7 @@ func Train(x [][]float64, y []float64, cfg Config) (*Model, error) {
 	for i := range perm {
 		perm[i] = i
 	}
+	sc := newTrainScratch(pool.Workers(), n, cfg.MaxLeaves, nFeatures)
 
 	for it := 0; it < cfg.Iterations; it++ {
 		for i := range resid {
@@ -97,7 +111,7 @@ func Train(x [][]float64, y []float64, cfg Config) (*Model, error) {
 			rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 			rows = perm[:sampleSize]
 		}
-		t := growTree(binned, resid, rows, b, cfg.MaxLeaves, cfg.MinLeafSize)
+		t := growTree(binned, resid, rows, b, cfg.MaxLeaves, cfg.MinLeafSize, pool, sc)
 		if len(t.nodes) <= 1 {
 			// Residuals are flat (or leaf constraints block splits):
 			// absorb the remaining mean and stop early.
@@ -124,9 +138,14 @@ func Train(x [][]float64, y []float64, cfg Config) (*Model, error) {
 			}
 		}
 		m.Trees = append(m.Trees, t)
-		for i := range pred {
-			pred[i] += cfg.LearningRate * t.Predict(x[i])
-		}
+		// Fold the new tree into the running predictions, row chunks in
+		// parallel: each row owns its slot, so the update is exact at any
+		// worker count.
+		pool.ForChunks(n, rowParMin, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				pred[i] += cfg.LearningRate * t.Predict(x[i])
+			}
+		})
 	}
 	return m, nil
 }

@@ -7,11 +7,28 @@
 // linear in rows × features per tree. Each boosting iteration fits the
 // residual error of the current ensemble on a random subsample, matching
 // the paper's setup of M = 1K iterations and ≤ 10 leaves per tree.
+//
+// Training parallelizes inside each boosting iteration — row binning,
+// per-node histogram accumulation (one feature per worker, merged in
+// fixed feature order) and the ensemble-prediction update — while the
+// iterations themselves stay sequential, as boosting demands. Every
+// parallel region writes to disjoint slots and merges deterministically,
+// so the trained model is bit-identical at any worker count.
 package mart
 
 import (
 	"math"
 	"sort"
+
+	"repro/internal/par"
+)
+
+// Parallelism thresholds: below these sizes dispatch overhead beats the
+// parallel win. Purely performance knobs — training output is
+// bit-identical on either side of them.
+const (
+	histParMin = 4096 // leaf rows × features before split finding fans out
+	rowParMin  = 1024 // rows before row-chunk loops (binning, prediction) fan out
 )
 
 // treeNode is one node of a regression tree. Leaves have Feature == -1.
@@ -65,15 +82,15 @@ type binner struct {
 
 const maxBins = 64
 
-// newBinner computes quantile-based bin edges for each feature column.
-func newBinner(x [][]float64, nFeatures int) *binner {
+// newBinner computes quantile-based bin edges for each feature column,
+// one feature per worker (columns are independent).
+func newBinner(x [][]float64, nFeatures int, pool *par.Pool) *binner {
 	b := &binner{edges: make([][]float64, nFeatures)}
-	vals := make([]float64, len(x))
-	for f := 0; f < nFeatures; f++ {
+	buildFeature := func(f int) {
+		sorted := make([]float64, len(x))
 		for i := range x {
-			vals[i] = x[i][f]
+			sorted[i] = x[i][f]
 		}
-		sorted := append([]float64(nil), vals...)
 		sort.Float64s(sorted)
 		// Distinct quantile edges.
 		var edges []float64
@@ -88,6 +105,13 @@ func newBinner(x [][]float64, nFeatures int) *binner {
 			}
 		}
 		b.edges[f] = edges
+	}
+	if pool.Workers() > 1 && len(x) >= rowParMin && nFeatures > 1 {
+		pool.For(nFeatures, func(_, f int) { buildFeature(f) })
+	} else {
+		for f := 0; f < nFeatures; f++ {
+			buildFeature(f)
+		}
 	}
 	return b
 }
@@ -107,34 +131,126 @@ func (b *binner) binOf(f int, v float64) int {
 	return lo
 }
 
-// binMatrix converts the raw matrix into per-row bin indexes.
-func (b *binner) binMatrix(x [][]float64) [][]uint8 {
+// binMatrix converts the raw matrix into per-row bin indexes, row chunks
+// in parallel, all rows backed by one flat allocation.
+func (b *binner) binMatrix(x [][]float64, pool *par.Pool) [][]uint8 {
+	nF := len(b.edges)
 	out := make([][]uint8, len(x))
-	for i, row := range x {
-		r := make([]uint8, len(row))
-		for f, v := range row {
-			r[f] = uint8(b.binOf(f, v))
+	flat := make([]uint8, len(x)*nF)
+	pool.ForChunks(len(x), rowParMin, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := flat[i*nF : (i+1)*nF : (i+1)*nF]
+			for f, v := range x[i] {
+				r[f] = uint8(b.binOf(f, v))
+			}
+			out[i] = r
 		}
-		out[i] = r
-	}
+	})
 	return out
 }
 
+// leaf is one growable terminal region during tree construction.
+type leaf struct {
+	rows     []int // segment of the scratch row arena
+	sum      float64
+	nodeIdx  int32
+	bestGain float64
+	bestFeat int
+	bestBin  int
+}
+
+// splitCand is one feature's best split of a leaf: the result slot the
+// per-feature histogram scans write into before the fixed-order merge.
+type splitCand struct {
+	gain float64
+	bin  int
+	ok   bool
+}
+
+// trainScratch holds every buffer growTree reuses across boosting
+// stages: per-worker histograms, per-feature split candidates, the row
+// arena the leaves partition in place, and the leaf table itself. One
+// allocation per Train call instead of several per stage.
+type trainScratch struct {
+	histSum  [][]float64 // per worker, maxBins wide
+	histCnt  [][]int
+	cands    []splitCand // per feature
+	rowArena []int       // the tree's private copy of the sampled rows
+	rowTmp   []int       // staging for the right side of a partition
+	leaves   []leaf
+}
+
+func newTrainScratch(workers, n, maxLeaves, nFeatures int) *trainScratch {
+	sc := &trainScratch{
+		histSum:  make([][]float64, workers),
+		histCnt:  make([][]int, workers),
+		cands:    make([]splitCand, nFeatures),
+		rowArena: make([]int, n),
+		rowTmp:   make([]int, 0, n),
+		leaves:   make([]leaf, 0, maxLeaves),
+	}
+	for w := range sc.histSum {
+		sc.histSum[w] = make([]float64, maxBins)
+		sc.histCnt[w] = make([]int, maxBins)
+	}
+	return sc
+}
+
+// bestSplitForFeature scans one feature's histogram for the best split
+// of a leaf — the unit of parallelism in split finding. Bin order is
+// ascending and ties keep the lower bin (strict >), exactly like the
+// sequential scan.
+func bestSplitForFeature(binned [][]uint8, resid []float64, rows []int,
+	edges []float64, f int, total, parentScore float64, n, minLeaf int,
+	histSum []float64, histCnt []int) splitCand {
+
+	nb := len(edges)
+	if nb < 2 {
+		return splitCand{}
+	}
+	for k := 0; k < nb; k++ {
+		histSum[k] = 0
+		histCnt[k] = 0
+	}
+	for _, r := range rows {
+		bin := binned[r][f]
+		histSum[bin] += resid[r]
+		histCnt[bin]++
+	}
+	var cand splitCand
+	var leftSum float64
+	leftCnt := 0
+	for k := 0; k < nb-1; k++ {
+		leftSum += histSum[k]
+		leftCnt += histCnt[k]
+		rightCnt := n - leftCnt
+		if leftCnt < minLeaf || rightCnt < minLeaf {
+			continue
+		}
+		rightSum := total - leftSum
+		gain := leftSum*leftSum/float64(leftCnt) +
+			rightSum*rightSum/float64(rightCnt) - parentScore
+		// Strict > against a zero baseline: the same accept rule the
+		// sequential scan applied, so per-feature bests then a fixed-order
+		// merge reproduce its choice bit for bit.
+		if gain > cand.gain {
+			cand = splitCand{gain: gain, bin: k, ok: true}
+		}
+	}
+	return cand
+}
+
 // growTree fits one regression tree to the residuals of the sampled rows
-// using histogram split finding. rows are indexes into binned/resid.
+// using histogram split finding. rows are indexes into binned/resid; the
+// caller's slice is copied into the scratch arena and never mutated (the
+// subsample permutation must survive untouched for the next iteration's
+// shuffle).
 func growTree(binned [][]uint8, resid []float64, rows []int, b *binner,
-	maxLeaves, minLeaf int) Tree {
+	maxLeaves, minLeaf int, pool *par.Pool, sc *trainScratch) Tree {
 
 	nFeatures := len(b.edges)
-	type leaf struct {
-		rows     []int
-		sum      float64
-		nodeIdx  int32
-		bestGain float64
-		bestFeat int
-		bestBin  int
-	}
 	var t Tree
+	t.nodes = make([]treeNode, 0, 2*maxLeaves-1)
 	mkLeafValue := func(sum float64, n int) float64 {
 		if n == 0 {
 			return 0
@@ -142,16 +258,21 @@ func growTree(binned [][]uint8, resid []float64, rows []int, b *binner,
 		return sum / float64(n)
 	}
 
+	arena := sc.rowArena[:len(rows)]
+	copy(arena, rows)
+
 	var rootSum float64
-	for _, r := range rows {
+	for _, r := range arena {
 		rootSum += resid[r]
 	}
-	t.nodes = append(t.nodes, treeNode{Feature: -1, Value: mkLeafValue(rootSum, len(rows))})
-	leaves := []*leaf{{rows: rows, sum: rootSum, nodeIdx: 0}}
+	t.nodes = append(t.nodes, treeNode{Feature: -1, Value: mkLeafValue(rootSum, len(arena))})
+	leaves := sc.leaves[:0] // cap maxLeaves: appends never reallocate, &leaves[i] stays valid
+	leaves = append(leaves, leaf{rows: arena, sum: rootSum, nodeIdx: 0})
 
-	// findBest computes the best split of a leaf via histograms.
-	histSum := make([]float64, maxBins)
-	histCnt := make([]int, maxBins)
+	// findBest computes the best split of a leaf: one feature per worker
+	// into per-worker histograms, candidates merged in ascending feature
+	// order so ties resolve exactly as the sequential feature loop did
+	// (lowest feature, then lowest bin, wins).
 	findBest := func(lf *leaf) {
 		lf.bestGain = 0
 		lf.bestFeat = -1
@@ -161,87 +282,77 @@ func growTree(binned [][]uint8, resid []float64, rows []int, b *binner,
 		}
 		total := lf.sum
 		parentScore := total * total / float64(n)
+		scan := func(worker, f int) {
+			sc.cands[f] = bestSplitForFeature(binned, resid, lf.rows, b.edges[f], f,
+				total, parentScore, n, minLeaf, sc.histSum[worker], sc.histCnt[worker])
+		}
+		if pool.Workers() > 1 && n*nFeatures >= histParMin {
+			pool.For(nFeatures, scan)
+		} else {
+			for f := 0; f < nFeatures; f++ {
+				scan(0, f)
+			}
+		}
 		for f := 0; f < nFeatures; f++ {
-			nb := len(b.edges[f])
-			if nb < 2 {
-				continue
-			}
-			for k := 0; k < nb; k++ {
-				histSum[k] = 0
-				histCnt[k] = 0
-			}
-			for _, r := range lf.rows {
-				bin := binned[r][f]
-				histSum[bin] += resid[r]
-				histCnt[bin]++
-			}
-			var leftSum float64
-			leftCnt := 0
-			for k := 0; k < nb-1; k++ {
-				leftSum += histSum[k]
-				leftCnt += histCnt[k]
-				rightCnt := n - leftCnt
-				if leftCnt < minLeaf || rightCnt < minLeaf {
-					continue
-				}
-				rightSum := total - leftSum
-				gain := leftSum*leftSum/float64(leftCnt) +
-					rightSum*rightSum/float64(rightCnt) - parentScore
-				if gain > lf.bestGain {
-					lf.bestGain = gain
-					lf.bestFeat = f
-					lf.bestBin = k
-				}
+			if c := sc.cands[f]; c.ok && c.gain > lf.bestGain {
+				lf.bestGain = c.gain
+				lf.bestFeat = f
+				lf.bestBin = c.bin
 			}
 		}
 	}
 
-	findBest(leaves[0])
+	findBest(&leaves[0])
 	for len(leaves) < maxLeaves {
 		// Split the leaf with the highest gain.
 		bi := -1
-		for i, lf := range leaves {
-			if lf.bestFeat >= 0 && (bi < 0 || lf.bestGain > leaves[bi].bestGain) {
+		for i := range leaves {
+			if leaves[i].bestFeat >= 0 && (bi < 0 || leaves[i].bestGain > leaves[bi].bestGain) {
 				bi = i
 			}
 		}
 		if bi < 0 {
 			break
 		}
-		lf := leaves[bi]
-		f, bin := lf.bestFeat, lf.bestBin
+		f, bin := leaves[bi].bestFeat, leaves[bi].bestBin
 		thr := b.edges[f][bin]
-		var lrows, rrows []int
+		// Stable in-place partition of the leaf's arena segment: left
+		// rows compact to the front, right rows stage in the scratch
+		// buffer and copy back — same contents and order as an
+		// append-based split, with zero per-stage allocation.
+		rows := leaves[bi].rows
+		tmp := sc.rowTmp[:0]
 		var lsum, rsum float64
-		for _, r := range lf.rows {
+		li := 0
+		for _, r := range rows {
 			if int(binned[r][f]) <= bin {
-				lrows = append(lrows, r)
+				rows[li] = r
+				li++
 				lsum += resid[r]
 			} else {
-				rrows = append(rrows, r)
+				tmp = append(tmp, r)
 				rsum += resid[r]
 			}
 		}
-		if len(lrows) == 0 || len(rrows) == 0 {
-			lf.bestFeat = -1 // degenerate; stop splitting this leaf
+		if li == 0 || li == len(rows) {
+			leaves[bi].bestFeat = -1 // degenerate; stop splitting this leaf
 			continue
 		}
+		copy(rows[li:], tmp)
 		// Materialize the split: current node becomes internal.
-		li := int32(len(t.nodes))
-		t.nodes = append(t.nodes, treeNode{Feature: -1, Value: mkLeafValue(lsum, len(lrows))})
-		ri := int32(len(t.nodes))
-		t.nodes = append(t.nodes, treeNode{Feature: -1, Value: mkLeafValue(rsum, len(rrows))})
-		nd := &t.nodes[lf.nodeIdx]
+		liIdx := int32(len(t.nodes))
+		t.nodes = append(t.nodes, treeNode{Feature: -1, Value: mkLeafValue(lsum, li)})
+		riIdx := int32(len(t.nodes))
+		t.nodes = append(t.nodes, treeNode{Feature: -1, Value: mkLeafValue(rsum, len(rows)-li)})
+		nd := &t.nodes[leaves[bi].nodeIdx]
 		nd.Feature = int32(f)
 		nd.Threshold = thr
-		nd.Left, nd.Right = li, ri
+		nd.Left, nd.Right = liIdx, riIdx
 
-		left := &leaf{rows: lrows, sum: lsum, nodeIdx: li}
-		right := &leaf{rows: rrows, sum: rsum, nodeIdx: ri}
-		leaves[bi] = left
-		leaves = append(leaves, right)
-		findBest(left)
-		findBest(right)
+		leaves[bi] = leaf{rows: rows[:li], sum: lsum, nodeIdx: liIdx}
+		leaves = append(leaves, leaf{rows: rows[li:], sum: rsum, nodeIdx: riIdx})
+		findBest(&leaves[bi])
+		findBest(&leaves[len(leaves)-1])
 	}
 	return t
 }

@@ -1,0 +1,147 @@
+// Package par provides the bounded worker pool underneath the training
+// pipeline's parallelism. The contract that makes parallel training
+// bit-identical to sequential training at any worker count: loops
+// distribute *indexes*, never results — fn(worker, i) writes its output
+// into slot i (and may scribble on per-worker scratch), so the final
+// state is a pure function of the inputs no matter how the scheduler
+// interleaves workers.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values <= 0 select
+// GOMAXPROCS, everything else is taken literally.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// Pool is a fixed set of reusable workers for index-parallel loops. A
+// pool amortizes goroutine spawns across many For calls — the training
+// inner loops dispatch thousands of small parallel regions per model.
+//
+// A Pool is driven by one coordinating goroutine: For must not be
+// called concurrently on the same pool, and fn must not call For on the
+// pool it is running under (nested parallelism uses a child pool, as
+// the model-level / tree-level training split does). A nil pool and a
+// one-worker pool both run everything inline on the caller.
+type Pool struct {
+	workers int
+	tasks   chan task
+}
+
+// task is one parallel region: indexes [0, n) claimed via an atomic
+// cursor so workers self-balance across uneven iterations.
+type task struct {
+	n    int
+	next *atomic.Int64
+	fn   func(worker, i int)
+	done *sync.WaitGroup
+}
+
+func (t task) run(worker int) {
+	for {
+		i := int(t.next.Add(1)) - 1
+		if i >= t.n {
+			return
+		}
+		t.fn(worker, i)
+	}
+}
+
+// NewPool starts a pool. workers <= 0 selects GOMAXPROCS; one worker
+// means no goroutines are spawned at all. Close releases the workers.
+func NewPool(workers int) *Pool {
+	p := &Pool{workers: Workers(workers)}
+	if p.workers > 1 {
+		p.tasks = make(chan task)
+		for id := 1; id < p.workers; id++ {
+			go p.worker(id)
+		}
+	}
+	return p
+}
+
+// Workers returns the pool size, counting the coordinating goroutine.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+func (p *Pool) worker(id int) {
+	for t := range p.tasks {
+		t.run(id)
+		t.done.Done()
+	}
+}
+
+// For runs fn(worker, i) once for every i in [0, n) and blocks until
+// all iterations finish. The calling goroutine participates as worker
+// 0; pool workers join as workers 1..Workers()-1, so fn may index
+// per-worker scratch by its first argument. Iteration order is
+// unspecified — fn must write results only into slot i.
+func (p *Pool) For(n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	t := task{n: n, next: new(atomic.Int64), fn: fn, done: new(sync.WaitGroup)}
+	helpers := p.workers - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	t.done.Add(helpers)
+	for h := 0; h < helpers; h++ {
+		p.tasks <- t
+	}
+	t.run(0)
+	t.done.Wait()
+}
+
+// ForChunks splits [0, n) into at most Workers() contiguous chunks and
+// runs fn(worker, lo, hi) for each — the cache-friendly shape for tight
+// numeric loops over big slices. Regions smaller than minN run inline:
+// below that, spawn overhead beats the parallel win (results are
+// identical either way; minN is purely a performance knob).
+func (p *Pool) ForChunks(n, minN int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.workers <= 1 || n < minN {
+		fn(0, 0, n)
+		return
+	}
+	chunks := p.workers
+	if chunks > n {
+		chunks = n
+	}
+	p.For(chunks, func(worker, c int) {
+		lo := c * n / chunks
+		hi := (c + 1) * n / chunks
+		if lo < hi {
+			fn(worker, lo, hi)
+		}
+	})
+}
+
+// Close stops the pool's workers. The pool must be idle (no For in
+// flight) and must not be used afterwards. Safe on a nil or one-worker
+// pool.
+func (p *Pool) Close() {
+	if p != nil && p.tasks != nil {
+		close(p.tasks)
+	}
+}

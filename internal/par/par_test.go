@@ -1,0 +1,136 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+// TestForCoversEveryIndexOnce: every index runs exactly once at any
+// worker count, including counts far above GOMAXPROCS and n.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 33} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			p := NewPool(workers)
+			counts := make([]int32, n)
+			p.For(n, func(_, i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			p.Close()
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestForWorkerIDsAreDistinctSlots: concurrent iterations never share a
+// worker id, so per-worker scratch needs no locking.
+func TestForWorkerIDsAreDistinctSlots(t *testing.T) {
+	const workers, n = 4, 512
+	p := NewPool(workers)
+	defer p.Close()
+	busy := make([]atomic.Int32, workers)
+	for round := 0; round < 3; round++ {
+		p.For(n, func(w, _ int) {
+			if w < 0 || w >= workers {
+				t.Errorf("worker id %d out of range", w)
+				return
+			}
+			if busy[w].Add(1) != 1 {
+				t.Errorf("worker id %d used concurrently", w)
+			}
+			busy[w].Add(-1)
+		})
+	}
+}
+
+func TestForChunksPartition(t *testing.T) {
+	for _, workers := range []int{1, 3, 6} {
+		p := NewPool(workers)
+		const n = 1000
+		counts := make([]int32, n)
+		p.ForChunks(n, 1, func(_, lo, hi int) {
+			if lo >= hi {
+				t.Errorf("empty chunk [%d,%d)", lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		p.Close()
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestForChunksInlineBelowMin: a region below minN must run as one
+// inline chunk (the perf contract the training loops rely on for tiny
+// leaves).
+func TestForChunksInlineBelowMin(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	calls := 0
+	p.ForChunks(10, 100, func(w, lo, hi int) {
+		calls++
+		if w != 0 || lo != 0 || hi != 10 {
+			t.Fatalf("inline chunk = (%d, %d, %d)", w, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("%d chunks below minN, want 1", calls)
+	}
+}
+
+// TestNestedPools: a For body may drive its own child pool — the
+// model-level / tree-level nesting used by training.
+func TestNestedPools(t *testing.T) {
+	outer := NewPool(3)
+	defer outer.Close()
+	var total atomic.Int64
+	outer.For(6, func(_, i int) {
+		inner := NewPool(2)
+		defer inner.Close()
+		inner.For(50, func(_, j int) {
+			total.Add(1)
+		})
+	})
+	if total.Load() != 300 {
+		t.Fatalf("nested total %d, want 300", total.Load())
+	}
+}
+
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d", p.Workers())
+	}
+	sum := 0
+	p.For(5, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("nil pool worker id %d", w)
+		}
+		sum += i
+	})
+	p.Close()
+	if sum != 10 {
+		t.Fatalf("nil pool sum = %d", sum)
+	}
+}

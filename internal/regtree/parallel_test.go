@@ -1,0 +1,41 @@
+package regtree
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestTrainBitIdenticalAcrossWorkers: the parallel per-feature stage
+// fits must produce exactly the model the sequential loop does — same
+// stage features, same segment boundaries, same coefficients — at every
+// worker count.
+func TestTrainBitIdenticalAcrossWorkers(t *testing.T) {
+	// Enough rows and features to cross the parallel threshold; a target
+	// that mixes both features so stage selection has real choices, with
+	// near-ties the fixed-order merge must resolve identically.
+	xs, ys := gen(2500, 9, func(x []float64) float64 {
+		return 4*x[0] + x[1]*x[1] + x[0]*x[1]/20
+	})
+
+	train := func(workers int) *Model {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		m, err := Train(xs, ys, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return m
+	}
+
+	want := train(1)
+	if len(want.Stages) < 2 {
+		t.Fatalf("only %d stages; determinism test needs real stage competition", len(want.Stages))
+	}
+	for _, w := range []int{2, 7, runtime.GOMAXPROCS(0), 0} {
+		got := train(w)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: model differs from sequential", w)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -20,6 +21,12 @@ type Config struct {
 	Segments     int     // piecewise segments per stage
 	LearningRate float64 // shrinkage
 	MinSegment   int     // minimum rows per segment
+	// Workers bounds training parallelism: the one-time per-feature
+	// sort-order construction and each stage's independent per-feature
+	// candidate fits fan out across this many workers (<= 0 selects
+	// GOMAXPROCS). The trained model is bit-identical at any worker
+	// count — candidates are merged in fixed feature order.
+	Workers int
 }
 
 // DefaultConfig returns the standard setup.
@@ -74,8 +81,18 @@ func Train(x [][]float64, y []float64, cfg Config) (*Model, error) {
 	}
 	resid := make([]float64, n)
 
+	pool := par.NewPool(cfg.Workers)
+	defer pool.Close()
+	// Parallel regions only pay off past this many row-visits; below it
+	// everything runs inline. Results are identical either way.
+	parallel := func(work int) bool { return pool.Workers() > 1 && k > 1 && work >= 2048 }
+
+	// Per-feature sorted row orders, computed once and reused by every
+	// stage (fitStage segments the pre-sorted rows; re-sorting per stage
+	// would dominate training). Columns are independent, so the sorts
+	// fan out one feature per worker.
 	order := make([][]int, k) // row indexes sorted by feature value
-	for f := 0; f < k; f++ {
+	buildOrder := func(f int) {
 		idx := make([]int, n)
 		for i := range idx {
 			idx[i] = i
@@ -83,18 +100,45 @@ func Train(x [][]float64, y []float64, cfg Config) (*Model, error) {
 		sort.Slice(idx, func(a, b int) bool { return x[idx[a]][f] < x[idx[b]][f] })
 		order[f] = idx
 	}
+	if parallel(n * k) {
+		pool.For(k, func(_, f int) { buildOrder(f) })
+	} else {
+		for f := 0; f < k; f++ {
+			buildOrder(f)
+		}
+	}
 
+	// Each stage fits one candidate per feature; the fits are
+	// independent, so they fan out across the pool into per-feature
+	// result slots, merged below in ascending feature order — the exact
+	// tie-breaking of a sequential feature loop.
+	type fitResult struct {
+		st  stage
+		sse float64
+		ok  bool
+	}
+	results := make([]fitResult, k)
 	for it := 0; it < cfg.Stages; it++ {
 		for i := range resid {
 			resid[i] = y[i] - pred[i]
 		}
+		fit := func(f int) {
+			st, sse, ok := fitStage(x, resid, order[f], f, cfg)
+			results[f] = fitResult{st: st, sse: sse, ok: ok}
+		}
+		if parallel(n * k) {
+			pool.For(k, func(_, f int) { fit(f) })
+		} else {
+			for f := 0; f < k; f++ {
+				fit(f)
+			}
+		}
 		best := stage{Feature: -1}
 		bestSSE := math.Inf(1)
 		for f := 0; f < k; f++ {
-			st, sse, ok := fitStage(x, resid, order[f], f, cfg)
-			if ok && sse < bestSSE {
-				bestSSE = sse
-				best = st
+			if results[f].ok && results[f].sse < bestSSE {
+				bestSSE = results[f].sse
+				best = results[f].st
 			}
 		}
 		if best.Feature < 0 {

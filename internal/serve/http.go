@@ -39,10 +39,14 @@ type estimateRequestJSON struct {
 type resourceSetJSON struct {
 	names []string
 	all   bool
+	// empty records a decoded "[]": an explicit empty set, which must
+	// error like any other invalid set rather than silently falling
+	// back to the single-resource default the way an absent field does.
+	empty bool
 }
 
 func (r *resourceSetJSON) UnmarshalJSON(data []byte) error {
-	r.names, r.all = nil, false
+	r.names, r.all, r.empty = nil, false, false
 	if string(data) == "null" {
 		return nil
 	}
@@ -60,6 +64,7 @@ func (r *resourceSetJSON) UnmarshalJSON(data []byte) error {
 		return fmt.Errorf(`resources must be "all", a resource name, or an array of resource names`)
 	}
 	r.names = names
+	r.empty = len(names) == 0
 	return nil
 }
 
@@ -70,7 +75,7 @@ func (r *resourceSetJSON) kinds(single string) ([]plan.ResourceKind, error) {
 	if r.all {
 		return plan.ResourceKinds(), nil
 	}
-	if len(r.names) == 0 {
+	if len(r.names) == 0 && !r.empty {
 		k, err := ParseResource(single)
 		if err != nil {
 			return nil, err

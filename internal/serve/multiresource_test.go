@@ -275,6 +275,10 @@ func TestUnknownResourceEnvelope(t *testing.T) {
 		{"/estimate", fmt.Sprintf(`{"schema":"tpch","resource":"disk","plan":%s}`, planJSON)},
 		{"/estimate", fmt.Sprintf(`{"schema":"tpch","resources":["cpu","disk"],"plan":%s}`, planJSON)},
 		{"/estimate", fmt.Sprintf(`{"schema":"tpch","resources":"garbage","plan":%s}`, planJSON)},
+		// An explicit empty array is an invalid set, not "field absent":
+		// it must error rather than silently degrade to the cpu default.
+		{"/estimate", fmt.Sprintf(`{"schema":"tpch","resources":[],"plan":%s}`, planJSON)},
+		{"/estimate/batch", fmt.Sprintf(`{"schema":"tpch","resources":[],"plans":[%s]}`, planJSON)},
 		{"/estimate/batch", fmt.Sprintf(`{"schema":"tpch","resource":"disk","plans":[%s]}`, planJSON)},
 		{"/estimate/batch", fmt.Sprintf(`{"schema":"tpch","resources":["disk"],"plans":[%s]}`, planJSON)},
 		{"/observe", fmt.Sprintf(`{"schema":"tpch","resource":"disk","plan":%s}`, planJSON)},

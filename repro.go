@@ -143,6 +143,14 @@ type TrainOptions struct {
 	// detector more sensitive — enable this for models that will serve
 	// with the feedback loop attached (resserve -bootstrap does).
 	BaselineProbe bool
+	// Workers bounds the training worker pool: the independent
+	// (operator, resource, candidate scale-set) MART fits fan out
+	// across it, with spare workers flowing down into the tree-level
+	// parallelism inside each fit. 0 (the default) uses GOMAXPROCS; 1
+	// trains sequentially on the calling goroutine. Trained models are
+	// bit-identical at any worker count — parallelism moves wall-clock,
+	// never predictions.
+	Workers int
 }
 
 // Estimator predicts the resource consumption of query plans.
@@ -151,10 +159,30 @@ type Estimator struct {
 }
 
 // Train fits an estimator on executed training queries (run them with
-// Execute first).
+// Execute first). Training runs on the parallel pipeline — see
+// TrainOptions.Workers — and delegates to TrainSet with a single
+// resource.
 func Train(queries []*Query, opts TrainOptions) (*Estimator, error) {
+	ests, err := TrainSet(queries, opts, opts.Resource)
+	if err != nil {
+		return nil, err
+	}
+	return ests[0], nil
+}
+
+// TrainSet trains one estimator per requested resource from the same
+// executed queries in a single parallel pass: every (resource ×
+// operator × candidate scale-set) fit is an independent job on one
+// bounded worker pool, so a CPU+I/O bootstrap saturates the machine
+// instead of training the two models back to back (cmd/resserve
+// -bootstrap uses this). opts.Resource is ignored; per-resource results
+// are bit-identical to separate Train calls with the same options.
+func TrainSet(queries []*Query, opts TrainOptions, resources ...Resource) ([]*Estimator, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("repro: no training queries")
+	}
+	if len(resources) == 0 {
+		return nil, fmt.Errorf("repro: no resources to train")
 	}
 	plans := make([]*plan.Plan, len(queries))
 	for i, q := range queries {
@@ -171,6 +199,7 @@ func Train(queries []*Query, opts TrainOptions) (*Estimator, error) {
 		cfg.Mode = features.Estimated
 	}
 	cfg.DisableScaling = opts.DisableScaling
+	cfg.Workers = opts.Workers
 	table := core.NewScaleTable()
 	if !opts.SkipScaleSelection && !opts.DisableScaling {
 		eng := engine.New(nil)
@@ -178,18 +207,20 @@ func Train(queries []*Query, opts TrainOptions) (*Estimator, error) {
 		table = core.SelectScaleFunctions(eng, b)
 		table.MirrorScanKinds()
 	}
-	inner, err := core.Train(plans, opts.Resource, table, cfg)
+	inner, err := core.TrainSet(plans, resources, table, cfg)
 	if err != nil {
 		return nil, err
 	}
-	// Stamp the drift-detection baseline: it persists with the model and
-	// the feedback loop compares production errors against it. The probe
-	// (see TrainOptions.BaselineProbe) measures out-of-sample error with
-	// a throwaway 4/5 model; the returned estimator still trains on
-	// every plan.
+	// Stamp the drift-detection baselines: they persist with the models
+	// and the feedback loop compares production errors against them. The
+	// probe (see TrainOptions.BaselineProbe) measures out-of-sample error
+	// with throwaway 4/5 models — one more parallel pass covering every
+	// resource — while the returned estimators still train on every plan.
 	const probeFold = 5
+	var probes map[plan.ResourceKind]*core.Estimator
+	var probeHold []*plan.Plan
 	if opts.BaselineProbe && len(plans) >= 2*probeFold {
-		var probeTrain, probeHold []*plan.Plan
+		var probeTrain []*plan.Plan
 		for i, p := range plans {
 			if i%probeFold == probeFold-1 {
 				probeHold = append(probeHold, p)
@@ -197,15 +228,23 @@ func Train(queries []*Query, opts TrainOptions) (*Estimator, error) {
 				probeTrain = append(probeTrain, p)
 			}
 		}
-		if probe, err := core.Train(probeTrain, opts.Resource, table, cfg); err == nil {
-			b := probe.EvalPlans(probeHold)
-			inner.Baseline = &b
+		if ps, err := core.TrainSet(probeTrain, resources, table, cfg); err == nil {
+			probes = ps
 		}
 	}
-	if inner.Baseline == nil {
-		inner.SetBaseline(plans)
+	out := make([]*Estimator, len(resources))
+	for i, r := range resources {
+		e := inner[r]
+		if probe := probes[r]; probe != nil {
+			b := probe.EvalPlans(probeHold)
+			e.Baseline = &b
+		}
+		if e.Baseline == nil {
+			e.SetBaseline(plans)
+		}
+		out[i] = &Estimator{inner: e}
 	}
-	return &Estimator{inner: inner}, nil
+	return out, nil
 }
 
 // Resource returns the resource type the estimator predicts.

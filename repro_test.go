@@ -228,6 +228,49 @@ func TestDisableScalingOption(t *testing.T) {
 	}
 }
 
+// TestTrainSetFacade: the one-pass multi-resource training entry point
+// must return estimators in request order that are byte-identical —
+// probe-stamped baselines included — to separate Train calls with the
+// same options, at any worker count.
+func TestTrainSetFacade(t *testing.T) {
+	train, _ := trainTestSplit(t, 60)
+	opts := quickOpts()
+	opts.BaselineProbe = true
+	opts.Workers = 7
+	ests, err := TrainSet(train, opts, CPUTime, LogicalIO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 2 || ests[0].Resource() != CPUTime || ests[1].Resource() != LogicalIO {
+		t.Fatalf("TrainSet returned wrong resources: %v", ests)
+	}
+	opts.Workers = 1
+	for i, r := range []Resource{CPUTime, LogicalIO} {
+		opts.Resource = r
+		solo, err := Train(train, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a, b bytes.Buffer
+		if err := ests[i].Save(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := solo.Save(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("%v: TrainSet(workers=7) model differs from sequential Train", r)
+		}
+	}
+
+	if _, err := TrainSet(train, opts); err == nil {
+		t.Fatal("TrainSet without resources accepted")
+	}
+	if _, err := TrainSet(nil, opts, CPUTime); err == nil {
+		t.Fatal("TrainSet on empty queries accepted")
+	}
+}
+
 // TestFeedbackFacade drives the exported feedback API end to end:
 // service + loop construction, in-process observation ingest, gauge
 // snapshots through Metrics, and registry rollback.
