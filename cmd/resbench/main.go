@@ -8,12 +8,20 @@
 //	resbench -size 0.25 -iters 200    # smaller/faster run
 //
 // Experiments: table4..table13, fig1, fig2, fig3, fig6, fig7, fig8,
-// predcost, memsize, trainbench.
+// predcost, memsize, trainbench, servebench.
 //
 // trainbench times the parallel training pipeline (bootstrap-shaped
 // CPU+I/O sweep at 1 worker and at GOMAXPROCS) and writes the
 // samples/sec baseline to -train-out (default BENCH_train.json) so the
 // training-performance trajectory is tracked across PRs.
+//
+// servebench drives the estimation service (single-plan requests
+// uncached and cached, one warm batch) and writes p50/p99 latency and
+// plans/s to -serve-out (default BENCH_serve.json). The same run is the
+// telemetry overhead guard: the cached request loop is timed with
+// telemetry on and off and the difference must stay within
+// -serve-overhead-max percent (exit 1 otherwise; set <= 0 to only
+// report).
 package main
 
 import (
@@ -35,6 +43,11 @@ func main() {
 		t13iters = flag.Int("t13iters", 1000, "boosting iterations for Table 13 timing")
 		trainN   = flag.Int("train-n", 128, "trainbench workload size (queries)")
 		trainOut = flag.String("train-out", "BENCH_train.json", "trainbench baseline output path (empty = stdout only)")
+		serveN   = flag.Int("serve-n", 128, "servebench workload size (queries)")
+		serveIt  = flag.Int("serve-iters", 60, "servebench benchmark-model MART iterations")
+		serveRnd = flag.Int("serve-rounds", 7, "servebench measurement rounds per mode (median taken)")
+		serveOut = flag.String("serve-out", "BENCH_serve.json", "servebench baseline output path (empty = stdout only)")
+		serveMax = flag.Float64("serve-overhead-max", 3, "fail when telemetry overhead exceeds this percent (<= 0 disables the guard)")
 	)
 	flag.Parse()
 
@@ -163,6 +176,36 @@ func main() {
 				fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "wrote training baseline to %s\n", *trainOut)
+		}
+	}
+	if sel("servebench") {
+		fmt.Fprintln(os.Stderr, "running servebench (serving latency + telemetry overhead)...")
+		sb, err := experiments.RunServeBench(*serveN, *serveIt, *serveRnd)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Serving latency (%d plans, %d operators, %d workers):\n",
+			sb.Queries, sb.Operators, sb.Workers)
+		fmt.Printf("  uncached  p50 %8.1f µs  p99 %8.1f µs  %8.0f req/s\n",
+			sb.Uncached.P50Micros, sb.Uncached.P99Micros, sb.Uncached.RequestsPerSec)
+		fmt.Printf("  cached    p50 %8.1f µs  p99 %8.1f µs  %8.0f req/s\n",
+			sb.Cached.P50Micros, sb.Cached.P99Micros, sb.Cached.RequestsPerSec)
+		fmt.Printf("  batch     %8.0f plans/s\n", sb.BatchPlansPerSec)
+		fmt.Printf("  telemetry overhead: %+.2f%% (cached request loop, on vs off)\n",
+			sb.TelemetryOverheadPct)
+		if *serveOut != "" {
+			data, err := json.MarshalIndent(sb, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*serveOut, append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote serving baseline to %s\n", *serveOut)
+		}
+		if *serveMax > 0 && sb.TelemetryOverheadPct > *serveMax {
+			fatal(fmt.Errorf("telemetry overhead %.2f%% exceeds the %.2f%% guard",
+				sb.TelemetryOverheadPct, *serveMax))
 		}
 	}
 }

@@ -58,8 +58,20 @@
 //	POST /models           {"schema","path"} → hot-swap a model file in; path is
 //	                       resolved under -model-dir (endpoint disabled without it)
 //	POST /models/rollback  {"schema","resource"} → revert to the prior version
-//	GET  /metrics          request/cache counters + per-model error gauges
+//	GET  /metrics          JSON counters + per-model error gauges (the
+//	                       default); with Accept: text/plain or
+//	                       ?format=prometheus, a Prometheus text exposition
+//	                       with per-stage latency summaries, per-shard
+//	                       cache counters, queue depth and feedback gauges
 //	GET  /healthz          readiness
+//
+// Observability: requests are stage-timed (decode, queue wait, cache
+// probe, predict, encode) into lock-free latency histograms and carry
+// X-Request-ID end to end; requests slower than -slow-trace emit one
+// structured log record with the per-stage breakdown. -debug-addr
+// starts a separate listener with /debug/pprof and a Prometheus
+// /metrics that adds process runtime gauges. -no-telemetry strips the
+// stage timing from the hot path (counters remain).
 //
 // Estimate a plan produced by the workload generator:
 //
@@ -74,6 +86,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -82,6 +95,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 // modelFlags collects repeated -model schema=path arguments.
@@ -111,6 +125,9 @@ func main() {
 		trainWork   = flag.Int("train-workers", 0, "training worker pool size for -bootstrap and feedback retrains (0 = GOMAXPROCS); trained models are bit-identical at any worker count")
 		driftThresh = flag.Float64("drift-threshold", 2, "retrain when the recent P90 relative error exceeds this multiple of the model's training-time baseline")
 		retrainMin  = flag.Int("retrain-min-observations", 256, "minimum logged observations before a drift-triggered retrain (also the cooldown between attempts)")
+		debugAddr   = flag.String("debug-addr", "", "debug listener address exposing /debug/pprof and Prometheus /metrics (incl. process runtime gauges); empty disables")
+		slowTrace   = flag.Duration("slow-trace", 500*time.Millisecond, "log a structured per-stage trace for requests at or above this latency (0 disables)")
+		noTelemetry = flag.Bool("no-telemetry", false, "disable per-stage latency histograms and request traces (counters remain)")
 	)
 	flag.Var(&models, "model", "model to serve, as schema=path or path (wildcard schema); repeatable")
 	flag.Parse()
@@ -120,11 +137,15 @@ func main() {
 		*bootstrap = "tpch"
 	}
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	serveOpts := repro.ServeOptions{
-		CacheEntries:   *cacheSize,
-		Workers:        *workers,
-		DefaultTimeout: *timeout,
-		ModelDir:       *modelDir,
+		CacheEntries:     *cacheSize,
+		Workers:          *workers,
+		DefaultTimeout:   *timeout,
+		ModelDir:         *modelDir,
+		Logger:           logger,
+		SlowTrace:        *slowTrace,
+		DisableTelemetry: *noTelemetry,
 	}
 	var svc *repro.Service
 	var loop *repro.FeedbackLoop
@@ -236,6 +257,24 @@ func main() {
 		}
 	}
 
+	// Opt-in debug listener: pprof and a Prometheus exposition combining
+	// the service's metric families with process runtime gauges. A
+	// separate listener so profiling endpoints never ride the serving
+	// port.
+	if *debugAddr != "" {
+		dreg := obs.NewRegistry()
+		dreg.Register(svc.Obs().Collector())
+		sampler := obs.NewRuntimeSampler(10 * time.Second)
+		defer sampler.Stop()
+		dreg.Register(sampler.Collector("resserve_process_"))
+		ds, err := obs.StartDebugServer(*debugAddr, dreg)
+		if err != nil {
+			fatal(err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "resserve: debug listener on %s (/debug/pprof, /metrics)\n", ds.Addr())
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
@@ -270,6 +309,10 @@ func main() {
 	// their responses.
 	<-drained
 	svc.Close()
+	// Final metrics summary: one structured record of what this process
+	// served (uptime, totals, per-endpoint p50/p99, cache hit ratio) —
+	// the post-mortem breadcrumb for short-lived or crashed-over runs.
+	svc.LogSummary(logger)
 	if loop != nil {
 		if err := loop.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "resserve: closing feedback log: %v\n", err)

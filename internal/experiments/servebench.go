@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// The serving-latency baseline behind cmd/resbench -exp servebench: it
+// drives the estimation service the way a client would — single-plan
+// requests uncached and cached, plus one large batch — and records
+// p50/p99 latency and throughput into BENCH_serve.json so the serving
+// trajectory is tracked across PRs alongside the training baseline.
+// The same run doubles as the telemetry overhead guard: the cached
+// single-request loop is timed with telemetry on and off, and the
+// relative difference is reported (and asserted by resbench).
+
+// ServeBenchMode is the latency/throughput summary of one serving mode.
+type ServeBenchMode struct {
+	P50Micros      float64 `json:"p50_us"`
+	P99Micros      float64 `json:"p99_us"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+}
+
+// ServeBench is the serializable serving baseline.
+type ServeBench struct {
+	Queries    int    `json:"queries"`
+	Operators  int    `json:"operators"`
+	Iterations int    `json:"iterations"`
+	Workers    int    `json:"workers"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Rounds     int    `json:"rounds"`
+	Resource   string `json:"resource"`
+
+	// Uncached serves every request with the prediction cache disabled
+	// (every operator evaluates the model); Cached measures the warm
+	// steady state.
+	Uncached ServeBenchMode `json:"uncached"`
+	Cached   ServeBenchMode `json:"cached"`
+	// BatchPlansPerSec is /estimate/batch throughput: the full workload
+	// submitted as one warm batch.
+	BatchPlansPerSec float64 `json:"batch_plans_per_sec"`
+
+	// TelemetryOverheadPct compares the cached single-request loop with
+	// telemetry on vs. Options.DisableTelemetry, as a percentage of the
+	// disabled run (medians of Rounds runs each). The guard resbench
+	// enforces; can come out slightly negative on a noisy machine.
+	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
+}
+
+// serveBenchWorkload trains one quick CPU model over a TPC-H-shaped
+// workload and returns it with the executed plans.
+func serveBenchWorkload(n, iters int) (*core.Estimator, []*plan.Plan, error) {
+	qs := workload.GenTPCH(workload.Config{Seed: 1, N: n, SFs: []float64{1, 2, 4, 8}, Z: 2, Corr: 0.85})
+	eng := engine.New(nil)
+	for _, q := range qs {
+		eng.Run(q.Plan)
+	}
+	plans := Plans(qs)
+	cfg := core.DefaultConfig()
+	cfg.Mart.Iterations = iters
+	est, err := core.Train(plans, plan.CPUTime, core.NewScaleTable(), cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return est, plans, nil
+}
+
+// newBenchService builds a service with the benchmark model published.
+func newBenchService(est *core.Estimator, cacheEntries int, disableTelemetry bool) *serve.Service {
+	reg := serve.NewRegistry()
+	reg.Publish("tpch", est)
+	return serve.New(serve.Options{
+		Registry:         reg,
+		CacheEntries:     cacheEntries,
+		Workers:          2,
+		DisableTelemetry: disableTelemetry,
+	})
+}
+
+// drive runs every plan through svc once, sequentially, recording each
+// request's latency into lat (appended) and returning it.
+func drive(svc *serve.Service, plans []*plan.Plan, lat []time.Duration) ([]time.Duration, error) {
+	ctx := context.Background()
+	for _, p := range plans {
+		start := time.Now()
+		_, err := svc.Estimate(ctx, serve.Request{Schema: "tpch", Resource: plan.CPUTime, Plan: p})
+		if err != nil {
+			return nil, err
+		}
+		lat = append(lat, time.Since(start))
+	}
+	return lat, nil
+}
+
+func summarizeMode(lat []time.Duration) ServeBenchMode {
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	pick := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return float64(sorted[i]) / 1e3
+	}
+	return ServeBenchMode{
+		P50Micros:      pick(0.50),
+		P99Micros:      pick(0.99),
+		RequestsPerSec: float64(len(sorted)) / total.Seconds(),
+	}
+}
+
+// timedRounds runs fn `rounds` times and returns the median wall-clock
+// — the stable central tendency for an overhead comparison (means are
+// dragged by GC pauses and scheduler noise).
+func timedRounds(rounds int, fn func() error) (time.Duration, error) {
+	times := make([]time.Duration, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		times = append(times, time.Since(start))
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2], nil
+}
+
+// RunServeBench measures serving latency and throughput plus the
+// telemetry overhead. n is the workload size (queries), iters the MART
+// iterations of the quick benchmark model, rounds the measurement
+// repetitions per mode (median taken).
+func RunServeBench(n, iters, rounds int) (*ServeBench, error) {
+	if rounds < 3 {
+		rounds = 3
+	}
+	est, plans, err := serveBenchWorkload(n, iters)
+	if err != nil {
+		return nil, err
+	}
+	res := &ServeBench{
+		Queries:    len(plans),
+		Iterations: iters,
+		Workers:    2,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Rounds:     rounds,
+		Resource:   plan.CPUTime.String(),
+	}
+	for _, p := range plans {
+		res.Operators += len(p.Nodes())
+	}
+
+	// Uncached: cache disabled outright, so every request pays full
+	// model evaluation. One warmup pass, then `rounds` measured passes
+	// pooled into one latency population.
+	{
+		svc := newBenchService(est, -1, false)
+		if _, err := drive(svc, plans, nil); err != nil {
+			svc.Close()
+			return nil, err
+		}
+		var lat []time.Duration
+		for r := 0; r < rounds; r++ {
+			if lat, err = drive(svc, plans, lat); err != nil {
+				svc.Close()
+				return nil, err
+			}
+		}
+		svc.Close()
+		res.Uncached = summarizeMode(lat)
+	}
+
+	// Cached + batch throughput on one warm service.
+	{
+		svc := newBenchService(est, 1<<16, false)
+		if _, err := drive(svc, plans, nil); err != nil { // warm the cache
+			svc.Close()
+			return nil, err
+		}
+		var lat []time.Duration
+		for r := 0; r < rounds; r++ {
+			if lat, err = drive(svc, plans, lat); err != nil {
+				svc.Close()
+				return nil, err
+			}
+		}
+		res.Cached = summarizeMode(lat)
+
+		batch := serve.BatchRequest{Schema: "tpch", Resource: plan.CPUTime, Plans: plans, Timeout: time.Minute}
+		med, err := timedRounds(rounds, func() error {
+			_, err := svc.EstimateBatch(context.Background(), batch)
+			return err
+		})
+		svc.Close()
+		if err != nil {
+			return nil, err
+		}
+		res.BatchPlansPerSec = float64(len(plans)) / med.Seconds()
+	}
+
+	// Telemetry overhead guard: the same cached request loop with
+	// telemetry on vs. disabled, median of `rounds` runs each,
+	// interleaved so thermal/scheduler drift hits both configurations
+	// equally.
+	{
+		on := newBenchService(est, 1<<16, false)
+		off := newBenchService(est, 1<<16, true)
+		warm := func(svc *serve.Service) error { _, err := drive(svc, plans, nil); return err }
+		if err := warm(on); err == nil {
+			err = warm(off)
+		}
+		if err != nil {
+			on.Close()
+			off.Close()
+			return nil, err
+		}
+		pass := func(svc *serve.Service) func() error {
+			return func() error { _, err := drive(svc, plans, nil); return err }
+		}
+		onTimes := make([]time.Duration, 0, rounds)
+		offTimes := make([]time.Duration, 0, rounds)
+		for r := 0; r < rounds; r++ {
+			tOn, err := timedRounds(1, pass(on))
+			if err == nil {
+				var tOff time.Duration
+				tOff, err = timedRounds(1, pass(off))
+				offTimes = append(offTimes, tOff)
+			}
+			if err != nil {
+				on.Close()
+				off.Close()
+				return nil, err
+			}
+			onTimes = append(onTimes, tOn)
+		}
+		on.Close()
+		off.Close()
+		sort.Slice(onTimes, func(i, j int) bool { return onTimes[i] < onTimes[j] })
+		sort.Slice(offTimes, func(i, j int) bool { return offTimes[i] < offTimes[j] })
+		medOn := onTimes[len(onTimes)/2]
+		medOff := offTimes[len(offTimes)/2]
+		res.TelemetryOverheadPct = (float64(medOn) - float64(medOff)) / float64(medOff) * 100
+	}
+	return res, nil
+}

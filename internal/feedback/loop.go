@@ -1,13 +1,16 @@
 package feedback
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/features"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/stats"
 )
@@ -32,6 +35,12 @@ type Loop struct {
 	closed bool
 
 	wg sync.WaitGroup // in-flight retrains
+
+	// Telemetry: ingest latency of accepted observations (validate +
+	// log append + window/buffer update) and the count rejected before
+	// ingest. Read by the serving layer's /metrics collectors.
+	ingestHist obs.Histogram
+	rejected   atomic.Uint64
 }
 
 // New opens a feedback loop. When opts.Dir is set, the observation log
@@ -85,6 +94,25 @@ func New(opts Options) (*Loop, error) {
 // struct is copied (the caller's is never written to); the Plan it
 // points at becomes loop-owned — see Observation.Plan.
 func (l *Loop) Observe(obs *Observation) error {
+	start := time.Now()
+	err := l.observe(obs)
+	if err == nil {
+		l.ingestHist.Observe(time.Since(start))
+	} else if errors.Is(err, ErrInvalid) {
+		l.rejected.Add(1)
+	}
+	return err
+}
+
+// IngestLatency snapshots the ingest-latency histogram of accepted
+// observations.
+func (l *Loop) IngestLatency() obs.HistogramSnapshot { return l.ingestHist.Snapshot() }
+
+// Rejected counts observations rejected before ingest (malformed, or a
+// new schema past the route limit).
+func (l *Loop) Rejected() uint64 { return l.rejected.Load() }
+
+func (l *Loop) observe(obs *Observation) error {
 	if err := obs.validate(); err != nil {
 		return err
 	}

@@ -22,6 +22,23 @@ func Workers(requested int) int {
 	return requested
 }
 
+// Package-level training-throughput counters: parallel regions
+// dispatched and iterations executed, across every pool in the process.
+// Two uncontended atomic adds per For call — negligible against the
+// work a region does — and enough for the serving layer's /metrics to
+// show training progress (regions/s, items/s) without the training
+// pipeline knowing telemetry exists.
+var (
+	regions atomic.Uint64
+	items   atomic.Uint64
+)
+
+// Counters returns the process-wide totals of parallel regions
+// dispatched and loop iterations executed.
+func Counters() (regionCount, itemCount uint64) {
+	return regions.Load(), items.Load()
+}
+
 // Pool is a fixed set of reusable workers for index-parallel loops. A
 // pool amortizes goroutine spawns across many For calls — the training
 // inner loops dispatch thousands of small parallel regions per model.
@@ -92,6 +109,8 @@ func (p *Pool) For(n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
+	regions.Add(1)
+	items.Add(uint64(n))
 	if p == nil || p.workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
 			fn(0, i)

@@ -75,6 +75,11 @@ type cacheShard struct {
 	m   map[cacheKey]*list.Element
 	lru list.List // front = most recently used
 	cap int
+	// Per-shard hit/miss tallies, guarded by mu (the lock is already
+	// held at every lookup, so these cost no extra synchronization).
+	// The global atomic counters remain the wire-visible totals.
+	hits   uint64
+	misses uint64
 }
 
 // Cache is a sharded LRU of operator predictions with hit/miss
@@ -130,6 +135,9 @@ func (c *Cache) Get(k cacheKey) (plan.Resources, bool) {
 	if ok {
 		s.lru.MoveToFront(el)
 		v = el.Value.(*cacheEntry).val
+		s.hits++
+	} else {
+		s.misses++
 	}
 	s.mu.Unlock()
 	if ok {
@@ -216,18 +224,22 @@ func (c *Cache) GetMulti(keys []cacheKey, vals []plan.Resources, hit []bool) (in
 			continue
 		}
 		s := &c.shards[si]
+		shardHits := 0
 		s.mu.Lock()
 		for _, i := range group {
 			if el, ok := s.m[keys[i]]; ok {
 				s.lru.MoveToFront(el)
 				vals[i] = el.Value.(*cacheEntry).val
 				hit[i] = true
-				hits++
+				shardHits++
 			} else {
 				hit[i] = false
 			}
 		}
+		s.hits += uint64(shardHits)
+		s.misses += uint64(len(group) - shardHits)
 		s.mu.Unlock()
+		hits += shardHits
 	}
 	c.hits.Add(uint64(hits))
 	c.misses.Add(uint64(len(keys) - hits))
@@ -272,6 +284,33 @@ func (c *Cache) PutMulti(keys []cacheKey, vals []plan.Resources, skip []bool, sp
 			s.mu.Unlock()
 		}
 	}
+}
+
+// ShardCacheStats is one shard's counter snapshot — the per-shard view
+// behind the resserve_cache_shard_* Prometheus series. Skewed hit
+// ratios across shards expose pathological key distributions that the
+// aggregate counters average away.
+type ShardCacheStats struct {
+	Shard   int
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// ShardStats snapshots every shard's counters. Nil (disabled) caches
+// return nil.
+func (c *Cache) ShardStats() []ShardCacheStats {
+	if c == nil {
+		return nil
+	}
+	out := make([]ShardCacheStats, cacheShards)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out[i] = ShardCacheStats{Shard: i, Hits: s.hits, Misses: s.misses, Entries: s.lru.Len()}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Stats snapshots the counters and current occupancy.

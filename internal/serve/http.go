@@ -6,11 +6,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/feedback"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -88,11 +91,14 @@ func (r *resourceSetJSON) kinds(single string) ([]plan.ResourceKind, error) {
 // errorJSON is the structured error envelope every endpoint returns on
 // failure: a human-readable message plus a stable machine-readable code
 // (see the errCode* constants). Batch endpoints additionally set Plan
-// to the index of the offending plan.
+// to the index of the offending plan. RequestID echoes the request's
+// X-Request-ID (client-supplied or generated), the handle that joins a
+// failure response to the server's slow-trace and error logs.
 type errorJSON struct {
-	Error string `json:"error"`
-	Code  string `json:"code"`
-	Plan  *int   `json:"plan,omitempty"`
+	Error     string `json:"error"`
+	Code      string `json:"code"`
+	Plan      *int   `json:"plan,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Stable error codes for the wire. Clients should branch on these, not
@@ -203,12 +209,22 @@ const (
 //	POST /models           {schema, path} → ModelInfo (hot-swaps the model)
 //	POST /models/rollback  {schema, resource} → ModelInfo (reverts to the
 //	                       previously published version)
-//	GET  /metrics          → Metrics (incl. per-model feedback error gauges)
+//	GET  /metrics          → Metrics JSON (incl. per-model feedback error
+//	                       gauges and per-endpoint latency averages); with
+//	                       Accept: text/plain or ?format=prometheus,
+//	                       Prometheus text exposition instead (per-stage
+//	                       latency summaries, per-shard cache counters,
+//	                       queue depth, feedback and store gauges)
 //	GET  /healthz          → 200 once at least one model is published
 //
 // Failures return the structured errorJSON envelope: a message, a
-// stable machine-readable code, and — on batch requests — the index of
-// the offending plan.
+// stable machine-readable code, the request's X-Request-ID, and — on
+// batch requests — the index of the offending plan.
+//
+// Every request carries an X-Request-ID: the client's, or a generated
+// one. The ID is echoed on the response (header and error envelope) and
+// stamped on every log record about the request, so one grep joins a
+// client-observed failure to the server's view of it.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /estimate", s.handleEstimate)
@@ -219,42 +235,103 @@ func (s *Service) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST /models", s.handlePublish)
 	mux.HandleFunc("POST /models/rollback", s.handleRollback)
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Metrics())
-	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if len(s.reg.Models()) == 0 {
-			writeJSON(w, http.StatusServiceUnavailable,
+			writeError(w, r, http.StatusServiceUnavailable,
 				jsonError("no models published", errCodeUnavailable, -1))
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	return withRequestID(mux)
+}
+
+// handleMetrics negotiates between the legacy JSON snapshot (the
+// default — Metrics' wire shape is pinned by test) and Prometheus text
+// exposition for scrapers that ask for it.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", obs.TextContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = s.obsReg.WritePrometheus(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// wantsPrometheus decides the /metrics representation: an explicit
+// ?format= wins, then the Accept header. JSON is the default so
+// existing scrapers (and plain http.Get, which sends no Accept) keep
+// their bytes.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, "application/json") {
+		return false
+	}
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+// reqIDKey keys the request ID in a request context.
+type reqIDKey struct{}
+
+// withRequestID gives every request an ID — X-Request-ID when the
+// client sent one, a generated ID otherwise — echoes it on the response
+// header, and stores it in the request context for error envelopes and
+// traces.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id)))
+	})
+}
+
+// RequestIDFrom returns the request ID minted by the Handler's
+// middleware, "" when the context has none.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
 }
 
 func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	tel, tr, decodeStart := s.beginTrace(r, endpointNames[epEstimate])
 	var req estimateRequestJSON
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEstimateBody)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, jsonError("bad request body: "+err.Error(), errCodeBadRequest, -1))
+		writeError(w, r, http.StatusBadRequest, jsonError("bad request body: "+err.Error(), errCodeBadRequest, -1))
 		return
 	}
 	kinds, err := req.Resources.kinds(req.Resource)
 	if err != nil {
 		status, body := errorFor(err)
-		writeJSON(w, status, body)
+		writeError(w, r, status, body)
 		return
 	}
 	if len(req.Plan) == 0 {
-		writeJSON(w, http.StatusBadRequest, jsonError("missing plan", errCodeBadRequest, -1))
+		writeError(w, r, http.StatusBadRequest, jsonError("missing plan", errCodeBadRequest, -1))
 		return
 	}
 	p, err := plan.DecodeJSON(req.Plan)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, jsonError(err.Error(), planErrCode(err), -1))
+		writeError(w, r, http.StatusBadRequest, jsonError(err.Error(), planErrCode(err), -1))
 		return
 	}
-	resp, err := s.Estimate(r.Context(), Request{
+	ctx := r.Context()
+	if tel != nil {
+		tel.rec(epEstimate, obs.StageDecode, time.Since(decodeStart), tr)
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	resp, err := s.Estimate(ctx, Request{
 		Schema:    req.Schema,
 		Resources: kinds,
 		Plan:      p,
@@ -262,10 +339,20 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		status, body := errorFor(err)
-		writeJSON(w, status, body)
+		writeError(w, r, status, body)
+		if tel != nil {
+			tr.LogSlow(tel.logger, tel.slow, slog.String("error", err.Error()))
+		}
 		return
 	}
+	if tel == nil {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	encodeStart := time.Now()
 	writeJSON(w, http.StatusOK, resp)
+	tel.rec(epEstimate, obs.StageEncode, time.Since(encodeStart), tr)
+	tr.LogSlow(tel.logger, tel.slow)
 }
 
 // batchEstimateRequestJSON is the wire form of POST /estimate/batch:
@@ -320,37 +407,43 @@ func (b *batchPlans) UnmarshalJSON(data []byte) error {
 }
 
 func (s *Service) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
+	tel, tr, decodeStart := s.beginTrace(r, endpointNames[epBatch])
 	var req batchEstimateRequestJSON
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody)).Decode(&req); err != nil {
 		if errors.Is(err, errTooManyPlans) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
+			writeError(w, r, http.StatusRequestEntityTooLarge,
 				jsonError(err.Error(), errCodeBatchTooLarge, -1))
 			return
 		}
-		writeJSON(w, http.StatusBadRequest, jsonError("bad request body: "+err.Error(), errCodeBadRequest, -1))
+		writeError(w, r, http.StatusBadRequest, jsonError("bad request body: "+err.Error(), errCodeBadRequest, -1))
 		return
 	}
 	kinds, err := req.Resources.kinds(req.Resource)
 	if err != nil {
 		status, body := errorFor(err)
-		writeJSON(w, status, body)
+		writeError(w, r, status, body)
 		return
 	}
 	if len(req.Plans) == 0 {
-		writeJSON(w, http.StatusBadRequest, jsonError("missing plans", errCodeBadRequest, -1))
+		writeError(w, r, http.StatusBadRequest, jsonError("missing plans", errCodeBadRequest, -1))
 		return
 	}
 	plans := make([]*plan.Plan, len(req.Plans))
 	for i, wp := range req.Plans {
 		p, err := wp.ToPlan()
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest,
+			writeError(w, r, http.StatusBadRequest,
 				jsonError(fmt.Sprintf("plan %d: %v", i, err), planErrCode(err), i))
 			return
 		}
 		plans[i] = p
 	}
-	resp, err := s.EstimateBatch(r.Context(), BatchRequest{
+	ctx := r.Context()
+	if tel != nil {
+		tel.rec(epBatch, obs.StageDecode, time.Since(decodeStart), tr)
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	resp, err := s.EstimateBatch(ctx, BatchRequest{
 		Schema:    req.Schema,
 		Resources: kinds,
 		Plans:     plans,
@@ -358,10 +451,21 @@ func (s *Service) handleEstimateBatch(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		status, body := errorFor(err)
-		writeJSON(w, status, body)
+		writeError(w, r, status, body)
+		if tel != nil {
+			tr.LogSlow(tel.logger, tel.slow,
+				slog.String("error", err.Error()), slog.Int("plans", len(plans)))
+		}
 		return
 	}
+	if tel == nil {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	encodeStart := time.Now()
 	writeJSON(w, http.StatusOK, resp)
+	tel.rec(epBatch, obs.StageEncode, time.Since(encodeStart), tr)
+	tr.LogSlow(tel.logger, tel.slow, slog.Int("plans", len(plans)))
 }
 
 // planErrCode classifies a plan.DecodeJSON failure: a plan naming an
@@ -381,27 +485,27 @@ func planErrCode(err error) string {
 // paths may not escape it.
 func (s *Service) handlePublish(w http.ResponseWriter, r *http.Request) {
 	if s.opts.ModelDir == "" {
-		writeJSON(w, http.StatusForbidden,
+		writeError(w, r, http.StatusForbidden,
 			jsonError("model publishing disabled (no model directory configured)", errCodeForbidden, -1))
 		return
 	}
 	var req publishRequestJSON
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPublishBody)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, jsonError("bad request body: "+err.Error(), errCodeBadRequest, -1))
+		writeError(w, r, http.StatusBadRequest, jsonError("bad request body: "+err.Error(), errCodeBadRequest, -1))
 		return
 	}
 	if req.Path == "" {
-		writeJSON(w, http.StatusBadRequest, jsonError("missing path", errCodeBadRequest, -1))
+		writeError(w, r, http.StatusBadRequest, jsonError("missing path", errCodeBadRequest, -1))
 		return
 	}
 	if !filepath.IsLocal(req.Path) {
-		writeJSON(w, http.StatusBadRequest,
+		writeError(w, r, http.StatusBadRequest,
 			jsonError("path must be relative to the model directory", errCodeBadRequest, -1))
 		return
 	}
 	info, err := s.reg.PublishFile(req.Schema, filepath.Join(s.opts.ModelDir, req.Path))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, jsonError(err.Error(), errCodeBadRequest, -1))
+		writeError(w, r, http.StatusBadRequest, jsonError(err.Error(), errCodeBadRequest, -1))
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -425,28 +529,28 @@ type observeRequestJSON struct {
 func (s *Service) handleObserve(w http.ResponseWriter, r *http.Request) {
 	loop := s.opts.Feedback
 	if loop == nil {
-		writeJSON(w, http.StatusForbidden,
+		writeError(w, r, http.StatusForbidden,
 			jsonError("observation ingest disabled (no feedback loop attached)", errCodeForbidden, -1))
 		return
 	}
 	var req observeRequestJSON
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEstimateBody)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, jsonError("bad request body: "+err.Error(), errCodeBadRequest, -1))
+		writeError(w, r, http.StatusBadRequest, jsonError("bad request body: "+err.Error(), errCodeBadRequest, -1))
 		return
 	}
 	resource, err := ParseResource(req.Resource)
 	if err != nil {
 		status, body := errorFor(err)
-		writeJSON(w, status, body)
+		writeError(w, r, status, body)
 		return
 	}
 	if len(req.Plan) == 0 {
-		writeJSON(w, http.StatusBadRequest, jsonError("missing plan", errCodeBadRequest, -1))
+		writeError(w, r, http.StatusBadRequest, jsonError("missing plan", errCodeBadRequest, -1))
 		return
 	}
 	p, err := plan.DecodeJSON(req.Plan)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, jsonError(err.Error(), planErrCode(err), -1))
+		writeError(w, r, http.StatusBadRequest, jsonError(err.Error(), planErrCode(err), -1))
 		return
 	}
 	err = loop.Observe(&feedback.Observation{
@@ -467,7 +571,7 @@ func (s *Service) handleObserve(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, feedback.ErrClosed):
 			status, code = http.StatusServiceUnavailable, errCodeUnavailable
 		}
-		writeJSON(w, status, jsonError(err.Error(), code, -1))
+		writeError(w, r, status, jsonError(err.Error(), code, -1))
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]string{"status": "accepted"})
@@ -484,19 +588,19 @@ type rollbackRequestJSON struct {
 func (s *Service) handleRollback(w http.ResponseWriter, r *http.Request) {
 	var req rollbackRequestJSON
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPublishBody)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, jsonError("bad request body: "+err.Error(), errCodeBadRequest, -1))
+		writeError(w, r, http.StatusBadRequest, jsonError("bad request body: "+err.Error(), errCodeBadRequest, -1))
 		return
 	}
 	resource, err := ParseResource(req.Resource)
 	if err != nil {
 		status, body := errorFor(err)
-		writeJSON(w, status, body)
+		writeError(w, r, status, body)
 		return
 	}
 	info, err := s.reg.Rollback(req.Schema, resource)
 	if err != nil {
 		status, body := errorFor(err)
-		writeJSON(w, status, body)
+		writeError(w, r, status, body)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -525,6 +629,23 @@ func errorFor(err error) (int, errorJSON) {
 		status, code = http.StatusBadRequest, errCodeUnknownOperator
 	}
 	return status, jsonError(err.Error(), code, -1)
+}
+
+// beginTrace starts a request trace on the estimation endpoints when
+// telemetry is on. The returned start instant anchors the decode stage.
+func (s *Service) beginTrace(r *http.Request, endpoint string) (*telemetry, *obs.Trace, time.Time) {
+	tel := s.tel
+	if tel == nil {
+		return nil, nil, time.Time{}
+	}
+	return tel, obs.NewTrace(endpoint, RequestIDFrom(r.Context())), time.Now()
+}
+
+// writeError stamps the request's ID into the error envelope before
+// writing it.
+func writeError(w http.ResponseWriter, r *http.Request, status int, e errorJSON) {
+	e.RequestID = RequestIDFrom(r.Context())
+	writeJSON(w, status, e)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/features"
 	"repro/internal/feedback"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -65,6 +67,21 @@ type Options struct {
 	// (repro.NewServiceWithFeedback wires that up). The service does not
 	// own the loop; close it after the service.
 	Feedback *feedback.Loop
+	// Logger receives slow-request traces and the shutdown metrics
+	// summary. Nil selects slog.Default().
+	Logger *slog.Logger
+	// SlowTrace, when > 0, emits one structured log record (request ID,
+	// endpoint, per-stage breakdown) for every request whose end-to-end
+	// latency reaches the threshold. 0 disables slow tracing.
+	SlowTrace time.Duration
+	// DisableTelemetry turns off per-stage latency histograms and
+	// request traces, removing their clock reads and atomic adds from
+	// the hot path. Counters (requests, failures, cache, models) remain;
+	// they predate the telemetry layer and cost one atomic add each.
+	// Exists for the overhead-guard benchmark and for callers that want
+	// the last fraction of a percent; the default (telemetry on) is
+	// within 3% of disabled on the servebench workload.
+	DisableTelemetry bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -164,11 +181,33 @@ type Metrics struct {
 	// BatchPlans counts the plans they carried.
 	BatchRequests uint64                `json:"batch_requests"`
 	BatchPlans    uint64                `json:"batch_plans"`
-	AvgLatencyMS  float64               `json:"avg_latency_ms"`
-	Workers       int                   `json:"workers"`
-	Cache         CacheStats            `json:"cache"`
-	Models        []ModelInfo           `json:"models"`
-	Feedback      []feedback.RouteStats `json:"feedback,omitempty"`
+	// AvgLatencyMS averages over every completed request regardless of
+	// endpoint — kept for wire compatibility. A batch of 1000 plans and
+	// a single-plan estimate weigh the same here, so the number blends
+	// two very different latency populations; Endpoints carries the
+	// honest per-endpoint averages.
+	AvgLatencyMS float64               `json:"avg_latency_ms"`
+	Workers      int                   `json:"workers"`
+	Cache        CacheStats            `json:"cache"`
+	Models       []ModelInfo           `json:"models"`
+	Feedback     []feedback.RouteStats `json:"feedback,omitempty"`
+	// Endpoints breaks requests, failures and average latency out per
+	// endpoint. Omitted (for wire compatibility with pre-telemetry
+	// scrapers) until the service has seen at least one request.
+	Endpoints *EndpointsMetrics `json:"endpoints,omitempty"`
+}
+
+// EndpointMetrics is one endpoint's counter snapshot.
+type EndpointMetrics struct {
+	Requests     uint64  `json:"requests"`
+	Failures     uint64  `json:"failures"`
+	AvgLatencyMS float64 `json:"avg_latency_ms"`
+}
+
+// EndpointsMetrics carries per-endpoint counters, keyed by wire name.
+type EndpointsMetrics struct {
+	Estimate      EndpointMetrics `json:"estimate"`
+	EstimateBatch EndpointMetrics `json:"estimate_batch"`
 }
 
 // BatchRequest asks for estimates for several plans in one call. The
@@ -318,6 +357,14 @@ type job struct {
 	// Batch jobs carry plans and deliver on bout instead; plan is nil.
 	plans []*plan.Plan
 	bout  chan *BatchResponse
+	// Telemetry: the endpoint index, the enqueue instant (zero when
+	// telemetry is disabled) and the request's trace, if any. tr is
+	// written by the worker and read by the HTTP handler, possibly
+	// concurrently after a timeout — its spans are atomic for that
+	// reason.
+	ep  int
+	enq time.Time
+	tr  *obs.Trace
 }
 
 // Service is the concurrent estimation front end: model lookup through
@@ -327,6 +374,7 @@ type Service struct {
 	opts  Options
 	reg   *Registry
 	cache *Cache
+	start time.Time
 
 	jobs chan *job
 	quit chan struct{}
@@ -339,18 +387,37 @@ type Service struct {
 	completed     atomic.Uint64
 	batchRequests atomic.Uint64
 	batchPlans    atomic.Uint64
+
+	// Per-endpoint counters (indexes epEstimate/epBatch). Separate from
+	// the lifetime totals above so /metrics can report honest averages
+	// per endpoint instead of blending single and batch populations.
+	epRequests  [numEndpoints]atomic.Uint64
+	epFailures  [numEndpoints]atomic.Uint64
+	epLatencyNS [numEndpoints]atomic.Int64
+	epCompleted [numEndpoints]atomic.Uint64
+
+	// tel is nil when Options.DisableTelemetry is set; obsReg always
+	// exists (counter-only collectors still render).
+	tel    *telemetry
+	obsReg *obs.Registry
 }
 
 // New starts a service and its worker pool. Close releases the workers.
 func New(opts Options) *Service {
 	o := opts.withDefaults()
 	s := &Service{
-		opts:  o,
-		reg:   o.Registry,
-		cache: NewCache(o.CacheEntries),
-		jobs:  make(chan *job, o.QueueDepth),
-		quit:  make(chan struct{}),
+		opts:   o,
+		reg:    o.Registry,
+		cache:  NewCache(o.CacheEntries),
+		start:  time.Now(),
+		jobs:   make(chan *job, o.QueueDepth),
+		quit:   make(chan struct{}),
+		obsReg: obs.NewRegistry(),
 	}
+	if !o.DisableTelemetry {
+		s.tel = newTelemetry(o)
+	}
+	s.registerCollectors()
 	s.wg.Add(o.Workers)
 	for i := 0; i < o.Workers; i++ {
 		go s.worker()
@@ -395,11 +462,35 @@ func (s *Service) runJob(j *job) {
 	if j.ctx.Err() != nil {
 		return
 	}
+	tel := s.tel
+	if tel != nil && !j.enq.IsZero() {
+		tel.rec(j.ep, obs.StageQueue, time.Since(j.enq), j.tr)
+	}
 	if j.plan != nil {
-		j.out <- s.predict(j.models, j.plan)
+		if tel == nil {
+			j.out <- s.predict(j.models, j.plan)
+			return
+		}
+		start := time.Now()
+		resp := s.predict(j.models, j.plan)
+		// The single path interleaves per-node cache probes with model
+		// evaluation, so predict covers both; timing each probe would
+		// double the hot path's clock reads for sub-microsecond spans.
+		tel.rec(j.ep, obs.StagePredict, time.Since(start), j.tr)
+		j.out <- resp
 		return
 	}
-	j.bout <- s.predictBatch(j.models, j.plans)
+	if tel == nil {
+		resp, _ := s.predictBatch(j.models, j.plans)
+		j.bout <- resp
+		return
+	}
+	start := time.Now()
+	resp, probe := s.predictBatch(j.models, j.plans)
+	total := time.Since(start)
+	tel.rec(j.ep, obs.StageCacheProbe, probe, j.tr)
+	tel.rec(j.ep, obs.StagePredict, total-probe, j.tr)
+	j.bout <- resp
 }
 
 // Estimate runs one request through the pool and returns predictions at
@@ -409,13 +500,21 @@ func (s *Service) runJob(j *job) {
 func (s *Service) Estimate(ctx context.Context, req Request) (*Response, error) {
 	start := time.Now()
 	s.requests.Add(1)
+	s.epRequests[epEstimate].Add(1)
 	resp, err := s.estimate(ctx, req)
 	if err != nil {
 		s.failures.Add(1)
+		s.epFailures[epEstimate].Add(1)
 		return nil, err
 	}
-	s.latencyNS.Add(int64(time.Since(start)))
+	d := time.Since(start)
+	s.latencyNS.Add(int64(d))
 	s.completed.Add(1)
+	s.epLatencyNS[epEstimate].Add(int64(d))
+	s.epCompleted[epEstimate].Add(1)
+	if s.tel != nil {
+		s.tel.total[epEstimate].Observe(d)
+	}
 	return resp, nil
 }
 
@@ -451,7 +550,11 @@ func (s *Service) estimate(ctx context.Context, req Request) (*Response, error) 
 	default:
 	}
 
-	j := &job{ctx: ctx, models: models, plan: req.Plan, out: make(chan *Response, 1)}
+	j := &job{ctx: ctx, models: models, plan: req.Plan, out: make(chan *Response, 1), ep: epEstimate}
+	if s.tel != nil {
+		j.tr = obs.TraceFrom(ctx)
+		j.enq = time.Now()
+	}
 	select {
 	case s.jobs <- j:
 	case <-s.quit:
@@ -486,14 +589,22 @@ func (s *Service) EstimateBatch(ctx context.Context, req BatchRequest) (*BatchRe
 	start := time.Now()
 	s.requests.Add(1)
 	s.batchRequests.Add(1)
+	s.epRequests[epBatch].Add(1)
 	resp, err := s.estimateBatch(ctx, req)
 	if err != nil {
 		s.failures.Add(1)
+		s.epFailures[epBatch].Add(1)
 		return nil, err
 	}
 	s.batchPlans.Add(uint64(len(req.Plans)))
-	s.latencyNS.Add(int64(time.Since(start)))
+	d := time.Since(start)
+	s.latencyNS.Add(int64(d))
 	s.completed.Add(1)
+	s.epLatencyNS[epBatch].Add(int64(d))
+	s.epCompleted[epBatch].Add(1)
+	if s.tel != nil {
+		s.tel.total[epBatch].Observe(d)
+	}
 	return resp, nil
 }
 
@@ -531,7 +642,11 @@ func (s *Service) estimateBatch(ctx context.Context, req BatchRequest) (*BatchRe
 	default:
 	}
 
-	j := &job{ctx: ctx, models: models, plans: req.Plans, bout: make(chan *BatchResponse, 1)}
+	j := &job{ctx: ctx, models: models, plans: req.Plans, bout: make(chan *BatchResponse, 1), ep: epBatch}
+	if s.tel != nil {
+		j.tr = obs.TraceFrom(ctx)
+		j.enq = time.Now()
+	}
 	select {
 	case s.jobs <- j:
 	case <-s.quit:
@@ -558,8 +673,11 @@ func (s *Service) estimateBatch(ctx context.Context, req BatchRequest) (*BatchRe
 // extraction over every node of every plan, one multi-get against the
 // sharded cache, one EstimatorSet.PredictAllBatch over the misses
 // (grouped by operator onto the compiled tree slabs, fanned out across
-// the requested resources), one multi-put back.
-func (s *Service) predictBatch(ms *modelSet, plans []*plan.Plan) *BatchResponse {
+// the requested resources), one multi-put back. The second return is
+// the time spent in the cache multi-get — the batch path's cache_probe
+// stage (two clock reads per whole batch, negligible even with
+// telemetry disabled).
+func (s *Service) predictBatch(ms *modelSet, plans []*plan.Plan) (*BatchResponse, time.Duration) {
 	set := ms.est
 	vecs, offs := features.ExtractPlans(plans, set.Mode)
 	kinds := make([]plan.OpKind, len(vecs))
@@ -575,7 +693,9 @@ func (s *Service) predictBatch(ms *modelSet, plans []*plan.Plan) *BatchResponse 
 
 	vals := make([]plan.Resources, len(vecs))
 	hit := make([]bool, len(vecs))
+	probeStart := time.Now()
 	hits, shards := s.cache.GetMulti(keys, vals, hit)
+	probe := time.Since(probeStart)
 
 	if miss := len(vecs) - hits; miss > 0 {
 		// Deduplicate identical (versions, op, vector) misses before
@@ -669,7 +789,7 @@ func (s *Service) predictBatch(ms *modelSet, plans []*plan.Plan) *BatchResponse 
 		}
 		resp.Plans[pi] = pe
 	}
-	return resp
+	return resp, probe
 }
 
 // predict computes per-operator predictions (through the cache) and
@@ -757,7 +877,24 @@ func (s *Service) Metrics() Metrics {
 	if n := s.completed.Load(); n > 0 {
 		m.AvgLatencyMS = float64(s.latencyNS.Load()) / float64(n) / 1e6
 	}
+	if m.Requests > 0 {
+		m.Endpoints = &EndpointsMetrics{
+			Estimate:      s.endpointMetrics(epEstimate),
+			EstimateBatch: s.endpointMetrics(epBatch),
+		}
+	}
 	return m
+}
+
+func (s *Service) endpointMetrics(ep int) EndpointMetrics {
+	em := EndpointMetrics{
+		Requests: s.epRequests[ep].Load(),
+		Failures: s.epFailures[ep].Load(),
+	}
+	if n := s.epCompleted[ep].Load(); n > 0 {
+		em.AvgLatencyMS = float64(s.epLatencyNS[ep].Load()) / float64(n) / 1e6
+	}
+	return em
 }
 
 // Feedback returns the attached feedback loop, or nil.

@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"strconv"
+	"time"
+
+	"repro/internal/feedback"
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// Telemetry for the serving hot path. The service always exposes its
+// counters (requests, failures, cache, models, feedback gauges)
+// through the obs registry; the per-stage latency histograms and slow
+// traces add a handful of clock reads and atomic adds per request and
+// can be switched off wholesale with Options.DisableTelemetry — the
+// overhead-guard benchmark (resbench -exp servebench) pins the
+// difference under 3%.
+
+// Endpoint indexes for per-endpoint telemetry arrays.
+const (
+	epEstimate = iota
+	epBatch
+	numEndpoints
+)
+
+// endpointNames are the wire names used as the Prometheus endpoint
+// label and the JSON metrics keys.
+var endpointNames = [numEndpoints]string{"estimate", "estimate_batch"}
+
+// telemetry bundles the per-endpoint histograms and slow-trace
+// configuration. nil *telemetry means stage timing is disabled; the
+// histograms themselves are nil-safe, but the service also gates its
+// hot-path clock reads on the nil check so disabling telemetry removes
+// the timing cost entirely, not just the recording.
+type telemetry struct {
+	logger *slog.Logger
+	slow   time.Duration
+
+	// total is the end-to-end service latency per endpoint (what
+	// avg_latency_ms summarizes); stages break it down.
+	total  [numEndpoints]obs.Histogram
+	stages [numEndpoints][obs.NumStages]obs.Histogram
+}
+
+func newTelemetry(o Options) *telemetry {
+	t := &telemetry{logger: o.Logger, slow: o.SlowTrace}
+	if t.logger == nil {
+		t.logger = slog.Default()
+	}
+	return t
+}
+
+// rec records one stage duration into the endpoint's histogram and,
+// when the request carries a trace, into the trace.
+func (t *telemetry) rec(ep int, st obs.Stage, d time.Duration, tr *obs.Trace) {
+	t.stages[ep][st].Observe(d)
+	tr.Record(st, d)
+}
+
+// Obs returns the service's telemetry registry. Collectors for
+// subsystems the service composes (store timings, runtime gauges on a
+// debug listener) can be registered here; GET /metrics renders it when
+// the scraper asks for Prometheus text format.
+func (s *Service) Obs() *obs.Registry { return s.obsReg }
+
+// StageLatencies returns the latency summary of one request stage for
+// an endpoint ("estimate" or "estimate_batch"). Zero summary when
+// telemetry is disabled or the endpoint is unknown.
+func (s *Service) StageLatencies(endpoint string, stage obs.Stage) obs.Summary {
+	ep, ok := endpointIndex(endpoint)
+	if !ok || s.tel == nil || stage >= obs.NumStages {
+		return obs.Summary{}
+	}
+	snap := s.tel.stages[ep][stage].Snapshot()
+	return snap.Summarize()
+}
+
+// RequestLatencies returns the end-to-end latency summary for an
+// endpoint. Zero summary when telemetry is disabled.
+func (s *Service) RequestLatencies(endpoint string) obs.Summary {
+	ep, ok := endpointIndex(endpoint)
+	if !ok || s.tel == nil {
+		return obs.Summary{}
+	}
+	snap := s.tel.total[ep].Snapshot()
+	return snap.Summarize()
+}
+
+func endpointIndex(endpoint string) (int, bool) {
+	for i, n := range endpointNames[:] {
+		if n == endpoint {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// registerCollectors wires the service's state into its obs registry.
+// Everything here runs at scrape time only.
+func (s *Service) registerCollectors() {
+	s.obsReg.Register(s.collectServe)
+	s.obsReg.Register(s.collectCache)
+	s.obsReg.Register(s.collectModels)
+	s.obsReg.Register(s.collectFeedback)
+	s.obsReg.Register(s.collectStore)
+	s.obsReg.Register(collectTraining)
+}
+
+var endpointLabels = [numEndpoints]string{
+	obs.Labels("endpoint", endpointNames[epEstimate]),
+	obs.Labels("endpoint", endpointNames[epBatch]),
+}
+
+func (s *Service) collectServe(e *obs.Expo) {
+	e.Gauge("resserve_uptime_seconds", "Seconds since the service started.", "",
+		time.Since(s.start).Seconds())
+	for ep := 0; ep < numEndpoints; ep++ {
+		l := endpointLabels[ep]
+		e.Counter("resserve_requests_total", "Requests received, by endpoint.", l,
+			float64(s.epRequests[ep].Load()))
+	}
+	for ep := 0; ep < numEndpoints; ep++ {
+		e.Counter("resserve_failures_total", "Failed requests, by endpoint.",
+			endpointLabels[ep], float64(s.epFailures[ep].Load()))
+	}
+	e.Counter("resserve_batch_plans_total", "Plans carried by batch requests.", "",
+		float64(s.batchPlans.Load()))
+	e.Gauge("resserve_workers", "Estimation worker-pool size.", "", float64(s.opts.Workers))
+	e.Gauge("resserve_queue_depth", "Jobs waiting in the worker-pool queue.", "",
+		float64(len(s.jobs)))
+	e.Gauge("resserve_queue_capacity", "Worker-pool queue capacity.", "",
+		float64(cap(s.jobs)))
+	if s.tel == nil {
+		return
+	}
+	for ep := 0; ep < numEndpoints; ep++ {
+		snap := s.tel.total[ep].Snapshot()
+		e.Summary("resserve_request_duration_seconds",
+			"End-to-end service latency, by endpoint.", endpointLabels[ep], &snap)
+	}
+	for ep := 0; ep < numEndpoints; ep++ {
+		for _, st := range obs.Stages() {
+			snap := s.tel.stages[ep][st].Snapshot()
+			e.Summary("resserve_stage_duration_seconds",
+				"Per-stage request latency (decode, queue wait, cache probe, predict, encode).",
+				obs.Labels("endpoint", endpointNames[ep], "stage", st.String()), &snap)
+		}
+	}
+}
+
+func (s *Service) collectCache(e *obs.Expo) {
+	st := s.cache.Stats()
+	e.Counter("resserve_cache_hits_total", "Prediction-cache hits.", "", float64(st.Hits))
+	e.Counter("resserve_cache_misses_total", "Prediction-cache misses.", "", float64(st.Misses))
+	e.Gauge("resserve_cache_entries", "Live prediction-cache entries.", "", float64(st.Entries))
+	e.Gauge("resserve_cache_capacity", "Prediction-cache capacity.", "", float64(st.Capacity))
+	shards := s.cache.ShardStats()
+	for _, sh := range shards {
+		l := obs.Labels("shard", strconv.Itoa(sh.Shard))
+		e.Counter("resserve_cache_shard_hits_total", "Prediction-cache hits, by shard.", l,
+			float64(sh.Hits))
+	}
+	for _, sh := range shards {
+		l := obs.Labels("shard", strconv.Itoa(sh.Shard))
+		e.Counter("resserve_cache_shard_misses_total", "Prediction-cache misses, by shard.", l,
+			float64(sh.Misses))
+	}
+	for _, sh := range shards {
+		if total := sh.Hits + sh.Misses; total > 0 {
+			l := obs.Labels("shard", strconv.Itoa(sh.Shard))
+			e.Gauge("resserve_cache_shard_hit_ratio", "Prediction-cache hit ratio, by shard.", l,
+				float64(sh.Hits)/float64(total))
+		}
+	}
+}
+
+func (s *Service) collectModels(e *obs.Expo) {
+	models := s.reg.Models()
+	e.Gauge("resserve_models", "Published model count.", "", float64(len(models)))
+	for _, m := range models {
+		e.Gauge("resserve_model_version",
+			"Registry version of the serving model, by route.",
+			obs.Labels("schema", m.Schema, "resource", m.Resource, "mode", m.Mode),
+			float64(m.Version))
+	}
+}
+
+func (s *Service) collectFeedback(e *obs.Expo) {
+	loop := s.opts.Feedback
+	if loop == nil {
+		return
+	}
+	ingest := loop.IngestLatency()
+	e.Summary("resserve_feedback_ingest_duration_seconds",
+		"Latency of feedback-observation ingest (validate, persist, window update).", "", &ingest)
+	e.Counter("resserve_feedback_rejected_total",
+		"Observations rejected before ingest (invalid or over the route limit).", "",
+		float64(loop.Rejected()))
+	routes := loop.Snapshot()
+	emit := func(name, help string, value func(r feedback.RouteStats) (float64, bool)) {
+		for _, r := range routes {
+			if v, ok := value(r); ok {
+				e.Gauge(name, help, obs.Labels("schema", r.Schema, "resource", r.Resource), v)
+			}
+		}
+	}
+	for _, r := range routes {
+		e.Counter("resserve_feedback_observations_total", "Observations ingested, by route.",
+			obs.Labels("schema", r.Schema, "resource", r.Resource), float64(r.Observations))
+	}
+	emit("resserve_feedback_buffered", "Observations buffered for retraining, by route.",
+		func(r feedback.RouteStats) (float64, bool) { return float64(r.Buffered), true })
+	for _, r := range routes {
+		if r.Window.Count == 0 {
+			continue
+		}
+		for _, q := range [...]struct {
+			v float64
+			n string
+		}{{r.Window.P50, "0.5"}, {r.Window.P90, "0.9"}, {r.Window.P95, "0.95"}} {
+			e.Gauge("resserve_feedback_error",
+				"Rolling relative-error quantiles of served predictions, by route.",
+				obs.Labels("schema", r.Schema, "resource", r.Resource, "quantile", q.n), q.v)
+		}
+	}
+	emit("resserve_feedback_drifting", "1 when the route's drift detector is firing.",
+		func(r feedback.RouteStats) (float64, bool) { return b2f(r.Drifting), true })
+	emit("resserve_feedback_retraining", "1 while a retrain is in flight for the route.",
+		func(r feedback.RouteStats) (float64, bool) { return b2f(r.Retraining), true })
+	for _, r := range routes {
+		e.Counter("resserve_feedback_retrains_total", "Accepted drift-triggered retrains, by route.",
+			obs.Labels("schema", r.Schema, "resource", r.Resource), float64(r.Retrains))
+	}
+	for _, r := range routes {
+		e.Counter("resserve_feedback_rejections_total", "Rejected retrain candidates, by route.",
+			obs.Labels("schema", r.Schema, "resource", r.Resource), float64(r.Rejections))
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (s *Service) collectStore(e *obs.Expo) {
+	st := s.reg.Store()
+	if st == nil {
+		return
+	}
+	pub, restore := st.Timings()
+	e.Summary("resserve_store_publish_duration_seconds",
+		"Model-store snapshot publish latency.", "", &pub)
+	e.Summary("resserve_store_restore_duration_seconds",
+		"Model-store snapshot load/restore latency.", "", &restore)
+}
+
+// collectTraining surfaces the training pipeline's process-wide
+// throughput counters — nonzero only in processes that train (resserve
+// -bootstrap, feedback retrains).
+func collectTraining(e *obs.Expo) {
+	regions, items := par.Counters()
+	e.Counter("resserve_train_regions_total",
+		"Parallel training regions dispatched (process-wide).", "", float64(regions))
+	e.Counter("resserve_train_items_total",
+		"Parallel training loop iterations executed (process-wide).", "", float64(items))
+}
+
+// LogSummary emits one structured summary of the service's lifetime
+// metrics through logger — called on graceful shutdown so short-lived
+// runs leave a queryable record of what they served. Safe with
+// telemetry disabled (latency quantiles are simply omitted).
+func (s *Service) LogSummary(logger *slog.Logger) {
+	if logger == nil {
+		if s.tel != nil {
+			logger = s.tel.logger
+		} else {
+			logger = slog.Default()
+		}
+	}
+	cache := s.cache.Stats()
+	attrs := []slog.Attr{
+		slog.Duration("uptime", time.Since(s.start)),
+		slog.Uint64("requests", s.requests.Load()),
+		slog.Uint64("failures", s.failures.Load()),
+		slog.Uint64("batch_plans", s.batchPlans.Load()),
+		slog.Uint64("cache_hits", cache.Hits),
+		slog.Uint64("cache_misses", cache.Misses),
+	}
+	if total := cache.Hits + cache.Misses; total > 0 {
+		attrs = append(attrs, slog.Float64("cache_hit_ratio",
+			float64(cache.Hits)/float64(total)))
+	}
+	if s.tel != nil {
+		for ep := 0; ep < numEndpoints; ep++ {
+			snap := s.tel.total[ep].Snapshot()
+			if snap.Count == 0 {
+				continue
+			}
+			sum := snap.Summarize()
+			attrs = append(attrs,
+				slog.Duration(endpointNames[ep]+"_p50", sum.P50),
+				slog.Duration(endpointNames[ep]+"_p99", sum.P99),
+				slog.Duration(endpointNames[ep]+"_max", sum.Max),
+			)
+		}
+	}
+	if loop := s.opts.Feedback; loop != nil {
+		var obsN, retrains uint64
+		for _, r := range loop.Snapshot() {
+			obsN += r.Observations
+			retrains += r.Retrains
+		}
+		attrs = append(attrs,
+			slog.Uint64("observations", obsN),
+			slog.Uint64("retrains", retrains))
+	}
+	logger.LogAttrs(context.Background(), slog.LevelInfo, "serve metrics summary", attrs...)
+}

@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/features"
+	"repro/internal/obs"
 	"repro/internal/plan"
 )
 
@@ -75,6 +76,17 @@ type Store struct {
 	mu   sync.Mutex
 	next uint64                         // next snapshot version to assign
 	pins map[string]map[uint64]struct{} // schema → pinned (serving) versions
+
+	// Timing histograms of successful publishes (encode + write + fsync
+	// + rename) and snapshot loads (read + checksum + decode), surfaced
+	// through the serving layer's /metrics.
+	pubHist     obs.Histogram
+	restoreHist obs.Histogram
+}
+
+// Timings snapshots the publish and load/restore latency histograms.
+func (s *Store) Timings() (publish, restore obs.HistogramSnapshot) {
+	return s.pubHist.Snapshot(), s.restoreHist.Snapshot()
 }
 
 // Snapshot is the input to Publish: one schema's model set.
@@ -178,6 +190,7 @@ func (s *Store) Publish(snap Snapshot) (*Manifest, error) {
 	if len(snap.Models) == 0 {
 		return nil, errors.New("store: publish with no models")
 	}
+	start := time.Now()
 	s.mu.Lock()
 	version := s.next
 	s.next++
@@ -221,7 +234,11 @@ func (s *Store) Publish(snap Snapshot) (*Manifest, error) {
 		man.Models = append(man.Models, entry)
 		files = append(files, namedBlob{name: entry.File, data: blob})
 	}
-	return s.write(man, files)
+	out, err := s.write(man, files)
+	if err == nil {
+		s.pubHist.Observe(time.Since(start))
+	}
+	return out, err
 }
 
 // namedBlob pairs a snapshot-relative file name with its contents.
@@ -372,6 +389,7 @@ func (s *Store) Schemas() ([]string, error) {
 // truncated file, tampering — yields ErrCorrupt, never a silently
 // wrong model.
 func (s *Store) LoadVersion(v uint64) (*Loaded, error) {
+	start := time.Now()
 	man, err := s.Manifest(v)
 	if err != nil {
 		return nil, err
@@ -399,6 +417,7 @@ func (s *Store) LoadVersion(v uint64) (*Loaded, error) {
 		}
 		out.Models[r] = est
 	}
+	s.restoreHist.Observe(time.Since(start))
 	return out, nil
 }
 

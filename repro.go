@@ -28,6 +28,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/features"
 	"repro/internal/feedback"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/serve"
 	"repro/internal/store"
@@ -433,10 +434,25 @@ type (
 	PlanEstimate = serve.PlanEstimate
 	// ModelInfo describes a published model version.
 	ModelInfo = serve.ModelInfo
+	// LatencySummary is a latency distribution snapshot (count, mean,
+	// p50/p90/p99, max) from the service's telemetry histograms —
+	// returned by Service.RequestLatencies and Service.StageLatencies.
+	LatencySummary = obs.Summary
+	// MetricsRegistry is the Prometheus-text metrics registry behind a
+	// service's GET /metrics (Service.Obs); additional collectors — e.g.
+	// runtime gauges on a debug listener — can be registered on it.
+	MetricsRegistry = obs.Registry
 )
 
 // NewService starts an estimation service and its worker pool. Callers
 // should Close it when done.
+//
+// The service is instrumented end to end (see README "Observability"):
+// per-endpoint and per-stage latency histograms, slow-request traces
+// through ServeOptions.Logger/SlowTrace, and Prometheus text exposition
+// on GET /metrics content-negotiated alongside the legacy JSON
+// snapshot. ServeOptions.DisableTelemetry switches the stage timing
+// off; the plain counters always run.
 func NewService(opts ServeOptions) *Service { return serve.New(opts) }
 
 // --- Versioned model store -------------------------------------------
