@@ -8,7 +8,7 @@
 //	resbench -size 0.25 -iters 200    # smaller/faster run
 //
 // Experiments: table4..table13, fig1, fig2, fig3, fig6, fig7, fig8,
-// predcost, memsize, trainbench, servebench.
+// predcost, memsize, trainbench, servebench, accuracybench.
 //
 // trainbench times the parallel training pipeline (bootstrap-shaped
 // CPU+I/O sweep at 1 worker and at GOMAXPROCS) and writes the
@@ -22,6 +22,13 @@
 // telemetry on and off and the difference must stay within
 // -serve-overhead-max percent (exit 1 otherwise; set <= 0 to only
 // report).
+//
+// accuracybench trains CPU and I/O models on one workload and replays a
+// held-out workload (disjoint seed) through the simulator, writing
+// per-plan and per-operator signed log-ratio error quantiles and
+// ratio-band coverage to -accuracy-out (default BENCH_accuracy.json) —
+// the model-quality baseline tracked across PRs, measured with the same
+// error histogram the online feedback telemetry exports.
 package main
 
 import (
@@ -48,6 +55,9 @@ func main() {
 		serveRnd = flag.Int("serve-rounds", 7, "servebench measurement rounds per mode (median taken)")
 		serveOut = flag.String("serve-out", "BENCH_serve.json", "servebench baseline output path (empty = stdout only)")
 		serveMax = flag.Float64("serve-overhead-max", 3, "fail when telemetry overhead exceeds this percent (<= 0 disables the guard)")
+		accN     = flag.Int("accuracy-n", 128, "accuracybench workload size (queries, train and held-out each)")
+		accIt    = flag.Int("accuracy-iters", 60, "accuracybench model MART iterations")
+		accOut   = flag.String("accuracy-out", "BENCH_accuracy.json", "accuracybench baseline output path (empty = stdout only)")
 	)
 	flag.Parse()
 
@@ -206,6 +216,34 @@ func main() {
 		if *serveMax > 0 && sb.TelemetryOverheadPct > *serveMax {
 			fatal(fmt.Errorf("telemetry overhead %.2f%% exceeds the %.2f%% guard",
 				sb.TelemetryOverheadPct, *serveMax))
+		}
+	}
+	if sel("accuracybench") {
+		fmt.Fprintln(os.Stderr, "running accuracybench (held-out model accuracy)...")
+		ab, err := experiments.RunAccuracyBench(*accN, *accIt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Held-out accuracy (%d train / %d held-out queries, %d iterations):\n",
+			ab.TrainQueries, ab.HoldoutQueries, ab.Iterations)
+		for _, r := range ab.Resources {
+			p := r.Plan
+			fmt.Printf("  %-4s plan  err p50 %+.3f  p90 %+.3f  p99 %+.3f  | within 1.5x %.1f%%  2x %.1f%%\n",
+				r.Resource, p.ErrP50, p.ErrP90, p.ErrP99, p.Within15x*100, p.Within2x*100)
+			for _, op := range r.Operators {
+				fmt.Printf("       %-14s n=%-5d err p50 %+.3f  p90 %+.3f  | within 2x %.1f%%\n",
+					op.Op, op.Count, op.ErrP50, op.ErrP90, op.Within2x*100)
+			}
+		}
+		if *accOut != "" {
+			data, err := json.MarshalIndent(ab, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*accOut, append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote accuracy baseline to %s\n", *accOut)
 		}
 	}
 }

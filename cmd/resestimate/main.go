@@ -12,10 +12,16 @@
 // the compiled tree layout (bit-identical to per-query estimation, just
 // faster); -batch=false falls back to one EstimateQuery call per query.
 //
+// -explain prints, under each query, how its estimate was assembled:
+// which MART model scored each operator (or that the fallback mean
+// served), the scaled feature vector the model saw, and the operator
+// subtotals. The explained total is bit-identical to the estimate.
+//
 // Usage:
 //
 //	resestimate -model cpu-model.json -schema tpch -n 20
 //	resestimate -model cpu-model.json -schema tpcds -n 20 -pipelines
+//	resestimate -model cpu-model.json -schema tpch -n 3 -explain
 //	resestimate -model cpu-model.json -n 5000 -batch=false
 //	resestimate -store ./models-store -schema tpch -n 20   # all resources
 package main
@@ -24,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro"
 	"repro/internal/stats"
@@ -37,6 +44,7 @@ func main() {
 		n         = flag.Int("n", 20, "number of test queries")
 		seed      = flag.Uint64("seed", 999, "random seed (use a seed different from training)")
 		pipelines = flag.Bool("pipelines", false, "also print per-pipeline estimates")
+		explain   = flag.Bool("explain", false, "print a per-operator breakdown (model chosen, scaled features, subtotal) under each query")
 		batch     = flag.Bool("batch", true, "estimate the whole query set in one batched pass (predictions are identical either way)")
 	)
 	flag.Parse()
@@ -73,7 +81,7 @@ func main() {
 			for i := range qs {
 				single[i] = preds[i].Get(res)
 			}
-			report(qs, single, set.Estimator(res), *pipelines)
+			report(qs, single, set.Estimator(res), *pipelines, *explain)
 		}
 		return
 	}
@@ -91,12 +99,12 @@ func main() {
 			preds[i] = est.EstimateQuery(q)
 		}
 	}
-	report(qs, preds, est, *pipelines)
+	report(qs, preds, est, *pipelines, *explain)
 }
 
 // report prints the per-query comparison table and error summary for
 // one resource.
-func report(qs []*repro.Query, preds []float64, est *repro.Estimator, pipelines bool) {
+func report(qs []*repro.Query, preds []float64, est *repro.Estimator, pipelines, explain bool) {
 	resName := "CPU ms"
 	if est.Resource() == repro.LogicalIO {
 		resName = "logical reads"
@@ -112,6 +120,13 @@ func report(qs []*repro.Query, preds []float64, est *repro.Estimator, pipelines 
 		if pipelines {
 			for j, v := range est.EstimatePipelines(q.Plan) {
 				fmt.Printf("    pipeline %d: %.1f %s\n", j, v, resName)
+			}
+		}
+		if explain {
+			// Indent the breakdown table under its query row. The
+			// explanation's total is bit-identical to the estimate above.
+			for _, line := range strings.Split(strings.TrimRight(est.Explain(q.Plan).String(), "\n"), "\n") {
+				fmt.Printf("    %s\n", line)
 			}
 		}
 	}

@@ -43,7 +43,10 @@
 //	POST /estimate         {"schema","resource","timeout_ms","plan"} → estimates;
 //	                       "resources": ["cpu","io"] (or "all") returns every
 //	                       named resource from one feature-extraction pass,
-//	                       bit-identical to the single-resource responses
+//	                       bit-identical to the single-resource responses;
+//	                       ?explain=1 adds a per-operator breakdown (model
+//	                       chosen, scaled features, per-tree margins) whose
+//	                       total is bit-identical to the estimate
 //	POST /estimate/batch   {"schema","resource","timeout_ms","plans":[plan...]}
 //	                       estimate up to 1024 plans in one request: one model
 //	                       lookup, one worker-pool dispatch and one cache
@@ -68,10 +71,14 @@
 // Observability: requests are stage-timed (decode, queue wait, cache
 // probe, predict, encode) into lock-free latency histograms and carry
 // X-Request-ID end to end; requests slower than -slow-trace emit one
-// structured log record with the per-stage breakdown. -debug-addr
-// starts a separate listener with /debug/pprof and a Prometheus
-// /metrics that adds process runtime gauges. -no-telemetry strips the
-// stage timing from the hot path (counters remain).
+// structured log record with the per-stage breakdown. The feedback loop
+// additionally tracks signed log-ratio error quantiles, empirical
+// coverage and drift state per (schema, resource), all exported through
+// /metrics. -debug-addr starts a separate listener with /debug/pprof, a
+// Prometheus /metrics that adds process runtime gauges, and — when the
+// feedback loop is on — GET /debug/exemplars, the retained worst
+// predictions with their full plans. -no-telemetry strips the stage
+// timing from the hot path (counters remain).
 //
 // Estimate a plan produced by the workload generator:
 //
@@ -84,6 +91,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -267,12 +275,29 @@ func main() {
 		sampler := obs.NewRuntimeSampler(10 * time.Second)
 		defer sampler.Stop()
 		dreg.Register(sampler.Collector("resserve_process_"))
-		ds, err := obs.StartDebugServer(*debugAddr, dreg)
+		var extra []obs.DebugHandler
+		routes := "/debug/pprof, /metrics"
+		if loop != nil {
+			// Worst-prediction exemplars live on the debug listener, not
+			// the serving port: they carry full plan payloads, which is
+			// operator-facing introspection, not client API surface.
+			extra = append(extra, obs.DebugHandler{
+				Pattern: "GET /debug/exemplars",
+				Handler: func(w http.ResponseWriter, r *http.Request) {
+					w.Header().Set("Content-Type", "application/json")
+					enc := json.NewEncoder(w)
+					enc.SetIndent("", "  ")
+					_ = enc.Encode(loop.Exemplars())
+				},
+			})
+			routes += ", /debug/exemplars"
+		}
+		ds, err := obs.StartDebugServer(*debugAddr, dreg, extra...)
 		if err != nil {
 			fatal(err)
 		}
 		defer ds.Close()
-		fmt.Fprintf(os.Stderr, "resserve: debug listener on %s (/debug/pprof, /metrics)\n", ds.Addr())
+		fmt.Fprintf(os.Stderr, "resserve: debug listener on %s (%s)\n", ds.Addr(), routes)
 	}
 
 	srv := &http.Server{

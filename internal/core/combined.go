@@ -246,6 +246,23 @@ func (m *CombinedModel) PredictVector(v *features.Vector) float64 {
 	return p
 }
 
+// ExplainMargins records the per-tree cumulative margins of the
+// underlying MART ensemble for a raw feature vector: margins[t] is the
+// per-unit prediction after base and the first t+1 trees, in the
+// model's transformed target space (before the YLow/YHigh clamp and
+// the scale multiplication that PredictVector applies on top). Margins
+// are appended to dst and the slice returned. The slab walk is
+// bit-identical to the pointer walk Predict uses, so the last margin
+// is exactly the raw ensemble output behind PredictVector.
+func (m *CombinedModel) ExplainMargins(v *features.Vector, dst []float64) []float64 {
+	c := m.compiled
+	if c == nil {
+		c = mart.Compile(m.Mart)
+	}
+	dst, _ = c.PredictMargins(m.transform(v), dst)
+	return dst
+}
+
 // OutRatio quantifies how far outside the training range the vector
 // falls for this model (§6.3): the maximum, over the model's input
 // features, of the distance outside [low, high] normalized by the range

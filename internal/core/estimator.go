@@ -171,3 +171,15 @@ func (e *Estimator) NumModels() int {
 	}
 	return n
 }
+
+// TrainSamples returns the total number of per-operator training
+// samples behind the estimator — the provenance figure surfaced by
+// model lineage. Zero on estimators persisted before sample counts
+// were recorded.
+func (e *Estimator) TrainSamples() int {
+	n := 0
+	for _, om := range e.Ops {
+		n += om.NSamples
+	}
+	return n
+}

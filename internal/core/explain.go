@@ -19,6 +19,14 @@ type NodeExplanation struct {
 	Estimate   float64
 	NumScaled  int // scaling features in the selected model
 	Candidates int
+	// Margins is the selected model's cumulative MART trajectory:
+	// Margins[t] is the per-unit ensemble output after base and the
+	// first t+1 trees, in the model's transformed target space (before
+	// the target clamp and the scale multiplication that produce
+	// Estimate). Nil on fallback nodes. The last margin is the exact
+	// raw ensemble output behind Estimate — see
+	// CombinedModel.ExplainMargins.
+	Margins []float64
 }
 
 // Explanation is the per-operator trace of one plan estimation.
@@ -29,8 +37,12 @@ type Explanation struct {
 }
 
 // Explain estimates the plan like PredictPlan while recording, per
-// operator, which candidate model served the estimate and how far the
-// default model's features were out of the training range.
+// operator, which candidate model served the estimate, how far the
+// default model's features were out of the training range, and the
+// selected model's per-tree cumulative margins. The Total accumulates
+// the exact PredictVector results in node order — the same float
+// operations as PredictPlan, so the two agree bit for bit (pinned by
+// TestExplainTotalBitIdentical).
 func (e *Estimator) Explain(p *plan.Plan) *Explanation {
 	vecs := features.ExtractPlan(p, e.Mode)
 	out := &Explanation{Resource: e.Resource}
@@ -48,6 +60,7 @@ func (e *Estimator) Explain(p *plan.Plan) *Explanation {
 			ne.Estimate = sel.PredictVector(&vecs[i])
 			ne.NumScaled = sel.NumScales()
 			ne.Candidates = len(om.Candidates)
+			ne.Margins = sel.ExplainMargins(&vecs[i], nil)
 		}
 		out.Total += ne.Estimate
 		out.Nodes = append(out.Nodes, ne)

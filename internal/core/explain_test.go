@@ -10,6 +10,34 @@ import (
 	"repro/internal/workload"
 )
 
+// TestExplainTotalBitIdentical pins the explain contract: the
+// explanation total must equal PredictPlan and the batched
+// PredictPlans bit for bit — explain is the same computation with the
+// decisions recorded, never an approximation. Margins must cover every
+// modeled node, ending on the raw ensemble output behind its estimate.
+func TestExplainTotalBitIdentical(t *testing.T) {
+	est, test := trainedEstimator(t)
+	batched := est.PredictPlans(test)
+	for i, p := range test {
+		x := est.Explain(p)
+		want := est.PredictPlan(p)
+		if math.Float64bits(x.Total) != math.Float64bits(want) {
+			t.Fatalf("plan %d: Explain total %v != PredictPlan %v", i, x.Total, want)
+		}
+		if math.Float64bits(x.Total) != math.Float64bits(batched[i]) {
+			t.Fatalf("plan %d: Explain total %v != PredictPlans %v", i, x.Total, batched[i])
+		}
+		for j, ne := range x.Nodes {
+			if ne.Model == "(fallback mean)" {
+				continue
+			}
+			if len(ne.Margins) == 0 {
+				t.Fatalf("plan %d node %d (%s): no margins", i, j, ne.Model)
+			}
+		}
+	}
+}
+
 func TestExplainMatchesPredict(t *testing.T) {
 	est, test := trainedEstimator(t)
 	for _, p := range test[:6] {

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// The accuracy baseline behind cmd/resbench -exp accuracybench: train
+// CPU and I/O models on one workload, replay a held-out workload
+// (different seed, same distribution) through the simulator, and record
+// the signed log-ratio error distribution of the predictions — overall
+// per plan and broken down per operator kind — into BENCH_accuracy.json
+// so model quality is tracked across PRs the same way training and
+// serving performance are. The error populations run through the same
+// obs.ErrorHistogram the online feedback telemetry uses, so offline
+// baseline and production dashboards speak identical quantities.
+
+// AccuracyStats summarizes one error population. Quantiles are signed
+// log-ratios ln(predicted/actual) — negative means the model
+// under-estimated — and the within fractions are the empirical coverage
+// of the paper's ratio-error bands over the scored pairs.
+type AccuracyStats struct {
+	Count      uint64  `json:"count"`
+	UnderCount uint64  `json:"under_count"`
+	OverCount  uint64  `json:"over_count"`
+	ErrP50     float64 `json:"err_p50"`
+	ErrP90     float64 `json:"err_p90"`
+	ErrP99     float64 `json:"err_p99"`
+	MaxAbs     float64 `json:"max_abs"`
+	Within15x  float64 `json:"within_1_5x"`
+	Within2x   float64 `json:"within_2x"`
+}
+
+// AccuracyOperator is one operator kind's error population.
+type AccuracyOperator struct {
+	Op string `json:"op"`
+	AccuracyStats
+}
+
+// AccuracyResource is one resource's held-out accuracy: plan-level
+// totals plus the per-operator breakdown (sorted by operator name).
+type AccuracyResource struct {
+	Resource  string             `json:"resource"`
+	Plan      AccuracyStats      `json:"plan"`
+	Operators []AccuracyOperator `json:"operators"`
+}
+
+// AccuracyBench is the serializable accuracy baseline.
+type AccuracyBench struct {
+	TrainQueries   int                `json:"train_queries"`
+	HoldoutQueries int                `json:"holdout_queries"`
+	Iterations     int                `json:"iterations"`
+	TrainSeed      uint64             `json:"train_seed"`
+	HoldoutSeed    uint64             `json:"holdout_seed"`
+	Resources      []AccuracyResource `json:"resources"`
+}
+
+// accAccum accumulates one error population: the histogram for
+// quantiles plus exact coverage counters over the scored pairs.
+type accAccum struct {
+	hist     obs.ErrorHistogram
+	scored   uint64
+	within15 uint64
+	within2  uint64
+}
+
+func (a *accAccum) observe(predicted, actual float64) {
+	a.hist.ObserveRatio(predicted, actual)
+	if !(actual > 0) || !(predicted > 0) {
+		return
+	}
+	a.scored++
+	e := math.Abs(math.Log(predicted / actual))
+	if e <= math.Log(1.5) {
+		a.within15++
+	}
+	if e <= math.Log(2) {
+		a.within2++
+	}
+}
+
+func (a *accAccum) stats() AccuracyStats {
+	snap := a.hist.Snapshot()
+	sum := snap.Summarize()
+	st := AccuracyStats{
+		Count:      sum.Count,
+		UnderCount: sum.UnderCount,
+		OverCount:  sum.OverCount,
+		ErrP50:     sum.P50,
+		ErrP90:     sum.P90,
+		ErrP99:     sum.P99,
+		MaxAbs:     sum.MaxAbs,
+	}
+	if a.scored > 0 {
+		st.Within15x = float64(a.within15) / float64(a.scored)
+		st.Within2x = float64(a.within2) / float64(a.scored)
+	}
+	return st
+}
+
+// RunAccuracyBench trains CPU and I/O models on a seed-1 workload of n
+// queries and evaluates them on a disjoint seed-999 replay of the same
+// size, returning per-plan and per-operator error quantiles and
+// coverage for every resource.
+func RunAccuracyBench(n, iters int) (*AccuracyBench, error) {
+	const trainSeed, holdSeed = 1, 999
+	cfg := workload.Config{Seed: trainSeed, N: n, SFs: []float64{1, 2, 4, 8}, Z: 2, Corr: 0.85}
+	train := workload.GenTPCH(cfg)
+	cfg.Seed = holdSeed
+	hold := workload.GenTPCH(cfg)
+	eng := engine.New(nil)
+	for _, q := range train {
+		eng.Run(q.Plan)
+	}
+	for _, q := range hold {
+		eng.Run(q.Plan)
+	}
+
+	ccfg := core.DefaultConfig()
+	ccfg.Mart.Iterations = iters
+	resources := plan.ResourceKinds()
+	ests, err := core.TrainSet(Plans(train), resources, core.NewScaleTable(), ccfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AccuracyBench{
+		TrainQueries:   len(train),
+		HoldoutQueries: len(hold),
+		Iterations:     iters,
+		TrainSeed:      trainSeed,
+		HoldoutSeed:    holdSeed,
+	}
+	for _, r := range resources {
+		est := ests[r]
+		var planAcc accAccum
+		ops := make(map[plan.OpKind]*accAccum)
+		for _, q := range hold {
+			// Explain replays the exact prediction pass with per-operator
+			// estimates broken out; its Total is bit-identical to
+			// PredictPlan, so plan-level stats match what serving reports.
+			x := est.Explain(q.Plan)
+			planAcc.observe(x.Total, q.Plan.TotalActual().Get(r))
+			nodes := q.Plan.Nodes()
+			for i, ne := range x.Nodes {
+				a := ops[ne.Kind]
+				if a == nil {
+					a = &accAccum{}
+					ops[ne.Kind] = a
+				}
+				a.observe(ne.Estimate, nodes[i].Actual.Get(r))
+			}
+		}
+		ar := AccuracyResource{Resource: r.String(), Plan: planAcc.stats()}
+		for kind, a := range ops {
+			st := a.stats()
+			if st.Count == 0 {
+				// Operators whose actuals are always zero for this
+				// resource (e.g. ComputeScalar does no I/O) never score.
+				continue
+			}
+			ar.Operators = append(ar.Operators, AccuracyOperator{Op: kind.String(), AccuracyStats: st})
+		}
+		sort.Slice(ar.Operators, func(i, j int) bool { return ar.Operators[i].Op < ar.Operators[j].Op })
+		res.Resources = append(res.Resources, ar)
+	}
+	return res, nil
+}

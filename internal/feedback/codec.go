@@ -21,7 +21,7 @@ import (
 //
 // with a fixed-layout little-endian payload:
 //
-//	byte    codec version (1)
+//	byte    codec version (1 or 2)
 //	byte    resource kind
 //	uint64  model version
 //	int64   unix nanos
@@ -29,6 +29,12 @@ import (
 //	uint16  schema length, schema bytes
 //	uint32  plan length, plan bytes (the plan package's wire JSON,
 //	        which round-trips per-node Actual resources)
+//	uint16  request-ID length, request-ID bytes (version 2 only)
+//
+// Version 2 appends the serving request ID after the plan; an
+// observation without one still encodes as version 1, so logs written
+// before the field existed and logs written by request-ID-less callers
+// are byte-identical. Decode accepts both versions.
 //
 // The CRC makes torn or bit-rotted tail writes detectable: replay stops
 // at the first record that fails the check, and the log writer truncates
@@ -36,11 +42,13 @@ import (
 // crash-safety contract of the observation log.
 
 const (
-	recordMagic   = 0x46424C31 // "FBL1"
-	codecVersion  = 1
-	recordHeader  = 12
-	maxSchemaLen  = 1 << 16
-	maxRecordSize = 16 << 20
+	recordMagic     = 0x46424C31 // "FBL1"
+	codecVersion    = 1
+	codecVersionV2  = 2
+	recordHeader    = 12
+	maxSchemaLen    = 1 << 16
+	maxRequestIDLen = 1 << 10
+	maxRecordSize   = 16 << 20
 )
 
 // errCorrupt marks framing damage (torn write, CRC mismatch, garbage).
@@ -57,16 +65,27 @@ func EncodeObservation(dst []byte, obs *Observation) ([]byte, error) {
 	if len(obs.Schema) >= maxSchemaLen {
 		return nil, fmt.Errorf("feedback: schema name %d bytes long", len(obs.Schema))
 	}
+	if len(obs.RequestID) >= maxRequestIDLen {
+		return nil, fmt.Errorf("feedback: request ID %d bytes long", len(obs.RequestID))
+	}
 	planBytes, err := plan.EncodeJSON(obs.Plan)
 	if err != nil {
 		return nil, err
 	}
-	payloadLen := 2 + 8 + 8 + 8 + 2 + len(obs.Schema) + 4 + len(planBytes)
+	// Records without a request ID stay on version 1, byte-identical to
+	// what pre-request-ID writers produced.
+	version := byte(codecVersion)
+	extra := 0
+	if obs.RequestID != "" {
+		version = codecVersionV2
+		extra = 2 + len(obs.RequestID)
+	}
+	payloadLen := 2 + 8 + 8 + 8 + 2 + len(obs.Schema) + 4 + len(planBytes) + extra
 	if payloadLen > maxRecordSize {
 		return nil, fmt.Errorf("feedback: observation record %d bytes exceeds limit", payloadLen)
 	}
 	payload := make([]byte, 0, payloadLen)
-	payload = append(payload, codecVersion, byte(obs.Resource))
+	payload = append(payload, version, byte(obs.Resource))
 	payload = binary.LittleEndian.AppendUint64(payload, obs.ModelVersion)
 	payload = binary.LittleEndian.AppendUint64(payload, uint64(obs.UnixNanos))
 	payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(obs.Predicted))
@@ -74,6 +93,10 @@ func EncodeObservation(dst []byte, obs *Observation) ([]byte, error) {
 	payload = append(payload, obs.Schema...)
 	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(planBytes)))
 	payload = append(payload, planBytes...)
+	if version == codecVersionV2 {
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(len(obs.RequestID)))
+		payload = append(payload, obs.RequestID...)
+	}
 
 	dst = binary.LittleEndian.AppendUint32(dst, recordMagic)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
@@ -86,8 +109,9 @@ func DecodeObservation(payload []byte) (*Observation, error) {
 	if len(payload) < 2+8+8+8+2 {
 		return nil, errors.New("feedback: truncated observation payload")
 	}
-	if payload[0] != codecVersion {
-		return nil, fmt.Errorf("feedback: unsupported observation codec version %d", payload[0])
+	version := payload[0]
+	if version != codecVersion && version != codecVersionV2 {
+		return nil, fmt.Errorf("feedback: unsupported observation codec version %d", version)
 	}
 	obs := &Observation{Resource: plan.ResourceKind(payload[1])}
 	if obs.Resource != plan.CPUTime && obs.Resource != plan.LogicalIO {
@@ -106,14 +130,27 @@ func DecodeObservation(payload []byte) (*Observation, error) {
 	p = p[schemaLen:]
 	planLen := int(binary.LittleEndian.Uint32(p))
 	p = p[4:]
-	if len(p) != planLen {
-		return nil, fmt.Errorf("feedback: plan field %d bytes, header says %d", len(p), planLen)
+	if version == codecVersion {
+		if len(p) != planLen {
+			return nil, fmt.Errorf("feedback: plan field %d bytes, header says %d", len(p), planLen)
+		}
+	} else if len(p) < planLen+2 {
+		return nil, fmt.Errorf("feedback: plan field %d bytes, header says %d plus request ID", len(p), planLen)
 	}
-	pl, err := plan.DecodeJSON(p)
+	pl, err := plan.DecodeJSON(p[:planLen])
 	if err != nil {
 		return nil, err
 	}
 	obs.Plan = pl
+	if version == codecVersionV2 {
+		p = p[planLen:]
+		idLen := int(binary.LittleEndian.Uint16(p))
+		p = p[2:]
+		if len(p) != idLen {
+			return nil, fmt.Errorf("feedback: request-ID field %d bytes, header says %d", len(p), idLen)
+		}
+		obs.RequestID = string(p)
+	}
 	return obs, nil
 }
 

@@ -65,6 +65,12 @@ type Observation struct {
 	Plan *plan.Plan
 	// UnixNanos timestamps the observation (ingest time when zero).
 	UnixNanos int64
+	// RequestID is the serving-layer request ID of the original
+	// estimate (the X-Request-ID the service echoed), when the reporter
+	// carries it. It joins worst-prediction exemplars with slow-request
+	// traces and request logs on one key. Optional; persisted with the
+	// observation (codec v2).
+	RequestID string
 }
 
 // Actual returns the measured plan total for the observed resource.
@@ -82,6 +88,9 @@ func (o *Observation) validate() error {
 	}
 	if len(o.Schema) >= maxSchemaLen {
 		return fmt.Errorf("%w: schema name %d bytes long", ErrInvalid, len(o.Schema))
+	}
+	if len(o.RequestID) >= maxRequestIDLen {
+		return fmt.Errorf("%w: request ID %d bytes long", ErrInvalid, len(o.RequestID))
 	}
 	// An out-of-range resource would encode fine but poison the log:
 	// decode treats it as a writer bug and refuses the whole segment.
@@ -137,6 +146,11 @@ type Options struct {
 	// MinObservations when set lower, so a large MinObservations cannot
 	// silently make retraining unreachable).
 	BufferCap int
+	// ExemplarK bounds the worst-prediction exemplar store: the top-K
+	// largest mispredictions (by |log-ratio error|) are kept with their
+	// plan wire form and features for GET /debug/exemplars (default 32;
+	// negative disables capture).
+	ExemplarK int
 	// MaxRoutes bounds the number of distinct (schema, resource) routes
 	// the loop tracks (default 64). Observations for a new route beyond
 	// the bound are rejected as invalid — without this, a client
@@ -241,6 +255,11 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.MaxRoutes <= 0 {
 		out.MaxRoutes = 64
+	}
+	if out.ExemplarK == 0 {
+		out.ExemplarK = 32
+	} else if out.ExemplarK < 0 {
+		out.ExemplarK = 0
 	}
 	if out.RetrainIterations <= 0 {
 		out.RetrainIterations = 120

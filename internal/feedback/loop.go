@@ -3,6 +3,7 @@ package feedback
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -41,6 +42,10 @@ type Loop struct {
 	// ingest. Read by the serving layer's /metrics collectors.
 	ingestHist obs.Histogram
 	rejected   atomic.Uint64
+
+	// exemplars keeps the top-K worst mispredictions for
+	// GET /debug/exemplars — see exemplars.go.
+	exemplars exemplarStore
 }
 
 // New opens a feedback loop. When opts.Dir is set, the observation log
@@ -49,6 +54,7 @@ type Loop struct {
 // restarted server resumes with its accumulated evidence.
 func New(opts Options) (*Loop, error) {
 	l := &Loop{opts: opts.withDefaults(), routes: make(map[routeKey]*routeState)}
+	l.exemplars.cap = l.opts.ExemplarK
 	if l.opts.Dir != "" {
 		log, err := OpenLog(LogOptions{
 			Dir:            l.opts.Dir,
@@ -177,15 +183,17 @@ func (l *Loop) ingest(obs *Observation, check bool) {
 	if predicted > 0 && obs.ModelVersion != 0 && version != 0 && obs.ModelVersion != version {
 		predicted = 0
 	}
+	var vecs []features.Vector
 	if est != nil {
 		var sum float64
-		vecs := features.ExtractPlan(obs.Plan, est.Mode)
+		vecs = features.ExtractPlan(obs.Plan, est.Mode)
 		nodes := obs.Plan.Nodes()
 		opErrs = make([]opSample, 0, len(nodes))
 		for i, n := range nodes {
 			pred := est.PredictVector(n.Kind, &vecs[i])
+			act := n.Actual.Get(obs.Resource)
 			sum += pred
-			opErrs = append(opErrs, opSample{kind: n.Kind, err: stats.L1RelErr(pred, n.Actual.Get(obs.Resource))})
+			opErrs = append(opErrs, opSample{kind: n.Kind, err: stats.L1RelErr(pred, act), pred: pred, act: act})
 		}
 		if predicted <= 0 {
 			predicted = sum
@@ -223,8 +231,21 @@ func (l *Loop) ingest(obs *Observation, check bool) {
 		st.seenVersion = version
 	}
 	staleResolve := version != 0 && version < st.seenVersion
-	if predicted > 0 && !staleResolve {
+	scored := predicted > 0 && !staleResolve
+	if scored {
 		st.window.Add(stats.L1RelErr(predicted, actual))
+		// Accuracy telemetry: the signed log-ratio histogram and the
+		// empirical-coverage counters are cumulative (Prometheus-style),
+		// so unlike the windows they survive version swaps and describe
+		// the route's whole history.
+		st.errHist.ObserveRatio(predicted, actual)
+		st.covTotal++
+		if ratio := factorError(predicted, actual); ratio <= 1.5 {
+			st.cov15++
+			st.cov20++
+		} else if ratio <= 2 {
+			st.cov20++
+		}
 	}
 	if !staleResolve {
 		for _, s := range opErrs {
@@ -234,6 +255,7 @@ func (l *Loop) ingest(obs *Observation, check bool) {
 				st.perOp[s.kind] = w
 			}
 			w.Add(s.err)
+			st.opHist(s.kind).ObserveRatio(s.pred, s.act)
 		}
 	}
 	st.push(obs, l.opts.BufferCap)
@@ -255,6 +277,45 @@ func (l *Loop) ingest(obs *Observation, check bool) {
 	}
 	l.mu.Unlock()
 
+	// Worst-prediction exemplars: outside the loop mutex (plan encoding
+	// is not free), gated by a cheap rank pre-check so steady accurate
+	// traffic pays two float ops and one short lock.
+	if scored {
+		absLR := math.Abs(math.Log(predicted / actual))
+		if l.exemplars.qualifies(absLR) {
+			mv := obs.ModelVersion
+			if mv == 0 || predicted != obs.Predicted {
+				mv = version
+			}
+			e := &Exemplar{
+				Schema:       obs.Schema,
+				Resource:     obs.Resource.String(),
+				RequestID:    obs.RequestID,
+				ModelVersion: mv,
+				Predicted:    predicted,
+				Actual:       actual,
+				AbsLogRatio:  absLR,
+				UnixNanos:    obs.UnixNanos,
+			}
+			if wire, err := plan.EncodeJSON(obs.Plan); err == nil {
+				e.Plan = wire
+			}
+			if est != nil {
+				nodes := obs.Plan.Nodes()
+				e.Nodes = make([]ExemplarNode, 0, len(nodes))
+				for i := range nodes {
+					e.Nodes = append(e.Nodes, ExemplarNode{
+						Op:        opErrs[i].kind.String(),
+						Features:  append([]float64(nil), vecs[i][:]...),
+						Predicted: opErrs[i].pred,
+						Actual:    opErrs[i].act,
+					})
+				}
+			}
+			l.exemplars.offer(e)
+		}
+	}
+
 	if startRetrain {
 		l.opts.logf("feedback: %s/%s drift detected (recent p%d err %.3f vs baseline %.3f), retraining on %d observations",
 			key.schema, key.resource, int(l.opts.DriftQuantile*100),
@@ -264,8 +325,19 @@ func (l *Loop) ingest(obs *Observation, check bool) {
 }
 
 type opSample struct {
-	kind plan.OpKind
-	err  float64
+	kind      plan.OpKind
+	err       float64
+	pred, act float64
+}
+
+// factorError is the symmetric multiplicative miss of a prediction:
+// max(p/a, a/p), 1 when exact. Both inputs must be positive.
+func factorError(predicted, actual float64) float64 {
+	r := predicted / actual
+	if r < 1 {
+		return 1 / r
+	}
+	return r
 }
 
 // Quiesce blocks until no retrain is in flight — the shutdown barrier

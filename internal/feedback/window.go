@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/stats"
 )
@@ -23,6 +24,17 @@ type routeState struct {
 	window *stats.Rolling
 	perOp  map[plan.OpKind]*stats.Rolling
 
+	// Cumulative accuracy telemetry (never reset, unlike the rolling
+	// windows): the signed log-ratio error distribution at plan and
+	// operator granularity, and the empirical-coverage counters behind
+	// the calibration roadmap item (how often the actual landed within
+	// a factor band of the prediction).
+	errHist   obs.ErrorHistogram
+	opErrHist map[plan.OpKind]*obs.ErrorHistogram
+	covTotal  uint64
+	cov15     uint64 // actual within 1.5x of predicted either way
+	cov20     uint64 // actual within 2x of predicted either way
+
 	// buffer is a ring of the most recent observations (retraining
 	// input). next is the write position once the ring reaches capacity.
 	buffer []*Observation
@@ -38,12 +50,24 @@ type routeState struct {
 	lastHoldout float64 // holdout error of the last accepted model
 }
 
+// opHist returns (creating on first use) the operator's cumulative
+// signed-error histogram. Caller holds l.mu.
+func (st *routeState) opHist(k plan.OpKind) *obs.ErrorHistogram {
+	h, ok := st.opErrHist[k]
+	if !ok {
+		h = new(obs.ErrorHistogram)
+		st.opErrHist[k] = h
+	}
+	return h
+}
+
 func (l *Loop) route(k routeKey) *routeState {
 	st, ok := l.routes[k]
 	if !ok {
 		st = &routeState{
-			window: stats.NewRolling(l.opts.WindowSize),
-			perOp:  make(map[plan.OpKind]*stats.Rolling),
+			window:    stats.NewRolling(l.opts.WindowSize),
+			perOp:     make(map[plan.OpKind]*stats.Rolling),
+			opErrHist: make(map[plan.OpKind]*obs.ErrorHistogram),
 		}
 		l.routes[k] = st
 	}
@@ -91,36 +115,106 @@ type WindowStats struct {
 	P50   float64 `json:"p50"`
 	P90   float64 `json:"p90"`
 	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
 }
 
 func windowStats(w *stats.Rolling) WindowStats {
-	qs := w.Quantiles(0.5, 0.9, 0.95)
-	return WindowStats{Count: w.Len(), Mean: w.Mean(), P50: qs[0], P90: qs[1], P95: qs[2]}
+	qs := w.Quantiles(0.5, 0.9, 0.95, 0.99)
+	return WindowStats{Count: w.Len(), Mean: w.Mean(), P50: qs[0], P90: qs[1], P95: qs[2], P99: qs[3]}
+}
+
+// ErrorQuantiles summarizes a signed log-ratio error histogram:
+// quantiles are ln(predicted/actual) — negative means the model
+// under-estimated — and Under/Over split the population by direction.
+type ErrorQuantiles struct {
+	Count  uint64  `json:"count"`
+	Under  uint64  `json:"under"`
+	Over   uint64  `json:"over"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+	MaxAbs float64 `json:"max_abs"`
+}
+
+func errorQuantiles(h *obs.ErrorHistogram) *ErrorQuantiles {
+	snap := h.Snapshot()
+	s := snap.Summarize()
+	if s.Count == 0 {
+		return nil
+	}
+	return &ErrorQuantiles{
+		Count: s.Count, Under: s.UnderCount, Over: s.OverCount,
+		P50: s.P50, P90: s.P90, P99: s.P99, MaxAbs: s.MaxAbs,
+	}
+}
+
+// CoverageStats counts how often the actual landed within a factor
+// band of the prediction — the empirical-coverage groundwork for
+// calibrated prediction intervals.
+type CoverageStats struct {
+	Total     uint64 `json:"total"`
+	Within15x uint64 `json:"within_1_5x"`
+	Within2x  uint64 `json:"within_2x"`
+}
+
+// DriftState is the drift detector laid open for one route: what the
+// recent error is, what it is compared against, and how far the route
+// sits from a retrain trigger.
+type DriftState struct {
+	// Baseline is the training-time error level "normal" is measured
+	// from (floored by MinBaselineError).
+	Baseline float64 `json:"baseline"`
+	// Quantile is the configured windowed quantile under comparison.
+	Quantile float64 `json:"quantile"`
+	// RecentError is the window's current value at Quantile.
+	RecentError float64 `json:"recent_error"`
+	// Threshold is the trigger level: DriftThreshold × Baseline.
+	Threshold float64 `json:"threshold"`
+	// DistanceToThreshold = Threshold − RecentError; ≤ 0 means the
+	// route is at or past the trigger.
+	DistanceToThreshold float64 `json:"distance_to_threshold"`
+	// WindowFill / MinWindow: drift is only evaluated once the window
+	// holds MinWindow samples.
+	WindowFill int `json:"window_fill"`
+	MinWindow  int `json:"min_window"`
+	// Drifting is the detector's latest verdict (sticky between
+	// CheckEvery evaluations).
+	Drifting bool `json:"drifting"`
+	// RetrainEligible reports whether a drift finding would start a
+	// retrain right now (publisher present, no retrain in flight,
+	// enough buffered observations, cooldown elapsed).
+	RetrainEligible bool `json:"retrain_eligible"`
 }
 
 // OpStats is one operator's error gauge within a route.
 type OpStats struct {
 	Op string `json:"op"`
 	WindowStats
+	ErrorLogRatio *ErrorQuantiles `json:"error_log_ratio,omitempty"`
 }
 
 // RouteStats is the exported snapshot of one (schema, resource) route —
 // the per-model error gauges surfaced through the serving /metrics
-// endpoint.
+// endpoint. Fields added after PR 6 (error_log_ratio, coverage, drift)
+// are strictly additive and omitted when empty, keeping the idle
+// /metrics JSON byte-identical.
 type RouteStats struct {
-	Schema       string              `json:"schema"`
-	Resource     string              `json:"resource"`
-	Observations uint64              `json:"observations"`
-	Buffered     int                 `json:"buffered"`
-	Window       WindowStats         `json:"window"`
-	Baseline     *core.ErrorBaseline `json:"baseline,omitempty"`
-	Drifting     bool                `json:"drifting"`
-	Retraining   bool                `json:"retraining"`
-	Retrains     uint64              `json:"retrains"`
-	Rejections   uint64              `json:"rejections"`
-	LastVersion  uint64              `json:"last_published_version,omitempty"`
-	LastHoldout  float64             `json:"last_holdout_error,omitempty"`
-	PerOperator  []OpStats           `json:"per_operator,omitempty"`
+	Schema        string              `json:"schema"`
+	Resource      string              `json:"resource"`
+	Observations  uint64              `json:"observations"`
+	Buffered      int                 `json:"buffered"`
+	Window        WindowStats         `json:"window"`
+	Baseline      *core.ErrorBaseline `json:"baseline,omitempty"`
+	Drifting      bool                `json:"drifting"`
+	Retraining    bool                `json:"retraining"`
+	Retrains      uint64              `json:"retrains"`
+	Rejections    uint64              `json:"rejections"`
+	LastVersion   uint64              `json:"last_published_version,omitempty"`
+	LastHoldout   float64             `json:"last_holdout_error,omitempty"`
+	ErrorLogRatio *ErrorQuantiles     `json:"error_log_ratio,omitempty"`
+	Coverage      *CoverageStats      `json:"coverage,omitempty"`
+	Drift         *DriftState         `json:"drift,omitempty"`
+	PerOperator   []OpStats           `json:"per_operator,omitempty"`
 }
 
 // Snapshot returns the current per-route gauges, sorted by (schema,
@@ -143,11 +237,33 @@ func (l *Loop) Snapshot() []RouteStats {
 			LastVersion:  st.lastVersion,
 			LastHoldout:  st.lastHoldout,
 		}
+		var est *core.Estimator
 		if l.opts.Publisher != nil {
-			if est, _, ok := l.opts.Publisher.CurrentEstimator(k.schema, k.resource); ok && est.Baseline != nil {
-				b := *est.Baseline
-				rs.Baseline = &b
+			if e, _, ok := l.opts.Publisher.CurrentEstimator(k.schema, k.resource); ok {
+				est = e
+				if e.Baseline != nil {
+					b := *e.Baseline
+					rs.Baseline = &b
+				}
 			}
+		}
+		rs.ErrorLogRatio = errorQuantiles(&st.errHist)
+		if st.covTotal > 0 {
+			rs.Coverage = &CoverageStats{Total: st.covTotal, Within15x: st.cov15, Within2x: st.cov20}
+		}
+		baseline := l.driftBaseline(est)
+		threshold := l.opts.DriftThreshold * baseline
+		recent := st.window.Quantile(l.opts.DriftQuantile)
+		rs.Drift = &DriftState{
+			Baseline:            baseline,
+			Quantile:            l.opts.DriftQuantile,
+			RecentError:         recent,
+			Threshold:           threshold,
+			DistanceToThreshold: threshold - recent,
+			WindowFill:          st.window.Len(),
+			MinWindow:           l.opts.MinWindow,
+			Drifting:            st.drifting,
+			RetrainEligible:     l.retrainEligible(st),
 		}
 		ops := make([]plan.OpKind, 0, len(st.perOp))
 		for op := range st.perOp {
@@ -156,7 +272,11 @@ func (l *Loop) Snapshot() []RouteStats {
 		sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
 		for _, op := range ops {
 			if w := st.perOp[op]; w.Len() > 0 {
-				rs.PerOperator = append(rs.PerOperator, OpStats{Op: op.String(), WindowStats: windowStats(w)})
+				rs.PerOperator = append(rs.PerOperator, OpStats{
+					Op:            op.String(),
+					WindowStats:   windowStats(w),
+					ErrorLogRatio: errorQuantiles(st.opErrHist[op]),
+				})
 			}
 		}
 		out = append(out, rs)

@@ -170,6 +170,26 @@ func (c *Compiled) Predict(x []float64) float64 {
 	return y
 }
 
+// PredictMargins evaluates one feature vector like Predict while
+// recording the cumulative ensemble output after each boosting stage:
+// margins[t] is the prediction of the first t+1 trees (base included),
+// so margins[len-1] is the final prediction. The walk and the
+// accumulation are exactly Predict's float operations, so the final
+// margin is bit-identical to Predict — the per-stage trajectory is the
+// explain surface, not an approximation of it. Margins are appended to
+// dst (pass dst[:0] to reuse a buffer); the final prediction is also
+// returned directly so a model with zero trees still reports its base.
+func (c *Compiled) PredictMargins(x []float64, dst []float64) ([]float64, float64) {
+	var buf [32]uint64
+	k := FeatureKeys(buf[:0], x)
+	y := c.base
+	for t, root := range c.roots {
+		y += c.rate * c.leaf[c.walk(root, c.depth[t], k)]
+		dst = append(dst, y)
+	}
+	return dst, y
+}
+
 // PredictBatch evaluates every row of xs into out (parallel slices,
 // len(out) must equal len(xs); every row must have more than
 // Compiled.maxFeat features, which is checked up front). Rows are

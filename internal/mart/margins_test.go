@@ -1,0 +1,65 @@
+package mart
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestPredictMarginsBitIdentical pins the explain contract: the final
+// cumulative margin equals Predict bit for bit, the trajectory has one
+// entry per tree, and each step moves by exactly rate times some leaf
+// value of that tree.
+func TestPredictMarginsBitIdentical(t *testing.T) {
+	xs, ys := synth(1200, 5, stepFn)
+	m, err := Train(xs, ys, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Compile(m)
+
+	rng := xrand.New(7)
+	probes := append([][]float64(nil), xs[:200]...)
+	for i := 0; i < 200; i++ {
+		probes = append(probes, []float64{
+			rng.Range(-500, 500), rng.Range(-50, 50), rng.Range(-2, 2),
+		})
+	}
+
+	var buf []float64
+	for i, x := range probes {
+		buf = buf[:0]
+		var final float64
+		buf, final = c.PredictMargins(x, buf)
+		want := m.Predict(x)
+		if math.Float64bits(final) != math.Float64bits(want) {
+			t.Fatalf("probe %d: margin final %v != Predict %v", i, final, want)
+		}
+		if len(buf) != m.NumTrees() {
+			t.Fatalf("probe %d: %d margins for %d trees", i, len(buf), m.NumTrees())
+		}
+		if len(buf) > 0 && math.Float64bits(buf[len(buf)-1]) != math.Float64bits(want) {
+			t.Fatalf("probe %d: last margin %v != Predict %v", i, buf[len(buf)-1], want)
+		}
+	}
+}
+
+// TestPredictMarginsEmptyModel covers the constant (zero-tree) model:
+// no margins, final = base = Predict.
+func TestPredictMarginsEmptyModel(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}, {4}}
+	ys := []float64{5, 5, 5, 5}
+	m, err := Train(xs, ys, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Compile(m)
+	margins, final := c.PredictMargins([]float64{2}, nil)
+	if len(margins) != c.NumTrees() {
+		t.Fatalf("%d margins for %d trees", len(margins), c.NumTrees())
+	}
+	if want := m.Predict([]float64{2}); final != want {
+		t.Fatalf("final %v != Predict %v", final, want)
+	}
+}

@@ -159,10 +159,7 @@ func (s *HistogramSnapshot) Merge(o *HistogramSnapshot) {
 // snapshot returns 0. The true max caps the answer, so p99/p100 of a
 // sparse histogram never exceed an observed duration's bucket ceiling.
 func (s *HistogramSnapshot) Quantile(q float64) time.Duration {
-	total := uint64(0)
-	for i := range s.counts {
-		total += s.counts[i]
-	}
+	total := s.bucketTotal()
 	if total == 0 {
 		return 0
 	}
@@ -171,7 +168,27 @@ func (s *HistogramSnapshot) Quantile(q float64) time.Duration {
 	} else if q > 1 {
 		q = 1
 	}
-	rank := uint64(q * float64(total-1))
+	return s.quantileAtRank(uint64(q*float64(total-1)), total)
+}
+
+// bucketTotal sums the bucket counters — the population the quantile
+// walk sees, which may lag Count by in-flight observations.
+func (s *HistogramSnapshot) bucketTotal() uint64 {
+	total := uint64(0)
+	for i := range s.counts {
+		total += s.counts[i]
+	}
+	return total
+}
+
+// quantileAtRank returns the value at the given 0-based rank of the
+// bucketed population (total must be s.bucketTotal()). Split out of
+// Quantile so the signed ErrorHistogram can address exact ranks when
+// stitching its two mirrored halves into one ordered population.
+func (s *HistogramSnapshot) quantileAtRank(rank, total uint64) time.Duration {
+	if total == 0 {
+		return 0
+	}
 	if rank >= total {
 		rank = total - 1
 	}

@@ -116,14 +116,23 @@ type DebugServer struct {
 	ln  net.Listener
 }
 
+// DebugHandler is one extra route mounted on the debug listener.
+type DebugHandler struct {
+	// Pattern in net/http.ServeMux form (e.g. "GET /debug/exemplars").
+	Pattern string
+	Handler http.HandlerFunc
+}
+
 // StartDebugServer listens on addr and serves:
 //
 //	/debug/pprof/...   the standard net/http/pprof handlers
 //	/metrics           Prometheus exposition of reg (when non-nil)
+//	extra...           caller-supplied introspection routes (e.g. the
+//	                   serving layer's GET /debug/exemplars)
 //
 // It returns once the listener is bound (so startup failures surface
 // immediately) and serves in the background until Close.
-func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+func StartDebugServer(addr string, reg *Registry, extra ...DebugHandler) (*DebugServer, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -135,6 +144,9 @@ func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 			w.Header().Set("Content-Type", TextContentType)
 			_ = reg.WritePrometheus(w)
 		})
+	}
+	for _, h := range extra {
+		mux.HandleFunc(h.Pattern, h.Handler)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -75,6 +75,23 @@ func (c *Compiled) Predict(x []float64) float64 {
 	return y
 }
 
+// PredictMargins evaluates one feature vector like Predict while
+// recording the cumulative prediction after each boosting stage:
+// margins[i] is the output of the first i+1 stages (base included), so
+// the last margin is the final prediction, bit-identical to Predict
+// (the same float operations in the same order). Margins are appended
+// to dst; the final prediction is also returned directly so a model
+// with zero stages still reports its base.
+func (c *Compiled) PredictMargins(x []float64, dst []float64) ([]float64, float64) {
+	y := c.base
+	for i := range c.stages {
+		st := &c.stages[i]
+		y += c.rate * c.evalStage(st, x[st.feature])
+		dst = append(dst, y)
+	}
+	return dst, y
+}
+
 // PredictBatch evaluates every row of xs into out (parallel slices,
 // len(out) must equal len(xs)), stage-outer for cache locality and
 // bit-identical to calling Predict row by row.

@@ -1,0 +1,45 @@
+package regtree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestPredictMarginsBitIdentical pins the explain contract for the
+// piecewise-linear booster: one margin per stage, final bit-identical
+// to Predict, including in extrapolation territory.
+func TestPredictMarginsBitIdentical(t *testing.T) {
+	xs, ys := gen(900, 2, func(x []float64) float64 {
+		return 2*x[0] - 0.25*x[1] + 4
+	})
+	m, err := Train(xs, ys, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Compile(m)
+
+	rng := xrand.New(23)
+	probes := append([][]float64(nil), xs[:150]...)
+	for i := 0; i < 150; i++ {
+		probes = append(probes, []float64{rng.Range(-1000, 1000), rng.Range(-100, 100)})
+	}
+
+	var buf []float64
+	for i, x := range probes {
+		buf = buf[:0]
+		var final float64
+		buf, final = c.PredictMargins(x, buf)
+		want := m.Predict(x)
+		if math.Float64bits(final) != math.Float64bits(want) {
+			t.Fatalf("probe %d: margin final %v != Predict %v", i, final, want)
+		}
+		if len(buf) != c.NumStages() {
+			t.Fatalf("probe %d: %d margins for %d stages", i, len(buf), c.NumStages())
+		}
+		if len(buf) > 0 && math.Float64bits(buf[len(buf)-1]) != math.Float64bits(want) {
+			t.Fatalf("probe %d: last margin %v != Predict %v", i, buf[len(buf)-1], want)
+		}
+	}
+}

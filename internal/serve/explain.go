@@ -1,0 +1,70 @@
+package serve
+
+import "repro/internal/core"
+
+// Wire form of a prediction explanation (POST /estimate?explain=1):
+// the per-operator decomposition of the response's primary-resource
+// total, with the §6.3 model-selection decision and the MART margin
+// trajectory laid open per operator. Present only when the request
+// asked for it, so default responses keep their exact wire shape.
+
+// ExplainOperator is one operator's share of an explained prediction.
+type ExplainOperator struct {
+	// Op and Table identify the plan node.
+	Op    string `json:"op"`
+	Table string `json:"table,omitempty"`
+	// Model is the selected scale-set candidate's name; Default reports
+	// whether it was the operator's default (unscaled) model, and
+	// OutRatio how far the default model's features were out of the
+	// training range (> 1 means scaling kicked in).
+	Model    string  `json:"model"`
+	Default  bool    `json:"default"`
+	OutRatio float64 `json:"out_ratio"`
+	// Estimate is this operator's contribution; the response total is
+	// the exact sum of these.
+	Estimate float64 `json:"estimate"`
+	// ScaledFeatures and Candidates describe the §6.3 candidate set the
+	// selection chose from.
+	ScaledFeatures int `json:"scaled_features,omitempty"`
+	Candidates     int `json:"candidates,omitempty"`
+	// Margins is the cumulative per-tree ensemble trajectory behind
+	// Estimate, in the model's transformed per-unit target space.
+	// Omitted on fallback nodes (no trained model for the operator).
+	Margins []float64 `json:"margins,omitempty"`
+}
+
+// ExplainInfo decomposes one prediction for the response's primary
+// resource. Total is bit-identical to the response's served total
+// against the same model version.
+type ExplainInfo struct {
+	Resource string `json:"resource"`
+	Total    float64 `json:"total"`
+	// ScaledOperators counts operators served by a non-default model —
+	// 0 means the whole plan was inside the training range.
+	ScaledOperators int               `json:"scaled_operators"`
+	Operators       []ExplainOperator `json:"operators"`
+}
+
+// explainInfo converts a core explanation to its wire form.
+func explainInfo(x *core.Explanation) *ExplainInfo {
+	out := &ExplainInfo{
+		Resource:        x.Resource.WireName(),
+		Total:           x.Total,
+		ScaledOperators: x.ScaledCount(),
+		Operators:       make([]ExplainOperator, 0, len(x.Nodes)),
+	}
+	for _, n := range x.Nodes {
+		out.Operators = append(out.Operators, ExplainOperator{
+			Op:             n.Kind.String(),
+			Table:          n.Table,
+			Model:          n.Model,
+			Default:        n.IsDefault,
+			OutRatio:       n.OutRatio,
+			Estimate:       n.Estimate,
+			ScaledFeatures: n.NumScaled,
+			Candidates:     n.Candidates,
+			Margins:        n.Margins,
+		})
+	}
+	return out
+}

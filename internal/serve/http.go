@@ -196,7 +196,10 @@ const (
 //	                       across every named resource's model; the
 //	                       response carries per-resource totals/estimates.
 //	                       Single-resource requests keep the exact
-//	                       pre-multi-resource wire shape.
+//	                       pre-multi-resource wire shape. ?explain=1
+//	                       attaches the per-operator prediction
+//	                       decomposition (model selection, out-of-range
+//	                       ratios, per-tree margins) to the response.
 //	POST /estimate/batch   {schema, resource | resources, timeout_ms,
 //	                       plans: [plan...]}
 //	                       → BatchResponse: one model lookup, one pool
@@ -279,6 +282,17 @@ func wantsPrometheus(r *http.Request) bool {
 		strings.Contains(accept, "application/openmetrics-text")
 }
 
+// wantsExplain reads the ?explain=1 switch of POST /estimate. A query
+// parameter rather than a body field so existing client payloads work
+// unchanged and the flag is visible in access logs.
+func wantsExplain(r *http.Request) bool {
+	switch r.URL.Query().Get("explain") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
 // reqIDKey keys the request ID in a request context.
 type reqIDKey struct{}
 
@@ -336,6 +350,7 @@ func (s *Service) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		Resources: kinds,
 		Plan:      p,
 		Timeout:   time.Duration(req.TimeoutMS) * time.Millisecond,
+		Explain:   wantsExplain(r),
 	})
 	if err != nil {
 		status, body := errorFor(err)
@@ -559,6 +574,10 @@ func (s *Service) handleObserve(w http.ResponseWriter, r *http.Request) {
 		ModelVersion: req.ModelVersion,
 		Predicted:    req.Predicted,
 		Plan:         p,
+		// The request ID (client-supplied or minted by the middleware)
+		// rides into the observation record and any worst-prediction
+		// exemplar it becomes, joining them to traces and request logs.
+		RequestID: RequestIDFrom(r.Context()),
 	})
 	if err != nil {
 		// Malformed observations are the client's fault; anything else

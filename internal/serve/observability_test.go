@@ -1,0 +1,223 @@
+package serve_test
+
+// Model-quality observability tests: the ?explain=1 wire surface (and
+// its bit-identical-total guarantee), request-ID stamping from POST
+// /observe into the captured worst-prediction exemplars, and the
+// lineage/build info-style Prometheus gauges.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/feedback"
+	"repro/internal/plan"
+	"repro/internal/serve"
+)
+
+// postEstimatePath is postEstimate with a caller-chosen path, so tests
+// can hit /estimate?explain=1.
+func postEstimatePath(t *testing.T, url, path string, p *plan.Plan) (*http.Response, []byte) {
+	t.Helper()
+	encoded, err := plan.EncodeJSON(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(map[string]any{
+		"schema": "tpch", "resource": "cpu", "plan": json.RawMessage(encoded),
+	})
+	resp, err := http.Post(url+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func TestHTTPEstimateExplain(t *testing.T) {
+	svc := newService(t, serve.Options{Workers: 2})
+	svc.Registry().Publish("tpch", cpuEst)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+
+	p := testPlans[0]
+
+	// Default responses carry no explain payload — the key must not even
+	// appear (wire compat with pre-explain clients that reject unknown
+	// fields strictly).
+	resp, raw := postEstimatePath(t, ts.URL, "/estimate", p)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate: %s: %s", resp.Status, raw)
+	}
+	if bytes.Contains(raw, []byte(`"explain"`)) {
+		t.Fatalf("default response leaks an explain key: %s", raw)
+	}
+
+	for _, q := range []string{"?explain=1", "?explain=true", "?explain=yes"} {
+		resp, raw = postEstimatePath(t, ts.URL, "/estimate"+q, p)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("estimate%s: %s: %s", q, resp.Status, raw)
+		}
+		var out serve.Response
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		x := out.Explain
+		if x == nil {
+			t.Fatalf("estimate%s returned no explain payload: %s", q, raw)
+		}
+		// The explanation replays the exact prediction pass: its total is
+		// bit-identical to the served estimate (JSON float64 round-trips
+		// exactly through Go's shortest-form encoding).
+		if math.Float64bits(x.Total) != math.Float64bits(out.Total) {
+			t.Fatalf("explain total %v != estimate %v", x.Total, out.Total)
+		}
+		if x.Resource != "cpu" {
+			t.Fatalf("explain resource %q, want cpu", x.Resource)
+		}
+		if len(x.Operators) != len(p.Nodes()) {
+			t.Fatalf("explain covers %d operators, plan has %d", len(x.Operators), len(p.Nodes()))
+		}
+		var sum float64
+		for i, op := range x.Operators {
+			if op.Op == "" || op.Model == "" {
+				t.Fatalf("operator %d incomplete: %+v", i, op)
+			}
+			sum += op.Estimate
+		}
+		if math.Float64bits(sum) != math.Float64bits(out.Total) {
+			t.Fatalf("operator estimates sum to %v, total is %v", sum, out.Total)
+		}
+	}
+
+	// A garbage explain value means off, not an error.
+	resp, raw = postEstimatePath(t, ts.URL, "/estimate?explain=banana", p)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate?explain=banana: %s", resp.Status)
+	}
+	if bytes.Contains(raw, []byte(`"explain"`)) {
+		t.Fatalf("explain=banana produced an explain payload: %s", raw)
+	}
+}
+
+// TestHTTPObserveExemplarRequestID reports one wildly mispredicted
+// plan through POST /observe with a client request ID and expects the
+// captured worst-prediction exemplar to carry it — the join key
+// between an exemplar and the request logs/traces it came from.
+func TestHTTPObserveExemplarRequestID(t *testing.T) {
+	setup(t)
+	reg := serve.NewRegistry()
+	loop, err := feedback.New(feedback.Options{
+		Dir:       t.TempDir(),
+		Publisher: reg,
+		// Retrain thresholds far above what one observation can reach:
+		// this test is about capture, not the drift machinery.
+		MinObservations: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loop.Close()
+	svc := serve.New(serve.Options{Registry: reg, Feedback: loop})
+	t.Cleanup(svc.Close)
+	info := reg.Publish("tpch", cpuEst)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+
+	p := testPlans[0]
+	actual := p.TotalActual().CPU
+	encoded, err := plan.EncodeJSON(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(map[string]any{
+		"schema": "tpch", "resource": "cpu",
+		"model_version": info.Version, "predicted": actual * 16,
+		"plan": json.RawMessage(encoded),
+	})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/observe", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "exemplar-req-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("observe: %s", resp.Status)
+	}
+	loop.Quiesce()
+
+	exs := loop.Exemplars()
+	if len(exs) != 1 {
+		t.Fatalf("captured %d exemplars, want 1", len(exs))
+	}
+	ex := exs[0]
+	if ex.RequestID != "exemplar-req-7" {
+		t.Fatalf("exemplar request ID %q, want exemplar-req-7", ex.RequestID)
+	}
+	if ex.Schema != "tpch" || ex.Resource != "CPU" || ex.ModelVersion != info.Version {
+		t.Fatalf("exemplar route wrong: %+v", ex)
+	}
+	if math.Abs(ex.AbsLogRatio-math.Log(16)) > 1e-9 {
+		t.Fatalf("exemplar |log ratio| %v, want ln 16 = %v", ex.AbsLogRatio, math.Log(16))
+	}
+	if len(ex.Plan) == 0 {
+		t.Fatal("exemplar dropped the plan wire form")
+	}
+	// The wire form replays: what /debug/exemplars dumps must decode as
+	// the plan POST /estimate accepts.
+	if _, err := plan.DecodeJSON(ex.Plan); err != nil {
+		t.Fatalf("exemplar plan does not replay: %v", err)
+	}
+}
+
+// TestPrometheusLineageAndBuildInfo renders the Prometheus exposition
+// and checks the two info-style gauges: resserve_model_info links each
+// serving version to its producer, parent version and training-sample
+// count; resserve_build_info identifies the binary.
+func TestPrometheusLineageAndBuildInfo(t *testing.T) {
+	svc := newService(t, serve.Options{Workers: 1})
+	reg := svc.Registry()
+	v1 := reg.PublishAs("tpch", cpuEst, "upload")
+	v2 := reg.PublishAs("tpch", cpuEst, "retrain")
+	if v2.Parent != v1.Version {
+		t.Fatalf("second publish has parent %d, want %d", v2.Parent, v1.Version)
+	}
+
+	var b bytes.Buffer
+	if err := svc.Obs().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	// Label pairs render in alphabetical key order.
+	info := fmt.Sprintf(
+		`resserve_model_info{mode="exact",parent="%d",resource="CPU",schema="tpch",source="retrain",train_samples="%d",version="%d"} 1`,
+		v1.Version, v2.TrainSamples, v2.Version)
+	for _, want := range []string{
+		"# TYPE resserve_model_info gauge",
+		info,
+		"# TYPE resserve_build_info gauge",
+		`resserve_build_info{go_version="go`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus exposition missing %q in:\n%s", want, text)
+		}
+	}
+	if v2.TrainSamples <= 0 {
+		t.Fatalf("published model reports %d training samples", v2.TrainSamples)
+	}
+}

@@ -44,7 +44,9 @@ type ModelKey struct {
 	Resource plan.ResourceKind
 }
 
-// ModelInfo describes a published model version.
+// ModelInfo describes a published model version, including its lineage:
+// where the version came from (Source), which version it replaced
+// (Parent) and how much training data produced it (TrainSamples).
 type ModelInfo struct {
 	Schema    string    `json:"schema"`
 	Resource  string    `json:"resource"`
@@ -56,6 +58,16 @@ type ModelInfo struct {
 	// persisted under (0 when no store is attached, the snapshot write
 	// failed, or the model was restored rather than freshly published).
 	Snapshot uint64 `json:"snapshot,omitempty"`
+	// Source is the producer that published this version: "bootstrap",
+	// "upload" (POST /models), "retrain" (the feedback loop), "api"
+	// (in-process Publish), "rollback" or "restore".
+	Source string `json:"source,omitempty"`
+	// Parent is the registry version this publish replaced in its slot
+	// (0 for the first model on a route).
+	Parent uint64 `json:"parent,omitempty"`
+	// TrainSamples is the number of per-operator training samples behind
+	// the estimator (0 when unknown).
+	TrainSamples int `json:"train_samples,omitempty"`
 }
 
 // Model pairs an immutable estimator with its registry metadata.
@@ -142,7 +154,7 @@ func (r *Registry) Publish(schema string, est *core.Estimator) ModelInfo {
 // PublishAs is Publish with the producer recorded in the store
 // manifest ("bootstrap", "upload", "retrain", ...).
 func (r *Registry) PublishAs(schema string, est *core.Estimator, source string) ModelInfo {
-	info, _, installed := r.publish(schema, est, true)
+	info, _, installed := r.publish(schema, est, true, source)
 	if installed {
 		if snap, err := r.persistSnapshot(schema, source); err != nil {
 			r.logStore("store: persisting %s/%s publish: %v", schema, est.Resource, err)
@@ -158,14 +170,16 @@ func (r *Registry) PublishAs(schema string, est *core.Estimator, source string) 
 // version won the slot, installed is false and the returned ModelInfo
 // and *Model describe the *winner* — callers can report which version
 // actually serves.
-func (r *Registry) publish(schema string, est *core.Estimator, keepHistory bool) (ModelInfo, *Model, bool) {
+func (r *Registry) publish(schema string, est *core.Estimator, keepHistory bool, source string) (ModelInfo, *Model, bool) {
 	info := ModelInfo{
-		Schema:    schema,
-		Resource:  est.Resource.String(),
-		Mode:      modeName(est.Mode),
-		Version:   r.version.Add(1),
-		NumModels: est.NumModels(),
-		LoadedAt:  time.Now().UTC(),
+		Schema:       schema,
+		Resource:     est.Resource.String(),
+		Mode:         modeName(est.Mode),
+		Version:      r.version.Add(1),
+		NumModels:    est.NumModels(),
+		LoadedAt:     time.Now().UTC(),
+		Source:       source,
+		TrainSamples: est.TrainSamples(),
 	}
 	m := &Model{Info: info, Est: est}
 	key := ModelKey{Schema: schema, Resource: est.Resource}
@@ -192,11 +206,18 @@ func (r *Registry) publish(schema string, est *core.Estimator, keepHistory bool)
 			// that actually serves.
 			return old.Info, old, false
 		}
+		// Lineage: the version we are about to displace is this one's
+		// parent. Set before the CAS so retries against a different
+		// incumbent restamp it.
+		m.Info.Parent = 0
+		if old != nil {
+			m.Info.Parent = old.Info.Version
+		}
 		if slot.CompareAndSwap(old, m) {
 			if old != nil && keepHistory {
 				r.pushHistory(key, old)
 			}
-			return info, old, true
+			return m.Info, old, true
 		}
 	}
 }
@@ -365,7 +386,7 @@ func (r *Registry) RestoreFromStore() ([]ModelInfo, error) {
 			if !ok {
 				continue
 			}
-			info, _, installed := r.publish(schema, est, true)
+			info, _, installed := r.publish(schema, est, true, "restore")
 			if !installed {
 				continue
 			}
@@ -459,7 +480,7 @@ func (r *Registry) rollbackFromMemory(schema string, resource plan.ResourceKind)
 	r.history[key] = h[:len(h)-1]
 	r.mu.Unlock()
 	expected, _ := r.Lookup(schema, resource)
-	info, replaced, installed := r.publish(schema, prev.Est, false)
+	info, replaced, installed := r.publish(schema, prev.Est, false, "rollback")
 	if !installed {
 		// A concurrent publish allocated a higher version and won the
 		// slot; our rollback never served. Put the entry back and
@@ -547,7 +568,7 @@ func (r *Registry) rollbackFromStore(st *store.Store, schema string, resource pl
 		return ModelInfo{}, fmt.Errorf("%w: snapshot v%d lost its %s model", store.ErrCorrupt, target, resource)
 	}
 	expected, _ := r.Lookup(schema, resource)
-	info, replaced, installed := r.publish(schema, est, false)
+	info, replaced, installed := r.publish(schema, est, false, "rollback")
 	if !installed {
 		return info, fmt.Errorf("%w: version %d is now serving", ErrRollbackConflict, info.Version)
 	}

@@ -122,6 +122,12 @@ type Request struct {
 	Plan *plan.Plan
 	// Timeout overrides the service default deadline when > 0.
 	Timeout time.Duration
+	// Explain attaches a per-operator decomposition of the primary
+	// resource's prediction to the response (POST /estimate?explain=1):
+	// the selected scale-set candidate, out-of-range ratio and per-tree
+	// cumulative margins for every operator. Costs one extra model
+	// evaluation pass outside the worker pool; off by default.
+	Explain bool
 }
 
 // OperatorEstimate is one operator's prediction. Estimate carries the
@@ -168,6 +174,10 @@ type Response struct {
 	Pipelines   []PipelineEstimate `json:"pipelines"`
 	CacheHits   int                `json:"cache_hits"`
 	CacheMisses int                `json:"cache_misses"`
+	// Explain carries the per-operator prediction decomposition when the
+	// request asked for it (Request.Explain); omitted otherwise, keeping
+	// the default wire shape unchanged.
+	Explain *ExplainInfo `json:"explain,omitempty"`
 }
 
 // Metrics is a point-in-time snapshot of service counters. Feedback
@@ -562,21 +572,27 @@ func (s *Service) estimate(ctx context.Context, req Request) (*Response, error) 
 	case <-ctx.Done():
 		return nil, fmt.Errorf("serve: queue wait: %w", ctx.Err())
 	}
+	var resp *Response
 	select {
-	case resp := <-j.out:
-		return resp, nil
+	case resp = <-j.out:
 	case <-s.quit:
 		// Shutdown raced with a completed or draining prediction;
 		// prefer delivering the result over reporting ErrClosed.
 		select {
-		case resp := <-j.out:
-			return resp, nil
+		case resp = <-j.out:
 		case <-ctx.Done():
 			return nil, ErrClosed
 		}
 	case <-ctx.Done():
 		return nil, fmt.Errorf("serve: estimation: %w", ctx.Err())
 	}
+	if req.Explain {
+		// Decompose against the same model version the pool served.
+		// core's Explain replays the exact PredictVector accumulation, so
+		// the explain total and the served total agree bit for bit.
+		resp.Explain = explainInfo(models.primary().Est.Explain(req.Plan))
+	}
+	return resp, nil
 }
 
 // EstimateBatch runs a whole plan batch through the pool as one job and

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"log/slog"
+	"runtime/debug"
 	"strconv"
 	"time"
 
@@ -107,6 +108,7 @@ func (s *Service) registerCollectors() {
 	s.obsReg.Register(s.collectFeedback)
 	s.obsReg.Register(s.collectStore)
 	s.obsReg.Register(collectTraining)
+	s.obsReg.Register(collectBuildInfo)
 }
 
 var endpointLabels = [numEndpoints]string{
@@ -186,6 +188,43 @@ func (s *Service) collectModels(e *obs.Expo) {
 			obs.Labels("schema", m.Schema, "resource", m.Resource, "mode", m.Mode),
 			float64(m.Version))
 	}
+	// Info-style lineage gauge: the interesting facts ride as labels,
+	// the value is always 1. Joining on (schema, resource) against the
+	// version gauge answers "what is serving and where did it come from".
+	for _, m := range models {
+		e.Gauge("resserve_model_info",
+			"Lineage of the serving model: producer, replaced version and training-sample count (value is always 1).",
+			obs.Labels("schema", m.Schema, "resource", m.Resource, "mode", m.Mode,
+				"version", strconv.FormatUint(m.Version, 10),
+				"source", m.Source,
+				"parent", strconv.FormatUint(m.Parent, 10),
+				"train_samples", strconv.Itoa(m.TrainSamples)),
+			1)
+	}
+}
+
+// collectBuildInfo surfaces the binary's build metadata as an
+// info-style gauge — one glance at a scrape answers "which build is
+// this" without shell access to the host.
+func collectBuildInfo(e *obs.Expo) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	revision, modified := "", ""
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	e.Gauge("resserve_build_info",
+		"Build metadata of the serving binary (value is always 1).",
+		obs.Labels("go_version", bi.GoVersion, "path", bi.Main.Path,
+			"revision", revision, "modified", modified),
+		1)
 }
 
 func (s *Service) collectFeedback(e *obs.Expo) {
@@ -220,12 +259,98 @@ func (s *Service) collectFeedback(e *obs.Expo) {
 		for _, q := range [...]struct {
 			v float64
 			n string
-		}{{r.Window.P50, "0.5"}, {r.Window.P90, "0.9"}, {r.Window.P95, "0.95"}} {
+		}{{r.Window.P50, "0.5"}, {r.Window.P90, "0.9"}, {r.Window.P95, "0.95"}, {r.Window.P99, "0.99"}} {
 			e.Gauge("resserve_feedback_error",
 				"Rolling relative-error quantiles of served predictions, by route.",
 				obs.Labels("schema", r.Schema, "resource", r.Resource, "quantile", q.n), q.v)
 		}
 	}
+	// Cumulative accuracy telemetry: the signed log-ratio error
+	// distribution (ln(predicted/actual); negative = under-estimated),
+	// the under/over split, and the empirical factor-band coverage.
+	for _, r := range routes {
+		if r.ErrorLogRatio == nil {
+			continue
+		}
+		for _, q := range [...]struct {
+			v float64
+			n string
+		}{{r.ErrorLogRatio.P50, "0.5"}, {r.ErrorLogRatio.P90, "0.9"}, {r.ErrorLogRatio.P99, "0.99"}} {
+			e.Gauge("resserve_feedback_error_log_ratio",
+				"Signed log-ratio error quantiles ln(predicted/actual) of served predictions, by route (cumulative).",
+				obs.Labels("schema", r.Schema, "resource", r.Resource, "quantile", q.n), q.v)
+		}
+	}
+	for _, r := range routes {
+		if r.ErrorLogRatio == nil {
+			continue
+		}
+		l := obs.Labels("schema", r.Schema, "resource", r.Resource, "direction", "under")
+		e.Counter("resserve_feedback_predictions_total",
+			"Scored predictions by error direction (under = predicted < actual).", l,
+			float64(r.ErrorLogRatio.Under))
+		e.Counter("resserve_feedback_predictions_total",
+			"Scored predictions by error direction (under = predicted < actual).",
+			obs.Labels("schema", r.Schema, "resource", r.Resource, "direction", "over"),
+			float64(r.ErrorLogRatio.Over))
+	}
+	for _, r := range routes {
+		if r.Coverage == nil {
+			continue
+		}
+		l := obs.Labels("schema", r.Schema, "resource", r.Resource)
+		e.Counter("resserve_feedback_scored_total",
+			"Scored predictions entering the coverage counters, by route.", l,
+			float64(r.Coverage.Total))
+	}
+	for _, r := range routes {
+		if r.Coverage == nil {
+			continue
+		}
+		e.Counter("resserve_feedback_within_factor_total",
+			"Scored predictions whose actual landed within the factor band, by route.",
+			obs.Labels("schema", r.Schema, "resource", r.Resource, "factor", "1.5"),
+			float64(r.Coverage.Within15x))
+		e.Counter("resserve_feedback_within_factor_total",
+			"Scored predictions whose actual landed within the factor band, by route.",
+			obs.Labels("schema", r.Schema, "resource", r.Resource, "factor", "2"),
+			float64(r.Coverage.Within2x))
+	}
+	// Drift-detector state, laid open: the recent windowed error, the
+	// trigger threshold, and how far the route sits from a retrain.
+	for _, r := range routes {
+		if r.Drift == nil {
+			continue
+		}
+		l := obs.Labels("schema", r.Schema, "resource", r.Resource)
+		e.Gauge("resserve_feedback_drift_recent_error",
+			"Windowed error at the configured drift quantile, by route.", l, r.Drift.RecentError)
+	}
+	for _, r := range routes {
+		if r.Drift == nil {
+			continue
+		}
+		l := obs.Labels("schema", r.Schema, "resource", r.Resource)
+		e.Gauge("resserve_feedback_drift_threshold",
+			"Drift trigger level (threshold multiple x training baseline), by route.", l, r.Drift.Threshold)
+	}
+	for _, r := range routes {
+		if r.Drift == nil {
+			continue
+		}
+		l := obs.Labels("schema", r.Schema, "resource", r.Resource)
+		e.Gauge("resserve_feedback_drift_distance",
+			"Threshold minus recent error; at or below 0 the route is past the trigger.", l,
+			r.Drift.DistanceToThreshold)
+	}
+	emit("resserve_feedback_retrain_eligible",
+		"1 when a drift finding would start a retrain right now.",
+		func(r feedback.RouteStats) (float64, bool) {
+			if r.Drift == nil {
+				return 0, false
+			}
+			return b2f(r.Drift.RetrainEligible), true
+		})
 	emit("resserve_feedback_drifting", "1 when the route's drift detector is firing.",
 		func(r feedback.RouteStats) (float64, bool) { return b2f(r.Drifting), true })
 	emit("resserve_feedback_retraining", "1 while a retrain is in flight for the route.",
@@ -310,14 +435,27 @@ func (s *Service) LogSummary(logger *slog.Logger) {
 		}
 	}
 	if loop := s.opts.Feedback; loop != nil {
+		routes := loop.Snapshot()
 		var obsN, retrains uint64
-		for _, r := range loop.Snapshot() {
+		for _, r := range routes {
 			obsN += r.Observations
 			retrains += r.Retrains
 		}
 		attrs = append(attrs,
 			slog.Uint64("observations", obsN),
 			slog.Uint64("retrains", retrains))
+		// Per-route accuracy: the cumulative signed log-ratio error
+		// quantiles, so a short-lived run's shutdown line records how
+		// well each model actually predicted.
+		for _, r := range routes {
+			if r.ErrorLogRatio == nil {
+				continue
+			}
+			route := r.Schema + "/" + r.Resource
+			attrs = append(attrs,
+				slog.Float64(route+"_err_p50", r.ErrorLogRatio.P50),
+				slog.Float64(route+"_err_p99", r.ErrorLogRatio.P99))
+		}
 	}
 	logger.LogAttrs(context.Background(), slog.LevelInfo, "serve metrics summary", attrs...)
 }

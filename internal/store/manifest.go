@@ -34,6 +34,10 @@ type Manifest struct {
 	// Source records which producer published the snapshot
 	// ("bootstrap", "upload", "retrain", ...). Informational.
 	Source string `json:"source,omitempty"`
+	// Parent is the schema's previous snapshot version at publish time
+	// (0 for the schema's first snapshot) — the provenance chain linking
+	// each snapshot to the one it superseded.
+	Parent uint64 `json:"parent,omitempty"`
 	// CreatedAt is the publish time (UTC).
 	CreatedAt time.Time `json:"created_at"`
 	// Models lists the per-resource model files, in resource-kind order.
@@ -57,6 +61,9 @@ type ModelEntry struct {
 	// compares against, duplicated here so operators can audit a
 	// snapshot without decoding the model blob.
 	Baseline *core.ErrorBaseline `json:"baseline,omitempty"`
+	// TrainSamples is the number of per-operator training samples the
+	// model was fitted on (provenance; 0 when unknown).
+	TrainSamples int `json:"train_samples,omitempty"`
 }
 
 // Resource looks up the entry for the given wire name.

@@ -201,6 +201,7 @@ func (s *Store) Publish(snap Snapshot) (*Manifest, error) {
 		Version:       version,
 		Schema:        snap.Schema,
 		Source:        snap.Source,
+		Parent:        s.parentVersion(snap.Schema, version),
 		CreatedAt:     time.Now().UTC(),
 	}
 	var files []namedBlob
@@ -224,12 +225,13 @@ func (s *Store) Publish(snap Snapshot) (*Manifest, error) {
 		blob := []byte(buf.String())
 		sum := sha256.Sum256(blob)
 		entry := ModelEntry{
-			Resource:  r.WireName(),
-			File:      r.WireName() + ".model.json",
-			SHA256:    hex.EncodeToString(sum[:]),
-			Mode:      modeName(est),
-			NumModels: est.NumModels(),
-			Baseline:  est.Baseline,
+			Resource:     r.WireName(),
+			File:         r.WireName() + ".model.json",
+			SHA256:       hex.EncodeToString(sum[:]),
+			Mode:         modeName(est),
+			NumModels:    est.NumModels(),
+			Baseline:     est.Baseline,
+			TrainSamples: est.TrainSamples(),
 		}
 		man.Models = append(man.Models, entry)
 		files = append(files, namedBlob{name: entry.File, data: blob})
@@ -239,6 +241,31 @@ func (s *Store) Publish(snap Snapshot) (*Manifest, error) {
 		s.pubHist.Observe(time.Since(start))
 	}
 	return out, err
+}
+
+// parentVersion returns schema's newest snapshot version below v — the
+// provenance pointer each new manifest records. Best-effort: an
+// unreadable directory or manifest simply yields 0 rather than failing
+// the publish over an informational field.
+func (s *Store) parentVersion(schema string, below uint64) uint64 {
+	vs, err := s.versions()
+	if err != nil {
+		return 0
+	}
+	for i := len(vs) - 1; i >= 0; i-- {
+		v := vs[i]
+		if v >= below {
+			continue
+		}
+		man, err := s.Manifest(v)
+		if err != nil {
+			continue
+		}
+		if man.Schema == schema {
+			return v
+		}
+	}
+	return 0
 }
 
 // namedBlob pairs a snapshot-relative file name with its contents.

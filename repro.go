@@ -257,6 +257,19 @@ func (e *Estimator) EstimatePlan(p *Plan) float64 { return e.inner.PredictPlan(p
 // EstimateQuery predicts a workload query's total resource usage.
 func (e *Estimator) EstimateQuery(q *Query) float64 { return e.inner.PredictPlan(q.Plan) }
 
+// PlanExplanation is the per-operator breakdown of one plan estimate:
+// which model scored each operator, the scaled feature vector it saw,
+// and the per-tree margins that sum to the operator estimate. Its
+// String method renders a human-readable report.
+type PlanExplanation = core.Explanation
+
+// Explain predicts the plan's total resource usage and reports how the
+// estimate was assembled, operator by operator. The explanation's Total
+// is bit-identical to EstimatePlan on the same plan — explaining never
+// perturbs the prediction. It costs one extra model-evaluation pass, so
+// keep it off hot paths.
+func (e *Estimator) Explain(p *Plan) *PlanExplanation { return e.inner.Explain(p) }
+
 // EstimateOperator predicts a single operator's resource usage. parent
 // may be nil for the root.
 func (e *Estimator) EstimateOperator(n *Node, parent *Node) float64 {
