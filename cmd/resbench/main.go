@@ -8,7 +8,7 @@
 //	resbench -size 0.25 -iters 200    # smaller/faster run
 //
 // Experiments: table4..table13, fig1, fig2, fig3, fig6, fig7, fig8,
-// predcost, memsize, trainbench, servebench, accuracybench.
+// predcost, memsize, trainbench, servebench, streambench, accuracybench.
 //
 // trainbench times the parallel training pipeline (bootstrap-shaped
 // CPU+I/O sweep at 1 worker and at GOMAXPROCS) and writes the
@@ -22,6 +22,13 @@
 // telemetry on and off and the difference must stay within
 // -serve-overhead-max percent (exit 1 otherwise; set <= 0 to only
 // report).
+//
+// streambench compares the streaming estimate transport against
+// keep-alive HTTP at several connection counts — same warm service,
+// same plans, one sequential client per connection — and writes
+// estimates/s, speedup and realized batch fill to -stream-out (default
+// BENCH_stream.json). -stream-speedup-min turns the top level's
+// speedup into a hard guard.
 //
 // accuracybench trains CPU and I/O models on one workload and replays a
 // held-out workload (disjoint seed) through the simulator, writing
@@ -58,6 +65,13 @@ func main() {
 		accN     = flag.Int("accuracy-n", 128, "accuracybench workload size (queries, train and held-out each)")
 		accIt    = flag.Int("accuracy-iters", 60, "accuracybench model MART iterations")
 		accOut   = flag.String("accuracy-out", "BENCH_accuracy.json", "accuracybench baseline output path (empty = stdout only)")
+		strN     = flag.Int("stream-n", 64, "streambench workload size (queries)")
+		strIt    = flag.Int("stream-iters", 60, "streambench benchmark-model MART iterations")
+		strReqs  = flag.Int("stream-reqs", 50, "streambench estimates issued per connection")
+		strDepth = flag.Int("stream-depth", 5, "streambench in-flight estimates per streaming connection (HTTP stays sequential)")
+		strConns = flag.String("stream-conns", "1,64,1024", "streambench comma-separated connection counts")
+		strOut   = flag.String("stream-out", "BENCH_stream.json", "streambench baseline output path (empty = stdout only)")
+		strMin   = flag.Float64("stream-speedup-min", 0, "fail when the highest-concurrency streaming speedup vs HTTP falls below this (<= 0 disables the guard)")
 	)
 	flag.Parse()
 
@@ -216,6 +230,45 @@ func main() {
 		if *serveMax > 0 && sb.TelemetryOverheadPct > *serveMax {
 			fatal(fmt.Errorf("telemetry overhead %.2f%% exceeds the %.2f%% guard",
 				sb.TelemetryOverheadPct, *serveMax))
+		}
+	}
+	if sel("streambench") {
+		var conns []int
+		for _, part := range strings.Split(*strConns, ",") {
+			var c int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &c); err != nil || c <= 0 {
+				fatal(fmt.Errorf("bad -stream-conns entry %q", part))
+			}
+			conns = append(conns, c)
+		}
+		fmt.Fprintln(os.Stderr, "running streambench (streaming vs HTTP estimate throughput)...")
+		sb, err := experiments.RunStreamBench(*strN, *strIt, *strReqs, *strDepth, conns)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Streaming transport (%d plans, %d operators, %d requests/conn):\n",
+			sb.Queries, sb.Operators, sb.RequestsPerConn)
+		for _, lvl := range sb.Levels {
+			fmt.Printf("  conns=%-5d stream %9.0f est/s  http %9.0f est/s  %5.2fx  (fill %.1f, p50 %.0f µs, p99 %.0f µs)\n",
+				lvl.Conns, lvl.StreamPerSec, lvl.HTTPPerSec, lvl.Speedup,
+				lvl.AvgBatchFill, lvl.StreamP50Micros, lvl.StreamP99Micros)
+		}
+		if *strOut != "" {
+			data, err := json.MarshalIndent(sb, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*strOut, append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote streaming baseline to %s\n", *strOut)
+		}
+		if *strMin > 0 && len(sb.Levels) > 0 {
+			top := sb.Levels[len(sb.Levels)-1]
+			if top.Speedup < *strMin {
+				fatal(fmt.Errorf("streaming speedup %.2fx at %d conns below the %.2fx guard",
+					top.Speedup, top.Conns, *strMin))
+			}
 		}
 	}
 	if sel("accuracybench") {

@@ -68,6 +68,15 @@
 //	                       cache counters, queue depth and feedback gauges
 //	GET  /healthz          readiness
 //
+// With -stream-addr the same estimates are additionally served over a
+// persistent streaming transport: length-prefixed CRC-checked frames
+// on plain TCP, many requests in flight per connection, and requests
+// coalesced across connections into micro-batched dispatches through
+// the same worker pool and cache — responses byte-identical to
+// POST /estimate, at a fraction of the per-request overhead. See the
+// README's "Streaming protocol" section for the frame layout,
+// coalescing bounds and a client example.
+//
 // Observability: requests are stage-timed (decode, queue wait, cache
 // probe, predict, encode) into lock-free latency histograms and carry
 // X-Request-ID end to end; requests slower than -slow-trace emit one
@@ -85,12 +94,13 @@
 //	curl -s localhost:8080/estimate -d @request.json
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: in-flight HTTP
-// requests drain, the estimation worker pool stops, any in-flight
-// retrain finishes, and the observation log is flushed and closed.
+// requests drain (force-closed if still running at the 10s drain
+// deadline), the streaming listener closes, the estimation worker pool
+// stops, any in-flight retrain finishes, and the observation log is
+// flushed and closed.
 package main
 
 import (
-	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -133,6 +143,7 @@ func main() {
 		trainWork   = flag.Int("train-workers", 0, "training worker pool size for -bootstrap and feedback retrains (0 = GOMAXPROCS); trained models are bit-identical at any worker count")
 		driftThresh = flag.Float64("drift-threshold", 2, "retrain when the recent P90 relative error exceeds this multiple of the model's training-time baseline")
 		retrainMin  = flag.Int("retrain-min-observations", 256, "minimum logged observations before a drift-triggered retrain (also the cooldown between attempts)")
+		streamAddr  = flag.String("stream-addr", "", "streaming estimate listener address: persistent framed TCP with cross-connection micro-batching, responses byte-identical to POST /estimate; empty disables")
 		debugAddr   = flag.String("debug-addr", "", "debug listener address exposing /debug/pprof and Prometheus /metrics (incl. process runtime gauges); empty disables")
 		slowTrace   = flag.Duration("slow-trace", 500*time.Millisecond, "log a structured per-stage trace for requests at or above this latency (0 disables)")
 		noTelemetry = flag.Bool("no-telemetry", false, "disable per-stage latency histograms and request traces (counters remain)")
@@ -265,6 +276,25 @@ func main() {
 		}
 	}
 
+	// Opt-in streaming listener, started only after every startup model
+	// is published so the first frame in never races the registry. Its
+	// counters register on the service's own metrics registry, so the
+	// stream series ride GET /metrics (and the debug listener's copy)
+	// alongside the HTTP ones.
+	var streamSrv *repro.StreamServer
+	if *streamAddr != "" {
+		ss, err := repro.StartStreamServer(*streamAddr, repro.StreamServerOptions{
+			Service: svc,
+			Logger:  logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		streamSrv = ss
+		svc.Obs().Register(ss.Collector())
+		fmt.Fprintf(os.Stderr, "resserve: streaming listener on %s\n", ss.Addr())
+	}
+
 	// Opt-in debug listener: pprof and a Prometheus exposition combining
 	// the service's metric families with process runtime gauges. A
 	// separate listener so profiling endpoints never ride the serving
@@ -309,10 +339,12 @@ func main() {
 		IdleTimeout:       2 * time.Minute,
 	}
 	// Graceful shutdown on SIGINT/SIGTERM, in dependency order: stop
-	// accepting and drain in-flight HTTP handlers, then the estimation
-	// worker pool, then the feedback loop — which waits for any retrain
-	// in flight and flushes the observation log, so a signal never kills
-	// the process mid-write.
+	// accepting and drain in-flight HTTP handlers (force-closing any
+	// still running when the drain deadline expires — see drainHTTP),
+	// then the streaming listener, then the estimation worker pool,
+	// then the feedback loop — which waits for any retrain in flight
+	// and flushes the observation log, so a signal never kills the
+	// process mid-write.
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
@@ -320,9 +352,9 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		s := <-sig
 		fmt.Fprintf(os.Stderr, "resserve: %s received, draining\n", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		srv.Shutdown(ctx)
+		if forced, err := drainHTTP(srv, 10*time.Second); forced {
+			fmt.Fprintf(os.Stderr, "resserve: drain deadline expired (%v); connections force-closed\n", err)
+		}
 	}()
 
 	fmt.Fprintf(os.Stderr, "resserve: listening on %s\n", *addr)
@@ -333,6 +365,12 @@ func main() {
 	// drained; wait for the shutdown goroutine so in-flight requests get
 	// their responses.
 	<-drained
+	if streamSrv != nil {
+		// The streaming listener closes after HTTP drains and before the
+		// service: its connections tear down, and any dispatch already
+		// in the pool completes against a still-live service.
+		streamSrv.Close()
+	}
 	svc.Close()
 	// Final metrics summary: one structured record of what this process
 	// served (uptime, totals, per-endpoint p50/p99, cache hit ratio) —

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// drainHTTP gracefully shuts srv down, giving in-flight handlers up to
+// timeout to finish. If the drain deadline expires first, the
+// remaining connections are force-closed before returning — which
+// cancels each parked handler's request context, so work blocked on
+// the service (pool submission, a slow predict) unwinds promptly
+// instead of racing the caller's teardown of the worker pool and the
+// feedback log. Reports whether the close was forced and Shutdown's
+// error, if any.
+//
+// Previously the Shutdown error was discarded: on a slow or wedged
+// handler the 10s drain returned with the handler still running, and
+// the subsequent Service.Close tore the worker pool out from under it.
+func drainHTTP(srv *http.Server, timeout time.Duration) (forced bool, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		// Drain deadline expired with connections still active. Close
+		// tears them down now; each handler observes a canceled
+		// request context.
+		_ = srv.Close()
+		return true, err
+	}
+	return false, nil
+}

@@ -30,6 +30,7 @@ package feedback
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/plan"
@@ -97,8 +98,20 @@ func (o *Observation) validate() error {
 	if o.Resource != plan.CPUTime && o.Resource != plan.LogicalIO {
 		return fmt.Errorf("%w: unknown resource kind %d", ErrInvalid, o.Resource)
 	}
-	if o.Actual() <= 0 {
-		return fmt.Errorf("%w: no actual %s measurements", ErrInvalid, o.Resource)
+	// Predicted must be finite and non-negative: zero is the documented
+	// "recompute against the current model at ingest" sentinel, but a
+	// NaN/±Inf/negative value would flow straight into the signed
+	// log-ratio error windows and poison the drift detector's quantiles
+	// (one NaN makes every P90 comparison false, silently disarming
+	// retraining).
+	if math.IsNaN(o.Predicted) || math.IsInf(o.Predicted, 0) || o.Predicted < 0 {
+		return fmt.Errorf("%w: predicted %v is not a finite non-negative value", ErrInvalid, o.Predicted)
+	}
+	// Actuals are training labels: the retrainer fits log-scale targets,
+	// so the plan total must be finite and strictly positive. !(a > 0)
+	// rather than a <= 0 so NaN (all comparisons false) is caught too.
+	if a := o.Actual(); !(a > 0) || math.IsInf(a, 0) {
+		return fmt.Errorf("%w: actual %s total %v is not a finite positive measurement", ErrInvalid, o.Resource, a)
 	}
 	return nil
 }

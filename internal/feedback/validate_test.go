@@ -1,0 +1,69 @@
+package feedback
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// TestObserveRejectsNonFiniteValues is the regression test for the
+// observation-validation gap: NaN/±Inf/negative predicted values and
+// NaN/±Inf/non-positive actuals used to sail through validate into the
+// error windows (one NaN disarms every drift-quantile comparison) and
+// the retraining buffer. Each must now fail with ErrInvalid, count in
+// Rejected(), and leave the log untouched — while Predicted == 0 stays
+// accepted as the documented recompute-at-ingest sentinel.
+func TestObserveRejectsNonFiniteValues(t *testing.T) {
+	plans := executedPlans(t, 11, 8)
+	l, err := New(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	obs := func(i int, predicted float64) *Observation {
+		return &Observation{Schema: "tpch", Resource: plan.CPUTime, Predicted: predicted, Plan: plans[i]}
+	}
+
+	// Baseline: a plain observation and the zero-predicted sentinel are
+	// both valid.
+	if err := l.Observe(obs(0, 12.5)); err != nil {
+		t.Fatalf("finite positive predicted rejected: %v", err)
+	}
+	if err := l.Observe(obs(1, 0)); err != nil {
+		t.Fatalf("zero predicted (recompute sentinel) rejected: %v", err)
+	}
+	if got := l.Rejected(); got != 0 {
+		t.Fatalf("valid observations counted as rejected: %d", got)
+	}
+
+	badPredicted := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1}
+	for _, p := range badPredicted {
+		if err := l.Observe(obs(2, p)); !errors.Is(err, ErrInvalid) {
+			t.Errorf("predicted %v: got %v, want ErrInvalid", p, err)
+		}
+	}
+
+	// Non-finite actuals: poison one node's measurement so the plan
+	// total inherits it.
+	poison := func(i int, v float64) *Observation {
+		plans[i].Root.Actual.CPU = v
+		return &Observation{Schema: "tpch", Resource: plan.CPUTime, Plan: plans[i]}
+	}
+	badActuals := []float64{math.NaN(), math.Inf(1)}
+	for j, v := range badActuals {
+		if err := l.Observe(poison(3+j, v)); !errors.Is(err, ErrInvalid) {
+			t.Errorf("actual %v: got %v, want ErrInvalid", v, err)
+		}
+	}
+
+	want := uint64(len(badPredicted) + len(badActuals))
+	if got := l.Rejected(); got != want {
+		t.Fatalf("Rejected() = %d, want %d", got, want)
+	}
+	if got := l.IngestLatency().Count; got != 2 {
+		t.Fatalf("ingest count = %d, want 2 (the two valid observations)", got)
+	}
+}

@@ -86,11 +86,11 @@ func TestErrorHistogramQuantileOrdering(t *testing.T) {
 
 func TestErrorHistogramEdgeInputs(t *testing.T) {
 	var h ErrorHistogram
-	h.ObserveRatio(1, 0)             // invalid actual: ignored
-	h.ObserveRatio(-1, 1)            // invalid predicted: ignored
-	h.ObserveRatio(math.NaN(), 1)    // ignored
-	h.ObserveRatio(1, math.NaN())    // ignored
-	h.Observe(math.NaN())            // ignored
+	h.ObserveRatio(1, 0)          // invalid actual: ignored
+	h.ObserveRatio(-1, 1)         // invalid predicted: ignored
+	h.ObserveRatio(math.NaN(), 1) // ignored
+	h.ObserveRatio(1, math.NaN()) // ignored
+	h.Observe(math.NaN())         // ignored
 	if s := h.Snapshot(); s.Count() != 0 {
 		t.Fatalf("invalid inputs recorded: count=%d", s.Count())
 	}
@@ -110,8 +110,8 @@ func TestErrorHistogramEdgeInputs(t *testing.T) {
 
 func TestErrorHistogramNilAndEmpty(t *testing.T) {
 	var h *ErrorHistogram
-	h.Observe(1)          // must not panic
-	h.ObserveRatio(2, 1)  // must not panic
+	h.Observe(1)         // must not panic
+	h.ObserveRatio(2, 1) // must not panic
 	s := h.Snapshot()
 	if s.Count() != 0 || s.Quantile(0.5) != 0 || s.AbsQuantile(0.9) != 0 {
 		t.Fatalf("nil histogram snapshot not empty: %+v", s)

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestIntBucketIndexMonotonic(t *testing.T) {
+	prev := intBucketIndex(0)
+	for v := uint64(1); v <= 1<<18; v = v*2 + 1 {
+		idx := intBucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucket index not monotonic: idx(%d)=%d < %d", v, idx, prev)
+		}
+		if idx < intHistBuckets && intBucketUpper(idx) < v {
+			t.Fatalf("value %d above its bucket upper bound %d", v, intBucketUpper(idx))
+		}
+		if idx > 0 && idx < intHistBuckets && v <= intBucketUpper(idx-1) {
+			t.Fatalf("value %d fits in a lower bucket than %d", v, idx)
+		}
+		prev = idx
+	}
+	if got := intBucketIndex(1 << 20); got != intHistBuckets {
+		t.Fatalf("overflow value bucketed at %d, want %d", got, intHistBuckets)
+	}
+}
+
+func TestIntHistogramObserve(t *testing.T) {
+	var h IntHistogram
+	for _, v := range []int{1, 1, 2, 4, 64, -3} { // -3 clamps to 0
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 72 {
+		t.Fatalf("sum = %d, want 72", s.Sum)
+	}
+	if s.MaxV != 64 {
+		t.Fatalf("max = %d, want 64", s.MaxV)
+	}
+	if got := s.Mean(); got != 12 {
+		t.Fatalf("mean = %v, want 12", got)
+	}
+	if got := s.Quantile(1); got != 64 {
+		t.Fatalf("p100 = %d, want 64", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("p0 = %d, want 1", got)
+	}
+	if got := s.Quantile(0.5); got > 4 {
+		t.Fatalf("p50 = %d, want <= 4", got)
+	}
+}
+
+func TestIntHistogramNilAndEmpty(t *testing.T) {
+	var h *IntHistogram
+	h.Observe(5) // must not panic
+	s := h.Snapshot()
+	if s.Count != 0 || s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatalf("nil histogram snapshot not empty: %+v", s)
+	}
+}
+
+func TestIntHistogramOverflowQuantile(t *testing.T) {
+	var h IntHistogram
+	h.Observe(1 << 20) // past the last finite bucket
+	s := h.Snapshot()
+	if s.Buckets[intHistBuckets] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", s.Buckets[intHistBuckets])
+	}
+	if got := s.Quantile(0.99); got != 1<<20 {
+		t.Fatalf("overflow quantile = %d, want max %d", got, 1<<20)
+	}
+}
+
+func TestIntHistogramConcurrent(t *testing.T) {
+	var h IntHistogram
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe((seed*per + i) % 100)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	var inBuckets uint64
+	for _, c := range s.Buckets {
+		inBuckets += c
+	}
+	if inBuckets != s.Count {
+		t.Fatalf("bucket total %d != count %d", inBuckets, s.Count)
+	}
+}
+
+func TestIntHistogramPrometheus(t *testing.T) {
+	var h IntHistogram
+	for _, v := range []int{1, 2, 3, 64} {
+		h.Observe(v)
+	}
+	reg := NewRegistry()
+	reg.Register(func(e *Expo) {
+		s := h.Snapshot()
+		e.IntHistogram("stream_batch_fill", "Plans per dispatch.", Labels("transport", "stream"), &s)
+	})
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE stream_batch_fill histogram",
+		`stream_batch_fill_bucket{transport="stream",le="1"} 1`,
+		`stream_batch_fill_bucket{transport="stream",le="2"} 2`,
+		`stream_batch_fill_bucket{transport="stream",le="64"} 4`,
+		`stream_batch_fill_bucket{transport="stream",le="+Inf"} 4`,
+		`stream_batch_fill_sum{transport="stream"} 70`,
+		`stream_batch_fill_count{transport="stream"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets past the observed max collapse into +Inf.
+	if strings.Contains(out, `le="128"`) {
+		t.Fatalf("exposition did not collapse buckets past max:\n%s", out)
+	}
+}

@@ -123,6 +123,37 @@ type DebugHandler struct {
 	Handler http.HandlerFunc
 }
 
+// DebugServerOptions tunes the debug listener's connection lifecycle.
+// The zero value selects defaults sized for pprof: profile and trace
+// handlers stream for tens of seconds, so WriteTimeout must stay far
+// above an ordinary scrape's.
+type DebugServerOptions struct {
+	// ReadHeaderTimeout bounds request-header reads (default 10s).
+	ReadHeaderTimeout time.Duration
+	// WriteTimeout bounds a whole response write. It must comfortably
+	// cover /debug/pprof/profile and /debug/pprof/trace, which stream
+	// for their ?seconds= duration (30s default) before writing
+	// completes — the default is 5m.
+	WriteTimeout time.Duration
+	// IdleTimeout reaps keep-alive connections with no in-flight
+	// request (default 2m). Without it an idle or slow-reading client
+	// pins a connection — and its goroutine — forever.
+	IdleTimeout time.Duration
+}
+
+func (o DebugServerOptions) withDefaults() DebugServerOptions {
+	if o.ReadHeaderTimeout <= 0 {
+		o.ReadHeaderTimeout = 10 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 5 * time.Minute
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 2 * time.Minute
+	}
+	return o
+}
+
 // StartDebugServer listens on addr and serves:
 //
 //	/debug/pprof/...   the standard net/http/pprof handlers
@@ -131,8 +162,16 @@ type DebugHandler struct {
 //	                   serving layer's GET /debug/exemplars)
 //
 // It returns once the listener is bound (so startup failures surface
-// immediately) and serves in the background until Close.
+// immediately) and serves in the background until Close. Connection
+// lifecycle uses the DebugServerOptions defaults; use
+// StartDebugServerWith to override them.
 func StartDebugServer(addr string, reg *Registry, extra ...DebugHandler) (*DebugServer, error) {
+	return StartDebugServerWith(addr, reg, DebugServerOptions{}, extra...)
+}
+
+// StartDebugServerWith is StartDebugServer with explicit connection
+// timeouts.
+func StartDebugServerWith(addr string, reg *Registry, opts DebugServerOptions, extra ...DebugHandler) (*DebugServer, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -152,7 +191,13 @@ func StartDebugServer(addr string, reg *Registry, extra ...DebugHandler) (*Debug
 	if err != nil {
 		return nil, err
 	}
-	ds := &DebugServer{srv: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}, ln: ln}
+	opts = opts.withDefaults()
+	ds := &DebugServer{srv: &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: opts.ReadHeaderTimeout,
+		WriteTimeout:      opts.WriteTimeout,
+		IdleTimeout:       opts.IdleTimeout,
+	}, ln: ln}
 	go func() { _ = ds.srv.Serve(ln) }()
 	return ds, nil
 }

@@ -27,6 +27,11 @@ type Stage uint8
 const (
 	// StageDecode is request-body and plan decoding (HTTP layer).
 	StageDecode Stage = iota
+	// StageCoalesce is the time a streaming estimate waited in the
+	// micro-batcher for its coalesced batch to fill or time out. Only
+	// the streaming endpoint records it; HTTP requests dispatch
+	// immediately.
+	StageCoalesce
 	// StageQueue is the wait between enqueueing on the worker pool and
 	// a worker picking the job up.
 	StageQueue
@@ -48,6 +53,8 @@ func (s Stage) String() string {
 	switch s {
 	case StageDecode:
 		return "decode"
+	case StageCoalesce:
+		return "coalesce_wait"
 	case StageQueue:
 		return "queue_wait"
 	case StageCacheProbe:
@@ -62,7 +69,7 @@ func (s Stage) String() string {
 
 // Stages lists all stages in pipeline order.
 func Stages() [NumStages]Stage {
-	return [NumStages]Stage{StageDecode, StageQueue, StageCacheProbe, StagePredict, StageEncode}
+	return [NumStages]Stage{StageDecode, StageCoalesce, StageQueue, StageCacheProbe, StagePredict, StageEncode}
 }
 
 // Request IDs: an 8-hex-char random process prefix plus a 12-hex-char

@@ -37,7 +37,7 @@ type ExplainOperator struct {
 // resource. Total is bit-identical to the response's served total
 // against the same model version.
 type ExplainInfo struct {
-	Resource string `json:"resource"`
+	Resource string  `json:"resource"`
 	Total    float64 `json:"total"`
 	// ScaledOperators counts operators served by a non-default model —
 	// 0 means the whole plan was inside the training range.

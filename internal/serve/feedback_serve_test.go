@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net/http"
@@ -290,14 +291,24 @@ func TestHTTPObserveErrors(t *testing.T) {
 		{"missing plan", `{"schema":"tpch"}`, http.StatusBadRequest},
 		{"bad resource", `{"resource":"gpu","plan":` + string(encoded) + `}`, http.StatusBadRequest},
 		{"no actuals", `{"resource":"cpu","plan":` + string(strippedEnc) + `}`, http.StatusBadRequest},
+		// Regression: a negative prediction used to be ingested and poison
+		// the drift windows; it must be the client's 400, not a 500.
+		{"negative predicted", `{"resource":"cpu","predicted":-3,"plan":` + string(encoded) + `}`, http.StatusBadRequest},
 	} {
 		resp, err := http.Post(ts.URL+"/observe", "application/json", bytes.NewReader([]byte(tc.body)))
 		if err != nil {
 			t.Fatal(err)
 		}
+		raw, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode != tc.status {
 			t.Fatalf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+		var envelope struct {
+			Code string `json:"code"`
+		}
+		if err := json.Unmarshal(raw, &envelope); err != nil || envelope.Code == "" {
+			t.Fatalf("%s: error body %q carries no stable code", tc.name, raw)
 		}
 	}
 	// A valid observation is accepted even with no model published (the

@@ -650,6 +650,34 @@ func errorFor(err error) (int, errorJSON) {
 	return status, jsonError(err.Error(), code, -1)
 }
 
+// PlanErrorCode classifies a plan decode/validate failure the way the
+// HTTP handlers do ("unknown_operator" vs "bad_plan"), for transports
+// that decode plans themselves.
+func PlanErrorCode(err error) string { return planErrCode(err) }
+
+// ErrorCode maps a service-layer error to its HTTP status and stable
+// machine-readable wire code — the exact mapping the HTTP handlers
+// use. The streaming transport reuses it so both transports speak
+// identical error envelopes and clients can branch on one code set.
+func ErrorCode(err error) (status int, code string) {
+	status, e := errorFor(err)
+	return status, e.Code
+}
+
+// MarshalWire encodes v exactly as the HTTP endpoints do: no HTML
+// escaping, a trailing newline. Stream response payloads go through
+// this so they are byte-identical to the corresponding /estimate
+// response body — pinned by test.
+func MarshalWire(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 // beginTrace starts a request trace on the estimation endpoints when
 // telemetry is on. The returned start instant anchors the decode stage.
 func (s *Service) beginTrace(r *http.Request, endpoint string) (*telemetry, *obs.Trace, time.Time) {

@@ -189,8 +189,8 @@ type Metrics struct {
 	Failures uint64 `json:"failures"`
 	// BatchRequests counts the subset of Requests that were batches;
 	// BatchPlans counts the plans they carried.
-	BatchRequests uint64                `json:"batch_requests"`
-	BatchPlans    uint64                `json:"batch_plans"`
+	BatchRequests uint64 `json:"batch_requests"`
+	BatchPlans    uint64 `json:"batch_plans"`
 	// AvgLatencyMS averages over every completed request regardless of
 	// endpoint — kept for wire compatibility. A batch of 1000 plans and
 	// a single-plan estimate weigh the same here, so the number blends
@@ -218,6 +218,10 @@ type EndpointMetrics struct {
 type EndpointsMetrics struct {
 	Estimate      EndpointMetrics `json:"estimate"`
 	EstimateBatch EndpointMetrics `json:"estimate_batch"`
+	// EstimateStream counts coalesced dispatches from the streaming
+	// transport — one per micro-batch, not one per client request (the
+	// stream listener's own metrics count those).
+	EstimateStream EndpointMetrics `json:"estimate_stream"`
 }
 
 // BatchRequest asks for estimates for several plans in one call. The
@@ -367,6 +371,10 @@ type job struct {
 	// Batch jobs carry plans and deliver on bout instead; plan is nil.
 	plans []*plan.Plan
 	bout  chan *BatchResponse
+	// Stream jobs carry plans and deliver per-plan Responses on sout:
+	// the batch compute path, unbundled back into single-estimate wire
+	// shapes for the coalescing transport.
+	sout chan []*Response
 	// Telemetry: the endpoint index, the enqueue instant (zero when
 	// telemetry is disabled) and the request's trace, if any. tr is
 	// written by the worker and read by the HTTP handler, possibly
@@ -488,6 +496,20 @@ func (s *Service) runJob(j *job) {
 		// double the hot path's clock reads for sub-microsecond spans.
 		tel.rec(j.ep, obs.StagePredict, time.Since(start), j.tr)
 		j.out <- resp
+		return
+	}
+	if j.sout != nil {
+		if tel == nil {
+			resp, _ := s.predictStream(j.models, j.plans)
+			j.sout <- resp
+			return
+		}
+		start := time.Now()
+		resp, probe := s.predictStream(j.models, j.plans)
+		total := time.Since(start)
+		tel.rec(j.ep, obs.StageCacheProbe, probe, j.tr)
+		tel.rec(j.ep, obs.StagePredict, total-probe, j.tr)
+		j.sout <- resp
 		return
 	}
 	if tel == nil {
@@ -685,15 +707,17 @@ func (s *Service) estimateBatch(ctx context.Context, req BatchRequest) (*BatchRe
 	}
 }
 
-// predictBatch is the batched analogue of predict: one flat feature
-// extraction over every node of every plan, one multi-get against the
-// sharded cache, one EstimatorSet.PredictAllBatch over the misses
-// (grouped by operator onto the compiled tree slabs, fanned out across
-// the requested resources), one multi-put back. The second return is
-// the time spent in the cache multi-get — the batch path's cache_probe
-// stage (two clock reads per whole batch, negligible even with
-// telemetry disabled).
-func (s *Service) predictBatch(ms *modelSet, plans []*plan.Plan) (*BatchResponse, time.Duration) {
+// batchPredictions is the shared batched compute both multi-plan entry
+// points ride: one flat feature extraction over every node of every
+// plan, one multi-get against the sharded cache, one
+// EstimatorSet.PredictAllBatch over the misses (grouped by operator
+// onto the compiled tree slabs, fanned out across the requested
+// resources), one multi-put back. Returns the per-node predictions
+// (flat, plan pi's nodes at vals[offs[pi]:offs[pi+1]]), the per-node
+// hit flags, the total hit count, and the time spent in the cache
+// multi-get — the batch path's cache_probe stage (two clock reads per
+// whole batch, negligible even with telemetry disabled).
+func (s *Service) batchPredictions(ms *modelSet, plans []*plan.Plan) (vals []plan.Resources, offs []int, hit []bool, hits int, probe time.Duration) {
 	set := ms.est
 	vecs, offs := features.ExtractPlans(plans, set.Mode)
 	kinds := make([]plan.OpKind, len(vecs))
@@ -707,11 +731,11 @@ func (s *Service) predictBatch(ms *modelSet, plans []*plan.Plan) (*BatchResponse
 		})
 	}
 
-	vals := make([]plan.Resources, len(vecs))
-	hit := make([]bool, len(vecs))
+	vals = make([]plan.Resources, len(vecs))
+	hit = make([]bool, len(vecs))
 	probeStart := time.Now()
 	hits, shards := s.cache.GetMulti(keys, vals, hit)
-	probe := time.Since(probeStart)
+	probe = time.Since(probeStart)
 
 	if miss := len(vecs) - hits; miss > 0 {
 		// Deduplicate identical (versions, op, vector) misses before
@@ -745,7 +769,111 @@ func (s *Service) predictBatch(ms *modelSet, plans []*plan.Plan) (*BatchResponse
 		}
 		s.cache.PutMulti(keys, vals, hit, shards)
 	}
+	return vals, offs, hit, hits, probe
+}
 
+// EstimateStream runs one coalesced micro-batch from the streaming
+// transport through the pool and returns per-plan Responses, parallel
+// to req.Plans. Each Response is exactly what a sequential Estimate
+// call against the same model versions would produce — the stream
+// transport's whole point is that clients keep their single-estimate
+// call pattern while the server amortizes queueing, extraction and
+// tree walks across every connection's in-flight request.
+//
+// coalesceWait is how long the batch's oldest member sat in the
+// micro-batcher before dispatch; it is recorded as the streaming
+// endpoint's coalesce_wait stage so the time bound's cost is visible
+// next to the latency it buys.
+func (s *Service) EstimateStream(ctx context.Context, req BatchRequest, coalesceWait time.Duration) ([]*Response, error) {
+	start := time.Now()
+	s.requests.Add(1)
+	s.epRequests[epStream].Add(1)
+	if s.tel != nil && coalesceWait > 0 {
+		s.tel.rec(epStream, obs.StageCoalesce, coalesceWait, nil)
+	}
+	resp, err := s.estimateStream(ctx, req)
+	if err != nil {
+		s.failures.Add(1)
+		s.epFailures[epStream].Add(1)
+		return nil, err
+	}
+	d := time.Since(start)
+	s.latencyNS.Add(int64(d))
+	s.completed.Add(1)
+	s.epLatencyNS[epStream].Add(int64(d))
+	s.epCompleted[epStream].Add(1)
+	if s.tel != nil {
+		s.tel.total[epStream].Observe(d)
+	}
+	return resp, nil
+}
+
+func (s *Service) estimateStream(ctx context.Context, req BatchRequest) ([]*Response, error) {
+	if len(req.Plans) == 0 {
+		return nil, fmt.Errorf("serve: batch request without plans")
+	}
+	for i, p := range req.Plans {
+		if p == nil || p.Root == nil {
+			return nil, fmt.Errorf("serve: batch plan %d missing", i)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: batch plan %d: %w", i, err)
+		}
+	}
+	kinds, err := normalizeResources(req.Resource, req.Resources)
+	if err != nil {
+		return nil, err
+	}
+	models, err := s.lookupModels(req.Schema, kinds)
+	if err != nil {
+		return nil, err
+	}
+
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.opts.DefaultTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	select {
+	case <-s.quit:
+		return nil, ErrClosed
+	default:
+	}
+
+	j := &job{ctx: ctx, models: models, plans: req.Plans, sout: make(chan []*Response, 1), ep: epStream}
+	if s.tel != nil {
+		j.enq = time.Now()
+	}
+	select {
+	case s.jobs <- j:
+	case <-s.quit:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serve: queue wait: %w", ctx.Err())
+	}
+	select {
+	case resp := <-j.sout:
+		return resp, nil
+	case <-s.quit:
+		select {
+		case resp := <-j.sout:
+			return resp, nil
+		case <-ctx.Done():
+			return nil, ErrClosed
+		}
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serve: estimation: %w", ctx.Err())
+	}
+}
+
+// predictBatch is the batched analogue of predict: the shared
+// batchPredictions compute assembled into one BatchResponse with
+// batch-level cache counters.
+func (s *Service) predictBatch(ms *modelSet, plans []*plan.Plan) (*BatchResponse, time.Duration) {
+	vals, offs, _, hits, probe := s.batchPredictions(ms, plans)
+	nFlat := offs[len(plans)]
 	primary := ms.kinds[0]
 	multi := ms.multi()
 	nk := len(ms.kinds)
@@ -753,7 +881,7 @@ func (s *Service) predictBatch(ms *modelSet, plans []*plan.Plan) (*BatchResponse
 		Model:       ms.primary().Info,
 		Plans:       make([]PlanEstimate, len(plans)),
 		CacheHits:   hits,
-		CacheMisses: len(vecs) - hits,
+		CacheMisses: nFlat - hits,
 	}
 	if multi {
 		resp.Models = ms.infos()
@@ -806,6 +934,86 @@ func (s *Service) predictBatch(ms *modelSet, plans []*plan.Plan) (*BatchResponse
 		resp.Plans[pi] = pe
 	}
 	return resp, probe
+}
+
+// predictStream is the streaming transport's fan-in: the shared
+// batchPredictions compute, unbundled into one *Response per plan —
+// each carrying the full single-estimate wire shape (model header,
+// per-plan cache counters) so the transport can answer every coalesced
+// client exactly as POST /estimate would have.
+func (s *Service) predictStream(ms *modelSet, plans []*plan.Plan) ([]*Response, time.Duration) {
+	vals, offs, hit, _, probe := s.batchPredictions(ms, plans)
+	out := make([]*Response, len(plans))
+	for pi, p := range plans {
+		planHits := 0
+		for _, h := range hit[offs[pi]:offs[pi+1]] {
+			if h {
+				planHits++
+			}
+		}
+		out[pi] = ms.assembleResponse(p, vals[offs[pi]:offs[pi+1]], planHits)
+	}
+	return out, probe
+}
+
+// assembleResponse builds one plan's Response from its per-node
+// predictions — the assembly half of predict, identical field for
+// field. vals is the plan's nodes in Walk order; hits is the plan's
+// cache-hit count (misses are the remainder). Per-operator values are
+// bit-identical to the single path's: both read the same cached or
+// batch-predicted plan.Resources, and the batched tree layout is
+// bit-identical to the pointer walk.
+func (ms *modelSet) assembleResponse(p *plan.Plan, vals []plan.Resources, hits int) *Response {
+	nodes := p.Nodes()
+	pipes := p.Pipelines()
+	primary := ms.kinds[0]
+	multi := ms.multi()
+	nk := len(ms.kinds)
+	resp := &Response{
+		Model:       ms.primary().Info,
+		Operators:   make([]OperatorEstimate, len(nodes)),
+		CacheHits:   hits,
+		CacheMisses: len(nodes) - hits,
+	}
+	// See predictBatch for the backing-slice scheme.
+	var backing []float64
+	if multi {
+		resp.Models = ms.infos()
+		resp.Resources = ms.wireNames()
+		backing = make([]float64, 0, (len(nodes)+len(pipes)+1)*nk)
+	}
+	perNode := make(map[*plan.Node]plan.Resources, len(nodes))
+	var total plan.Resources
+	for i, n := range nodes {
+		v := vals[i]
+		perNode[n] = v
+		resp.Operators[i] = OperatorEstimate{ID: n.ID, Kind: n.Kind.String(), Estimate: v.Get(primary)}
+		if multi {
+			backing = ms.appendValues(backing, v)
+			resp.Operators[i].Estimates = backing[len(backing)-nk : len(backing) : len(backing)]
+		}
+		total.Add(v)
+	}
+	resp.Total = total.Get(primary)
+	if multi {
+		backing = ms.appendValues(backing, total)
+		resp.Totals = backing[len(backing)-nk : len(backing) : len(backing)]
+	}
+	for _, pl := range pipes {
+		pe := PipelineEstimate{ID: pl.ID, Operators: make([]int, 0, len(pl.Nodes))}
+		var ptotal plan.Resources
+		for _, n := range pl.Nodes {
+			ptotal.Add(perNode[n])
+			pe.Operators = append(pe.Operators, n.ID)
+		}
+		pe.Estimate = ptotal.Get(primary)
+		if multi {
+			backing = ms.appendValues(backing, ptotal)
+			pe.Estimates = backing[len(backing)-nk : len(backing) : len(backing)]
+		}
+		resp.Pipelines = append(resp.Pipelines, pe)
+	}
+	return resp
 }
 
 // predict computes per-operator predictions (through the cache) and
@@ -895,8 +1103,9 @@ func (s *Service) Metrics() Metrics {
 	}
 	if m.Requests > 0 {
 		m.Endpoints = &EndpointsMetrics{
-			Estimate:      s.endpointMetrics(epEstimate),
-			EstimateBatch: s.endpointMetrics(epBatch),
+			Estimate:       s.endpointMetrics(epEstimate),
+			EstimateBatch:  s.endpointMetrics(epBatch),
+			EstimateStream: s.endpointMetrics(epStream),
 		}
 	}
 	return m

@@ -24,12 +24,13 @@ import (
 const (
 	epEstimate = iota
 	epBatch
+	epStream
 	numEndpoints
 )
 
 // endpointNames are the wire names used as the Prometheus endpoint
 // label and the JSON metrics keys.
-var endpointNames = [numEndpoints]string{"estimate", "estimate_batch"}
+var endpointNames = [numEndpoints]string{"estimate", "estimate_batch", "estimate_stream"}
 
 // telemetry bundles the per-endpoint histograms and slow-trace
 // configuration. nil *telemetry means stage timing is disabled; the
@@ -67,6 +68,11 @@ func (t *telemetry) rec(ep int, st obs.Stage, d time.Duration, tr *obs.Trace) {
 // the scraper asks for Prometheus text format.
 func (s *Service) Obs() *obs.Registry { return s.obsReg }
 
+// Workers reports the estimation pool's resolved worker count — the
+// natural dispatch-concurrency bound for transports (the streaming
+// micro-batcher) sitting in front of the pool.
+func (s *Service) Workers() int { return s.opts.Workers }
+
 // StageLatencies returns the latency summary of one request stage for
 // an endpoint ("estimate" or "estimate_batch"). Zero summary when
 // telemetry is disabled or the endpoint is unknown.
@@ -77,6 +83,16 @@ func (s *Service) StageLatencies(endpoint string, stage obs.Stage) obs.Summary {
 	}
 	snap := s.tel.stages[ep][stage].Snapshot()
 	return snap.Summarize()
+}
+
+// RecordStreamStage records a transport-side stage duration (decode,
+// encode) against the streaming endpoint's histograms. The stream
+// listener runs outside the HTTP handler stack, so it feeds the same
+// per-stage telemetry through this hook. No-op with telemetry disabled.
+func (s *Service) RecordStreamStage(st obs.Stage, d time.Duration) {
+	if s.tel != nil && st < obs.NumStages {
+		s.tel.stages[epStream][st].Observe(d)
+	}
 }
 
 // RequestLatencies returns the end-to-end latency summary for an
@@ -114,6 +130,7 @@ func (s *Service) registerCollectors() {
 var endpointLabels = [numEndpoints]string{
 	obs.Labels("endpoint", endpointNames[epEstimate]),
 	obs.Labels("endpoint", endpointNames[epBatch]),
+	obs.Labels("endpoint", endpointNames[epStream]),
 }
 
 func (s *Service) collectServe(e *obs.Expo) {

@@ -1,0 +1,242 @@
+package stream
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Client is one persistent streaming connection. It is safe for
+// concurrent use: requests from many goroutines interleave on the one
+// connection, each tagged with a sequence ID, and a reader goroutine
+// demultiplexes responses back to their callers — out-of-order
+// completion included. Outbound frames funnel through a writer
+// goroutine that coalesces concurrently submitted frames into one
+// writev, so pipelined callers share syscalls instead of serializing
+// on a write lock.
+type Client struct {
+	c   net.Conn
+	seq atomic.Uint64
+
+	out  chan []byte
+	done chan struct{}
+
+	mu      sync.Mutex
+	waiters map[uint64]chan result
+	err     error // set once the reader dies; sticky
+}
+
+// result is one demultiplexed answer.
+type result struct {
+	body  []byte
+	isErr bool
+}
+
+// chanPool recycles waiter channels across calls; a pipelined caller
+// otherwise allocates one per request. Only channels that completed
+// normally are returned (a canceled waiter's channel may still
+// receive a late send; a failed client's channels are closed).
+var chanPool = sync.Pool{New: func() any { return make(chan result, 1) }}
+
+func resultChan() chan result { return chanPool.Get().(chan result) }
+
+// Dial opens a streaming connection to a resserve -stream-addr
+// listener.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout is Dial with a connect timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{
+		c:       nc,
+		out:     make(chan []byte, 256),
+		done:    make(chan struct{}),
+		waiters: make(map[uint64]chan result),
+	}
+	go cl.readLoop()
+	go cl.writeLoop()
+	return cl, nil
+}
+
+// writeLoop drains queued frames onto the connection, coalescing
+// whatever is already queued into a single writev — the mirror of the
+// server's writer. One slow syscall absorbs every frame that arrived
+// while the previous one was in flight.
+func (cl *Client) writeLoop() {
+	bufs := make(net.Buffers, 0, 64)
+	for {
+		select {
+		case b := <-cl.out:
+			bufs = append(bufs[:0], b)
+		drain:
+			for len(bufs) < cap(bufs) {
+				select {
+				case nb := <-cl.out:
+					bufs = append(bufs, nb)
+				default:
+					break drain
+				}
+			}
+			if _, err := bufs.WriteTo(cl.c); err != nil {
+				cl.fail(err)
+				return
+			}
+		case <-cl.done:
+			return
+		}
+	}
+}
+
+// Close tears the connection down; in-flight calls fail.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+// readLoop demultiplexes response frames to their waiters. On any read
+// failure every current and future call fails with the same sticky
+// error — a broken stream cannot be resynchronized, only redialed.
+func (cl *Client) readLoop() {
+	br := bufio.NewReader(cl.c)
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = fmt.Errorf("stream: connection closed by server: %w", io.EOF)
+			}
+			cl.fail(err)
+			return
+		}
+		if f.Type != FrameResponse && f.Type != FrameError {
+			cl.fail(fmt.Errorf("stream: unexpected frame type %d from server", f.Type))
+			return
+		}
+		cl.mu.Lock()
+		ch, ok := cl.waiters[f.Seq]
+		delete(cl.waiters, f.Seq)
+		cl.mu.Unlock()
+		if ok {
+			// Buffered (capacity 1): a waiter that gave up on its context
+			// deleted itself, and a late send must not block the reader.
+			ch <- result{body: f.Body, isErr: f.Type == FrameError}
+		}
+	}
+}
+
+func (cl *Client) fail(err error) {
+	cl.mu.Lock()
+	first := cl.err == nil
+	if first {
+		cl.err = err
+	}
+	waiters := cl.waiters
+	cl.waiters = make(map[uint64]chan result)
+	cl.mu.Unlock()
+	if first {
+		close(cl.done)
+	}
+	_ = cl.c.Close()
+	for _, ch := range waiters {
+		close(ch)
+	}
+}
+
+// EstimateRaw sends one estimate over the stream and returns the raw
+// response body — byte-identical to what POST /estimate would have
+// returned for the same request. The benches and the bit-identity
+// tests consume this; Estimate decodes it.
+func (cl *Client) EstimateRaw(ctx context.Context, req *Request) ([]byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	return cl.EstimateBytes(ctx, body)
+}
+
+// EstimateBytes is EstimateRaw for a pre-encoded request body (the
+// JSON encoding of Request). Callers issuing the same requests
+// repeatedly — replayers, load generators — skip the per-call
+// marshal, which re-compacts the embedded plan each time.
+func (cl *Client) EstimateBytes(ctx context.Context, body []byte) ([]byte, error) {
+	seq := cl.seq.Add(1)
+	buf, err := AppendFrame(make([]byte, 0, frameHeader+framePrefix+len(body)),
+		&Frame{Type: FrameEstimate, Seq: seq, Body: body})
+	if err != nil {
+		return nil, err
+	}
+
+	ch := resultChan()
+	cl.mu.Lock()
+	if cl.err != nil {
+		err := cl.err
+		cl.mu.Unlock()
+		return nil, err
+	}
+	cl.waiters[seq] = ch
+	cl.mu.Unlock()
+
+	select {
+	case cl.out <- buf:
+	case <-cl.done:
+		cl.mu.Lock()
+		delete(cl.waiters, seq)
+		err := cl.err
+		cl.mu.Unlock()
+		return nil, err
+	case <-ctx.Done():
+		cl.mu.Lock()
+		delete(cl.waiters, seq)
+		cl.mu.Unlock()
+		return nil, ctx.Err()
+	}
+
+	select {
+	case r, ok := <-ch:
+		if !ok {
+			cl.mu.Lock()
+			err := cl.err
+			cl.mu.Unlock()
+			return nil, err
+		}
+		chanPool.Put(ch)
+		if r.isErr {
+			var e Error
+			if jerr := json.Unmarshal(r.body, &e); jerr != nil {
+				return nil, fmt.Errorf("stream: undecodable error frame: %v", jerr)
+			}
+			return nil, &e
+		}
+		return r.body, nil
+	case <-ctx.Done():
+		cl.mu.Lock()
+		delete(cl.waiters, seq)
+		cl.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Estimate sends one estimate over the stream and decodes the
+// response. Server-side failures return *Error carrying the same
+// stable code the HTTP endpoint would have used.
+func (cl *Client) Estimate(ctx context.Context, req *Request) (*serve.Response, error) {
+	body, err := cl.EstimateRaw(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	var resp serve.Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, fmt.Errorf("stream: decode response: %w", err)
+	}
+	return &resp, nil
+}

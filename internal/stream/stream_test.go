@@ -1,0 +1,384 @@
+package stream_test
+
+// Tests for the streaming transport: wire responses byte-identical to
+// POST /estimate (the transport's core contract), per-request error
+// envelopes that never poison a batch, cross-connection coalescing,
+// idle reaping, and — under -race — many streaming clients against a
+// concurrent model hot-swap.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/serve"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+var (
+	setupOnce sync.Once
+	cpuEst    *core.Estimator
+	ioEst     *core.Estimator
+	testPlans []*plan.Plan
+)
+
+// setup trains one small CPU and one small I/O estimator and keeps a
+// held-out plan set. Estimators are immutable, so sharing across tests
+// is safe even under -race.
+func setup(t testing.TB) {
+	t.Helper()
+	setupOnce.Do(func() {
+		cfg := workload.DefaultConfig()
+		cfg.N = 64
+		cfg.Seed = 7
+		qs := workload.GenTPCH(cfg)
+		eng := engine.New(nil)
+		plans := make([]*plan.Plan, len(qs))
+		for i, q := range qs {
+			eng.Run(q.Plan)
+			plans[i] = q.Plan
+		}
+		cut := len(plans) * 3 / 4
+		ccfg := core.DefaultConfig()
+		ccfg.Mart.Iterations = 40
+		var err error
+		cpuEst, err = core.Train(plans[:cut], plan.CPUTime, nil, ccfg)
+		if err != nil {
+			panic(err)
+		}
+		ioEst, err = core.Train(plans[:cut], plan.LogicalIO, nil, ccfg)
+		if err != nil {
+			panic(err)
+		}
+		testPlans = plans[cut:]
+	})
+}
+
+// newStream builds a service with both estimators published on the
+// wildcard schema and a stream listener in front of it.
+func newStream(t testing.TB, sopts serve.Options, topts stream.Options) (*serve.Service, *stream.Server) {
+	t.Helper()
+	setup(t)
+	svc := serve.New(sopts)
+	t.Cleanup(svc.Close)
+	svc.Registry().Publish("", cpuEst)
+	svc.Registry().Publish("", ioEst)
+	topts.Service = svc
+	srv, err := stream.Start("127.0.0.1:0", topts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return svc, srv
+}
+
+func dial(t testing.TB, srv *stream.Server) *stream.Client {
+	t.Helper()
+	cl, err := stream.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func planJSON(t testing.TB, p *plan.Plan) json.RawMessage {
+	t.Helper()
+	b, err := plan.EncodeJSON(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestStreamMatchesHTTPBitIdentical pins the transport's core
+// contract: the stream response payload is byte-for-byte the POST
+// /estimate response body for the same request — single- and
+// multi-resource, across several plans. The cache is warmed first so
+// both paths report identical cache counters (cold counters can
+// legitimately differ: the single path's interleaved probes see
+// intra-plan duplicate operators as hits, the batch multi-get does
+// not).
+func TestStreamMatchesHTTPBitIdentical(t *testing.T) {
+	svc, srv := newStream(t, serve.Options{}, stream.Options{})
+	httpSrv := httptest.NewServer(svc.Handler())
+	t.Cleanup(httpSrv.Close)
+	cl := dial(t, srv)
+
+	reqs := []*stream.Request{
+		{Resource: "cpu", Plan: planJSON(t, testPlans[0])},
+		{Resource: "io", Plan: planJSON(t, testPlans[1])},
+		{Resources: []string{"cpu", "io"}, Plan: planJSON(t, testPlans[2])},
+		{Resources: []string{"all"}, Plan: planJSON(t, testPlans[3%len(testPlans)])},
+	}
+	for i, req := range reqs {
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Twice over HTTP: the second hits a fully warm cache.
+		var httpBody []byte
+		for k := 0; k < 2; k++ {
+			resp, err := http.Post(httpSrv.URL+"/estimate", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			httpBody, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("request %d: HTTP status %d: %s", i, resp.StatusCode, httpBody)
+			}
+		}
+		got, err := cl.EstimateRaw(context.Background(), req)
+		if err != nil {
+			t.Fatalf("request %d: stream estimate: %v", i, err)
+		}
+		if !bytes.Equal(got, httpBody) {
+			t.Fatalf("request %d: stream response differs from /estimate body\nstream: %s\nhttp:   %s",
+				i, got, httpBody)
+		}
+	}
+}
+
+// TestStreamDecodedResponse checks the convenience decoder: totals are
+// positive, finite, and exactly the sum of operator estimates.
+func TestStreamDecodedResponse(t *testing.T) {
+	_, srv := newStream(t, serve.Options{}, stream.Options{})
+	cl := dial(t, srv)
+	resp, err := cl.Estimate(context.Background(), &stream.Request{
+		Resource: "cpu", Plan: planJSON(t, testPlans[0]),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(resp.Total > 0) || math.IsInf(resp.Total, 0) {
+		t.Fatalf("total = %v", resp.Total)
+	}
+	var sum float64
+	for _, op := range resp.Operators {
+		sum += op.Estimate
+	}
+	if resp.Total != sum {
+		t.Fatalf("total %v != operator sum %v", resp.Total, sum)
+	}
+	if resp.CacheHits+resp.CacheMisses != len(resp.Operators) {
+		t.Fatalf("cache counters %d+%d don't cover %d operators",
+			resp.CacheHits, resp.CacheMisses, len(resp.Operators))
+	}
+}
+
+// TestStreamErrorEnvelopes drives every per-request failure class over
+// one connection and checks (a) the stable code, (b) the connection
+// survives — a bad request answers its own sequence ID and never
+// poisons the stream or a coalesced batch.
+func TestStreamErrorEnvelopes(t *testing.T) {
+	_, srv := newStream(t, serve.Options{}, stream.Options{})
+	cl := dial(t, srv)
+	ctx := context.Background()
+
+	cases := []struct {
+		name string
+		req  *stream.Request
+		code string
+	}{
+		{"unknown resource", &stream.Request{Resource: "gpu", Plan: planJSON(t, testPlans[0])}, "unknown_resource"},
+		{"missing plan", &stream.Request{Resource: "cpu"}, "bad_request"},
+		{"bad plan", &stream.Request{Resource: "cpu", Plan: json.RawMessage(`{"nodes": 12}`)}, "bad_plan"},
+	}
+	for _, tc := range cases {
+		_, err := cl.EstimateRaw(ctx, tc.req)
+		var se *stream.Error
+		if !errors.As(err, &se) {
+			t.Fatalf("%s: err = %v, want *stream.Error", tc.name, err)
+		}
+		if se.Code != tc.code {
+			t.Fatalf("%s: code = %q, want %q", tc.name, se.Code, tc.code)
+		}
+		// The connection must still serve valid requests.
+		if _, err := cl.EstimateRaw(ctx, &stream.Request{Resource: "cpu", Plan: planJSON(t, testPlans[0])}); err != nil {
+			t.Fatalf("%s: connection dead after per-request error: %v", tc.name, err)
+		}
+	}
+}
+
+// TestStreamUnknownSchema exercises the batch-level failure path: the
+// whole group shares routing, so a no-model schema fans the
+// unknown_schema envelope back.
+func TestStreamUnknownSchema(t *testing.T) {
+	setup(t)
+	svc := serve.New(serve.Options{})
+	t.Cleanup(svc.Close)
+	svc.Registry().Publish("tpch", cpuEst) // no wildcard
+	srv, err := stream.Start("127.0.0.1:0", stream.Options{Service: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl := dial(t, srv)
+	_, err = cl.EstimateRaw(context.Background(), &stream.Request{
+		Schema: "other", Resource: "cpu", Plan: planJSON(t, testPlans[0]),
+	})
+	var se *stream.Error
+	if !errors.As(err, &se) || se.Code != "unknown_schema" {
+		t.Fatalf("err = %v, want unknown_schema envelope", err)
+	}
+}
+
+// TestStreamCoalescesAcrossConnections pins the tentpole behavior:
+// concurrent single estimates from many connections dispatch in fewer,
+// fuller batches.
+func TestStreamCoalescesAcrossConnections(t *testing.T) {
+	_, srv := newStream(t, serve.Options{}, stream.Options{MaxWait: 2 * time.Millisecond})
+	const conns, perConn = 16, 10
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errs := make(chan error, conns)
+	for i := 0; i < conns; i++ {
+		cl := dial(t, srv)
+		wg.Add(1)
+		go func(cl *stream.Client, i int) {
+			defer wg.Done()
+			<-start
+			for k := 0; k < perConn; k++ {
+				req := &stream.Request{Resource: "cpu", Plan: planJSON(t, testPlans[(i+k)%len(testPlans)])}
+				if _, err := cl.EstimateRaw(context.Background(), req); err != nil {
+					errs <- fmt.Errorf("conn %d: %w", i, err)
+					return
+				}
+			}
+		}(cl, i)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Requests != conns*perConn {
+		t.Fatalf("requests = %d, want %d", st.Requests, conns*perConn)
+	}
+	if st.Responses != st.Requests {
+		t.Fatalf("responses %d != requests %d", st.Responses, st.Requests)
+	}
+	if st.Dispatches >= st.Requests {
+		t.Fatalf("no coalescing: %d dispatches for %d requests", st.Dispatches, st.Requests)
+	}
+	t.Logf("coalescing: %d requests in %d dispatches (avg fill %.1f)",
+		st.Requests, st.Dispatches, float64(st.Requests)/float64(st.Dispatches))
+}
+
+// TestStreamClientsRaceHotSwap races streaming clients against model
+// republishes — the hot-swap discipline the HTTP path pins, on the new
+// transport. Run with -race.
+func TestStreamClientsRaceHotSwap(t *testing.T) {
+	svc, srv := newStream(t, serve.Options{}, stream.Options{})
+	const clients, perClient, swaps = 8, 20, 40
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < swaps; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			svc.Registry().Publish("", cpuEst)
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+	for i := 0; i < clients; i++ {
+		cl := dial(t, srv)
+		wg.Add(1)
+		go func(cl *stream.Client, i int) {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				resp, err := cl.Estimate(context.Background(), &stream.Request{
+					Resource: "cpu", Plan: planJSON(t, testPlans[(i*perClient+k)%len(testPlans)]),
+				})
+				if err != nil {
+					errs <- fmt.Errorf("client %d: %w", i, err)
+					return
+				}
+				if !(resp.Total > 0) {
+					errs <- fmt.Errorf("client %d: non-positive total %v", i, resp.Total)
+					return
+				}
+			}
+		}(cl, i)
+	}
+	wg.Wait()
+	close(stop)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamIdleReap: a connection with no inbound frames is closed
+// once IdleTimeout passes, releasing its goroutines and socket.
+func TestStreamIdleReap(t *testing.T) {
+	_, srv := newStream(t, serve.Options{}, stream.Options{IdleTimeout: 100 * time.Millisecond})
+	cl := dial(t, srv)
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Open != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle connection not reaped: %+v", srv.Stats())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The client's next call must fail — the server hung up.
+	if _, err := cl.EstimateRaw(context.Background(), &stream.Request{
+		Resource: "cpu", Plan: planJSON(t, testPlans[0]),
+	}); err == nil {
+		t.Fatal("estimate succeeded on a reaped connection")
+	}
+}
+
+// TestStreamServerClose: Close tears down open connections and
+// subsequent client calls fail rather than hang.
+func TestStreamServerClose(t *testing.T) {
+	setup(t)
+	svc := serve.New(serve.Options{})
+	t.Cleanup(svc.Close)
+	svc.Registry().Publish("", cpuEst)
+	srv, err := stream.Start("127.0.0.1:0", stream.Options{Service: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := dial(t, srv)
+	if _, err := cl.Estimate(context.Background(), &stream.Request{
+		Resource: "cpu", Plan: planJSON(t, testPlans[0]),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := cl.EstimateRaw(ctx, &stream.Request{
+		Resource: "cpu", Plan: planJSON(t, testPlans[0]),
+	}); err == nil {
+		t.Fatal("estimate succeeded after server close")
+	}
+}

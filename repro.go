@@ -32,6 +32,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/serve"
 	"repro/internal/store"
+	"repro/internal/stream"
 	"repro/internal/workload"
 )
 
@@ -467,6 +468,48 @@ type (
 // snapshot. ServeOptions.DisableTelemetry switches the stage timing
 // off; the plain counters always run.
 func NewService(opts ServeOptions) *Service { return serve.New(opts) }
+
+// --- Streaming transport ---------------------------------------------
+//
+// The streaming transport serves estimates over persistent framed TCP
+// connections: many requests interleave in flight on one connection,
+// and the server coalesces requests *across* connections into
+// micro-batched dispatches through the same pool/cache path as HTTP —
+// responses stay byte-identical to POST /estimate. cmd/resserve
+// exposes it with -stream-addr; see README "Streaming protocol" for
+// the frame layout and coalescing bounds.
+
+// Streaming types, re-exported like the serving types above.
+type (
+	// StreamServer is the coalescing streaming listener.
+	StreamServer = stream.Server
+	// StreamServerOptions bounds micro-batching (MaxBatch, MaxWait) and
+	// the per-connection idle/write deadlines.
+	StreamServerOptions = stream.Options
+	// StreamClient is one persistent streaming connection, safe for
+	// concurrent use; responses demultiplex by sequence ID.
+	StreamClient = stream.Client
+	// StreamRequest is the estimate request carried in one frame. It
+	// mirrors the POST /estimate body field for field.
+	StreamRequest = stream.Request
+	// StreamStats is a snapshot of a stream server's counters.
+	StreamStats = stream.Stats
+	// StreamError is a per-request server-side failure carrying the
+	// same stable error code the HTTP endpoint would have returned.
+	StreamError = stream.Error
+)
+
+// StartStreamServer binds addr and serves the streaming estimate
+// protocol for opts.Service in the background until Close. Register
+// the server's Collector on the service's MetricsRegistry to surface
+// the stream series on GET /metrics.
+func StartStreamServer(addr string, opts StreamServerOptions) (*StreamServer, error) {
+	return stream.Start(addr, opts)
+}
+
+// DialStream opens a streaming client connection to a stream listener
+// (resserve -stream-addr).
+func DialStream(addr string) (*StreamClient, error) { return stream.Dial(addr) }
 
 // --- Versioned model store -------------------------------------------
 //
