@@ -8,7 +8,8 @@
 //	resbench -size 0.25 -iters 200    # smaller/faster run
 //
 // Experiments: table4..table13, fig1, fig2, fig3, fig6, fig7, fig8,
-// predcost, memsize, trainbench, servebench, streambench, accuracybench.
+// predcost, memsize, trainbench, servebench, streambench, accuracybench,
+// coldstartbench.
 //
 // trainbench times the parallel training pipeline (bootstrap-shaped
 // CPU+I/O sweep at 1 worker and at GOMAXPROCS) and writes the
@@ -36,6 +37,14 @@
 // ratio-band coverage to -accuracy-out (default BENCH_accuracy.json) —
 // the model-quality baseline tracked across PRs, measured with the same
 // error histogram the online feedback telemetry exports.
+//
+// coldstartbench publishes one CPU+I/O snapshot and times restoring it
+// three ways — heap (JSON decode + recompile), mmap (zero-copy over the
+// exact slab) and quantized (the slab's float32 section) — writing
+// restore latency, per-replica private model memory and post-restore
+// batch throughput to -coldstart-out (default BENCH_coldstart.json).
+// -coldstart-speedup-min turns the mmap-vs-heap restore ratio into a
+// hard guard.
 package main
 
 import (
@@ -72,6 +81,11 @@ func main() {
 		strConns = flag.String("stream-conns", "1,64,1024", "streambench comma-separated connection counts")
 		strOut   = flag.String("stream-out", "BENCH_stream.json", "streambench baseline output path (empty = stdout only)")
 		strMin   = flag.Float64("stream-speedup-min", 0, "fail when the highest-concurrency streaming speedup vs HTTP falls below this (<= 0 disables the guard)")
+		coldN    = flag.Int("coldstart-n", 96, "coldstartbench workload size (queries)")
+		coldIt   = flag.Int("coldstart-iters", 100, "coldstartbench model MART iterations")
+		coldRnd  = flag.Int("coldstart-rounds", 7, "coldstartbench restore rounds per mode (median taken)")
+		coldOut  = flag.String("coldstart-out", "BENCH_coldstart.json", "coldstartbench baseline output path (empty = stdout only)")
+		coldMin  = flag.Float64("coldstart-speedup-min", 0, "fail when the mmap restore speedup vs heap decode falls below this (<= 0 disables the guard)")
 	)
 	flag.Parse()
 
@@ -299,6 +313,40 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote accuracy baseline to %s\n", *accOut)
 		}
 	}
+	if sel("coldstartbench") {
+		fmt.Fprintln(os.Stderr, "running coldstartbench (heap vs mmap vs quantized restore)...")
+		cb, err := experiments.RunColdStartBench(*coldN, *coldIt, *coldRnd)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Cold start (%d plans, %d operators, %d iterations; snapshot %s JSON / %s slab):\n",
+			cb.Queries, cb.Operators, cb.Iterations,
+			fmtKB(cb.ModelFileBytes), fmtKB(cb.SlabFileBytes))
+		for _, m := range cb.Modes {
+			fmt.Printf("  %-10s restore %8.3f ms  private %8s  %9.0f plans/s  (%s)\n",
+				m.Mode, m.RestoreMillis, fmtKB(m.PrivateModelBytes),
+				m.BatchPlansPerSec, strings.Join(m.Layouts, ","))
+		}
+		fmt.Printf("  mmap restore speedup vs heap: %.1fx\n", cb.MmapSpeedup)
+		if *coldOut != "" {
+			data, err := json.MarshalIndent(cb, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*coldOut, append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote cold-start baseline to %s\n", *coldOut)
+		}
+		if *coldMin > 0 && cb.MmapSpeedup < *coldMin {
+			fatal(fmt.Errorf("mmap restore speedup %.1fx below the %.1fx guard",
+				cb.MmapSpeedup, *coldMin))
+		}
+	}
+}
+
+func fmtKB(b int64) string {
+	return fmt.Sprintf("%.1f KB", float64(b)/1024)
 }
 
 func fatal(err error) {

@@ -139,6 +139,7 @@ func main() {
 		modelDir    = flag.String("model-dir", "", "directory POST /models may load model files from (empty disables the endpoint)")
 		storeDir    = flag.String("store-dir", "", "versioned model-store directory; every publish persists an atomic snapshot there, startup restores the latest ones, and rollback walks snapshot history")
 		storeRetain = flag.Int("store-retain", 16, "snapshots retained per schema in the model store (negative disables pruning)")
+		slabQuant   = flag.Bool("slab-quantized", false, "restore models from the float32-quantized slab layout when the publish-time accuracy gate admitted one (default: exact float64 slabs, bit-identical to JSON decode)")
 		feedbackDir = flag.String("feedback-dir", "", "observation-log directory; enables the online feedback loop (POST /observe, drift-triggered retraining)")
 		trainWork   = flag.Int("train-workers", 0, "training worker pool size for -bootstrap and feedback retrains (0 = GOMAXPROCS); trained models are bit-identical at any worker count")
 		driftThresh = flag.Float64("drift-threshold", 2, "retrain when the recent P90 relative error exceeds this multiple of the model's training-time baseline")
@@ -190,29 +191,18 @@ func main() {
 
 	// The model store, when enabled, is attached before any model is
 	// published so every producer below — restored snapshots aside —
-	// persists through it. Restores are tracked per resource: skipping
-	// bootstrap for a schema is only safe when every bootstrap resource
-	// actually came back (a crash between the CPU and IO publishes can
-	// leave a one-resource snapshot behind, which must heal, not wedge).
-	restored := make(map[string]map[string]bool)
-	markRestored := func(schema, resource string) {
-		if restored[schema] == nil {
-			restored[schema] = make(map[string]bool)
-		}
-		restored[schema][resource] = true
-	}
-	missingResources := func(schema string) []repro.Resource {
-		var missing []repro.Resource
-		for _, r := range repro.AllResources() {
-			if !restored[schema][r.String()] {
-				missing = append(missing, r)
-			}
-		}
-		return missing
-	}
+	// persists through it. Restores are tracked per resource (see
+	// restoreTracker): skipping bootstrap for a schema is only safe when
+	// every bootstrap resource actually came back.
+	restored := newRestoreTracker()
 	if *storeDir != "" {
+		slabMode := repro.SlabExact
+		if *slabQuant {
+			slabMode = repro.SlabQuantized
+		}
 		st, err := repro.OpenModelStore(*storeDir, repro.ModelStoreOptions{
 			Retain: *storeRetain,
+			Slab:   slabMode,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "resserve: "+format+"\n", args...)
 			},
@@ -228,7 +218,7 @@ func main() {
 		}
 		for _, info := range infos {
 			logModel("restored", info, fmt.Sprintf("snapshot v%d", info.Snapshot))
-			markRestored(info.Schema, info.Resource)
+			restored.mark(info.Schema, info.Resource)
 		}
 		fmt.Fprintf(os.Stderr, "resserve: model store at %s (%d models restored, retaining %d snapshots per schema)\n",
 			*storeDir, len(infos), *storeRetain)
@@ -239,7 +229,7 @@ func main() {
 		if i := strings.IndexByte(spec, '='); i >= 0 {
 			schema, path = spec[:i], spec[i+1:]
 		}
-		if len(restored[schema]) > 0 {
+		if restored.any(schema) {
 			// The store's serving set supersedes the file: republishing
 			// it would revert any retrained/uploaded model the store
 			// accumulated, on every restart. Swap files in explicitly
@@ -256,7 +246,7 @@ func main() {
 	}
 
 	for _, schema := range splitList(*bootstrap) {
-		missing := missingResources(schema)
+		missing := restored.missing(schema)
 		if len(missing) == 0 {
 			// The store already holds this schema's latest serving set;
 			// retraining it at every restart would waste minutes and
@@ -264,7 +254,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "resserve: %s restored from the model store; skipping bootstrap\n", schema)
 			continue
 		}
-		if len(restored[schema]) > 0 {
+		if restored.any(schema) {
 			// Heal only what is absent: the restored resources may carry
 			// retrained or uploaded models that a fresh bootstrap would
 			// silently revert.

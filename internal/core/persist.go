@@ -102,9 +102,17 @@ func (e *Estimator) Save(w io.Writer) error {
 }
 
 func encodeCombined(c *CombinedModel) (combinedJSON, error) {
-	blob, err := c.Mart.EncodeBinary()
-	if err != nil {
-		return combinedJSON{}, err
+	// A slab-restored model never materializes Mart; its retained
+	// compact binary re-emits byte-identical model files.
+	blob := c.martBlob
+	if c.Mart != nil {
+		var err error
+		blob, err = c.Mart.EncodeBinary()
+		if err != nil {
+			return combinedJSON{}, err
+		}
+	} else if blob == nil {
+		return combinedJSON{}, fmt.Errorf("model has neither Mart nor a retained binary blob")
 	}
 	cj := combinedJSON{
 		Low:      c.Low,

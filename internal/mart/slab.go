@@ -1,0 +1,222 @@
+package mart
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// Slab encoding: Compiled serialized as a relocatable flat byte range
+// whose node/leaf payload bytes are exactly the in-memory layout on a
+// little-endian host. That identity is the whole point — a loader can
+// mmap the file read-only and alias the node slab and leaf array
+// directly over the mapped pages (CompiledFromSlab), so restore cost is
+// a header parse plus validation walk, independent of how the model was
+// trained, and co-resident processes share the pages.
+//
+// Layout (all fields little-endian, offsets relative to slab start,
+// which callers must keep 8-byte aligned relative to the mapping base):
+//
+//	off  0  u32  magic "MCS1"
+//	off  4  u32  nTrees
+//	off  8  u64  nNodes
+//	off 16  f64  base
+//	off 24  f64  rate
+//	off 32  i32  maxFeat
+//	off 36  u32  reserved (0)
+//	off 40  i32 × nTrees   roots
+//	        i32 × nTrees   depth
+//	        16B × nNodes   nodes {i32 feat, i32 left, u64 key}
+//	        f64 × nNodes   leaf
+//
+// roots+depth together occupy 8·nTrees bytes, so the node slab is
+// always 8-byte aligned without padding. Total size is
+// slabHeaderSize + 8·nTrees + 24·nNodes, and a decoder rejects any
+// length mismatch.
+const (
+	slabMagic      = 0x3153434D // "MCS1"
+	slabHeaderSize = 40
+
+	// Caps keep a corrupt header from driving huge allocations before
+	// the length check; both are far above any trained ensemble.
+	maxSlabTrees = 1 << 20
+	maxSlabNodes = 1 << 28
+	maxSlabFeat  = 1 << 16
+	maxSlabDepth = 64
+)
+
+var (
+	// ErrSlab wraps every slab decode failure so callers can branch on
+	// "this byte range is not a usable slab" without matching strings.
+	ErrSlab = errors.New("mart: bad slab")
+
+	// hostLittleEndian gates the zero-copy alias: on a big-endian host
+	// the file layout and the in-memory layout differ, so decode copies.
+	hostLittleEndian = func() bool {
+		x := uint16(1)
+		return *(*byte)(unsafe.Pointer(&x)) == 1
+	}()
+
+	// slabForceCopy forces the copying decode path (tests exercise it on
+	// little-endian hosts where the alias path would otherwise win).
+	slabForceCopy = false
+)
+
+// InputsNeeded returns how many features a row must have for the walks
+// to be in bounds: maxFeat+1, or 0 for a model with no nodes. Loaders
+// validate this against the metadata that sizes prediction rows.
+func (c *Compiled) InputsNeeded() int {
+	if len(c.nodes) == 0 {
+		return 0
+	}
+	return int(c.maxFeat) + 1
+}
+
+// SlabSize returns the exact encoded size of the compiled model.
+func (c *Compiled) SlabSize() int {
+	return slabHeaderSize + 8*len(c.roots) + 24*len(c.nodes)
+}
+
+// AppendSlab appends the slab encoding of c to dst and returns the
+// extended slice. The encoding is byte-deterministic for a given model
+// on every host (explicit little-endian stores, no padding garbage).
+func (c *Compiled) AppendSlab(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, c.SlabSize())...)
+	b := dst[off:]
+	binary.LittleEndian.PutUint32(b[0:], slabMagic)
+	binary.LittleEndian.PutUint32(b[4:], uint32(len(c.roots)))
+	binary.LittleEndian.PutUint64(b[8:], uint64(len(c.nodes)))
+	binary.LittleEndian.PutUint64(b[16:], math.Float64bits(c.base))
+	binary.LittleEndian.PutUint64(b[24:], math.Float64bits(c.rate))
+	binary.LittleEndian.PutUint32(b[32:], uint32(c.maxFeat))
+	binary.LittleEndian.PutUint32(b[36:], 0)
+	p := slabHeaderSize
+	for _, r := range c.roots {
+		binary.LittleEndian.PutUint32(b[p:], uint32(r))
+		p += 4
+	}
+	for _, d := range c.depth {
+		binary.LittleEndian.PutUint32(b[p:], uint32(d))
+		p += 4
+	}
+	for i := range c.nodes {
+		n := &c.nodes[i]
+		binary.LittleEndian.PutUint32(b[p:], uint32(n.feat))
+		binary.LittleEndian.PutUint32(b[p+4:], uint32(n.left))
+		binary.LittleEndian.PutUint64(b[p+8:], n.key)
+		p += 16
+	}
+	for _, v := range c.leaf {
+		binary.LittleEndian.PutUint64(b[p:], math.Float64bits(v))
+		p += 8
+	}
+	return dst
+}
+
+// CompiledFromSlab reconstructs a Compiled view over the slab bytes.
+// On a little-endian host with an 8-byte-aligned node region the node
+// and leaf arrays alias b directly — zero copy, so b must stay alive
+// and unmodified for the lifetime of the returned Compiled (an mmap'd
+// read-only file satisfies both). Otherwise the arrays are decoded onto
+// the heap and b may be discarded.
+//
+// Every structural invariant the unsafe batch walk relies on is checked
+// here — magic, exact length, feature bounds, child-index bounds, the
+// leaf self-loop shape — so a decoded slab is safe to walk even if the
+// bytes were adversarial (checksums upstream catch accidents; this
+// catches everything else).
+func CompiledFromSlab(b []byte) (*Compiled, error) {
+	if len(b) < slabHeaderSize {
+		return nil, fmt.Errorf("%w: %d bytes, want >= %d", ErrSlab, len(b), slabHeaderSize)
+	}
+	if m := binary.LittleEndian.Uint32(b[0:]); m != slabMagic {
+		return nil, fmt.Errorf("%w: magic %#x", ErrSlab, m)
+	}
+	nTrees := int(binary.LittleEndian.Uint32(b[4:]))
+	nNodes64 := binary.LittleEndian.Uint64(b[8:])
+	if nTrees > maxSlabTrees || nNodes64 > maxSlabNodes {
+		return nil, fmt.Errorf("%w: %d trees / %d nodes exceed caps", ErrSlab, nTrees, nNodes64)
+	}
+	nNodes := int(nNodes64)
+	want := slabHeaderSize + 8*nTrees + 24*nNodes
+	if len(b) != want {
+		return nil, fmt.Errorf("%w: %d bytes, want %d", ErrSlab, len(b), want)
+	}
+	c := &Compiled{
+		base:    math.Float64frombits(binary.LittleEndian.Uint64(b[16:])),
+		rate:    math.Float64frombits(binary.LittleEndian.Uint64(b[24:])),
+		maxFeat: int32(binary.LittleEndian.Uint32(b[32:])),
+	}
+	if math.IsNaN(c.base) || math.IsInf(c.base, 0) || math.IsNaN(c.rate) || math.IsInf(c.rate, 0) {
+		return nil, fmt.Errorf("%w: non-finite base/rate", ErrSlab)
+	}
+	if c.maxFeat < 0 || c.maxFeat >= maxSlabFeat {
+		return nil, fmt.Errorf("%w: maxFeat %d", ErrSlab, c.maxFeat)
+	}
+	p := slabHeaderSize
+	c.roots = make([]int32, nTrees)
+	for i := range c.roots {
+		c.roots[i] = int32(binary.LittleEndian.Uint32(b[p:]))
+		p += 4
+	}
+	c.depth = make([]int32, nTrees)
+	for i := range c.depth {
+		c.depth[i] = int32(binary.LittleEndian.Uint32(b[p:]))
+		p += 4
+	}
+	nodesOff, leafOff := p, p+16*nNodes
+	nb, lb := b[nodesOff:leafOff], b[leafOff:]
+	if hostLittleEndian && !slabForceCopy && nNodes > 0 &&
+		uintptr(unsafe.Pointer(unsafe.SliceData(nb)))%8 == 0 {
+		c.nodes = unsafe.Slice((*cnode)(unsafe.Pointer(unsafe.SliceData(nb))), nNodes)
+		c.leaf = unsafe.Slice((*float64)(unsafe.Pointer(unsafe.SliceData(lb))), nNodes)
+	} else {
+		c.nodes = make([]cnode, nNodes)
+		c.leaf = make([]float64, nNodes)
+		for i := range c.nodes {
+			c.nodes[i] = cnode{
+				feat: int32(binary.LittleEndian.Uint32(nb[16*i:])),
+				left: int32(binary.LittleEndian.Uint32(nb[16*i+4:])),
+				key:  binary.LittleEndian.Uint64(nb[16*i+8:]),
+			}
+			c.leaf[i] = math.Float64frombits(binary.LittleEndian.Uint64(lb[8*i:]))
+		}
+	}
+	if err := c.validateSlab(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// validateSlab checks the structural invariants the walks depend on.
+// The rule for children makes every reachable index stay in range: a
+// leaf is exactly {left = self, key = leafKey} (self-loop, never
+// exceeded), and an inner node's pair {left, left+1} must both exist.
+func (c *Compiled) validateSlab() error {
+	n := int32(len(c.nodes))
+	for t, r := range c.roots {
+		if r < 0 || r >= n {
+			return fmt.Errorf("%w: tree %d root %d out of range [0,%d)", ErrSlab, t, r, n)
+		}
+		if d := c.depth[t]; d < 0 || d > maxSlabDepth {
+			return fmt.Errorf("%w: tree %d depth %d", ErrSlab, t, d)
+		}
+	}
+	for i := range c.nodes {
+		nd := &c.nodes[i]
+		if nd.feat < 0 || nd.feat > c.maxFeat {
+			return fmt.Errorf("%w: node %d feat %d > maxFeat %d", ErrSlab, i, nd.feat, c.maxFeat)
+		}
+		if nd.key == leafKey {
+			if nd.left != int32(i) {
+				return fmt.Errorf("%w: leaf %d left %d not self", ErrSlab, i, nd.left)
+			}
+		} else if nd.left < 0 || nd.left+1 >= n || nd.left+1 < 0 {
+			return fmt.Errorf("%w: node %d child pair %d out of range [0,%d)", ErrSlab, i, nd.left, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package regtree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// Slab encoding: Compiled serialized as a relocatable flat byte range
+// whose stage/segment payload is exactly the in-memory layout on a
+// little-endian host, so a loader can mmap the file and alias the
+// arrays over the mapped pages with no heap decode (the same discipline
+// as the mart slab; see internal/mart/slab.go).
+//
+// Layout (little-endian, offsets relative to slab start, which callers
+// keep 8-byte aligned relative to the mapping base):
+//
+//	off  0  u32  magic "RTS1"
+//	off  4  u32  nStages
+//	off  8  u64  nSegs
+//	off 16  f64  base
+//	off 24  f64  rate
+//	off 32  12B × nStages  stages {i32 feature, i32 off, i32 n}
+//	        pad to 8-byte boundary (zeros)
+//	        24B × nSegs    segs {f64 hi, f64 a, f64 b}
+const (
+	slabMagic      = 0x31535452 // "RTS1"
+	slabHeaderSize = 32
+
+	maxSlabStages = 1 << 20
+	maxSlabSegs   = 1 << 26
+	maxSlabFeat   = 1 << 16
+)
+
+// ErrSlab wraps every slab decode failure.
+var ErrSlab = errors.New("regtree: bad slab")
+
+var (
+	hostLittleEndian = func() bool {
+		x := uint16(1)
+		return *(*byte)(unsafe.Pointer(&x)) == 1
+	}()
+
+	// slabForceCopy forces the copying decode path (for tests).
+	slabForceCopy = false
+)
+
+func slabPad(nStages int) int {
+	return (8 - (slabHeaderSize+12*nStages)%8) % 8
+}
+
+// SlabSize returns the exact encoded size of the compiled model.
+func (c *Compiled) SlabSize() int {
+	return slabHeaderSize + 12*len(c.stages) + slabPad(len(c.stages)) + 24*len(c.segs)
+}
+
+// AppendSlab appends the slab encoding of c to dst and returns the
+// extended slice; byte-deterministic on every host.
+func (c *Compiled) AppendSlab(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, c.SlabSize())...)
+	b := dst[off:]
+	binary.LittleEndian.PutUint32(b[0:], slabMagic)
+	binary.LittleEndian.PutUint32(b[4:], uint32(len(c.stages)))
+	binary.LittleEndian.PutUint64(b[8:], uint64(len(c.segs)))
+	binary.LittleEndian.PutUint64(b[16:], math.Float64bits(c.base))
+	binary.LittleEndian.PutUint64(b[24:], math.Float64bits(c.rate))
+	p := slabHeaderSize
+	for i := range c.stages {
+		st := &c.stages[i]
+		binary.LittleEndian.PutUint32(b[p:], uint32(st.feature))
+		binary.LittleEndian.PutUint32(b[p+4:], uint32(st.off))
+		binary.LittleEndian.PutUint32(b[p+8:], uint32(st.n))
+		p += 12
+	}
+	p += slabPad(len(c.stages))
+	for i := range c.segs {
+		s := &c.segs[i]
+		binary.LittleEndian.PutUint64(b[p:], math.Float64bits(s.hi))
+		binary.LittleEndian.PutUint64(b[p+8:], math.Float64bits(s.a))
+		binary.LittleEndian.PutUint64(b[p+16:], math.Float64bits(s.b))
+		p += 24
+	}
+	return dst
+}
+
+// CompiledFromSlab reconstructs a Compiled view over slab bytes. On a
+// little-endian host the stage and segment arrays alias b directly, so
+// b must stay alive and unmodified for the lifetime of the returned
+// model (an mmap'd read-only file); otherwise the arrays are decoded
+// onto the heap. Structural invariants (segment ranges in bounds,
+// every stage non-empty, feature indexes sane) are validated so the
+// evaluation loops are safe on adversarial bytes.
+func CompiledFromSlab(b []byte) (*Compiled, error) {
+	if len(b) < slabHeaderSize {
+		return nil, fmt.Errorf("%w: %d bytes, want >= %d", ErrSlab, len(b), slabHeaderSize)
+	}
+	if m := binary.LittleEndian.Uint32(b[0:]); m != slabMagic {
+		return nil, fmt.Errorf("%w: magic %#x", ErrSlab, m)
+	}
+	nStages := int(binary.LittleEndian.Uint32(b[4:]))
+	nSegs64 := binary.LittleEndian.Uint64(b[8:])
+	if nStages > maxSlabStages || nSegs64 > maxSlabSegs {
+		return nil, fmt.Errorf("%w: %d stages / %d segs exceed caps", ErrSlab, nStages, nSegs64)
+	}
+	nSegs := int(nSegs64)
+	want := slabHeaderSize + 12*nStages + slabPad(nStages) + 24*nSegs
+	if len(b) != want {
+		return nil, fmt.Errorf("%w: %d bytes, want %d", ErrSlab, len(b), want)
+	}
+	c := &Compiled{
+		base: math.Float64frombits(binary.LittleEndian.Uint64(b[16:])),
+		rate: math.Float64frombits(binary.LittleEndian.Uint64(b[24:])),
+	}
+	if math.IsNaN(c.base) || math.IsInf(c.base, 0) || math.IsNaN(c.rate) || math.IsInf(c.rate, 0) {
+		return nil, fmt.Errorf("%w: non-finite base/rate", ErrSlab)
+	}
+	sb := b[slabHeaderSize : slabHeaderSize+12*nStages]
+	gb := b[slabHeaderSize+12*nStages+slabPad(nStages):]
+	if hostLittleEndian && !slabForceCopy && nStages > 0 && nSegs > 0 &&
+		uintptr(unsafe.Pointer(unsafe.SliceData(sb)))%4 == 0 &&
+		uintptr(unsafe.Pointer(unsafe.SliceData(gb)))%8 == 0 {
+		c.stages = unsafe.Slice((*cstage)(unsafe.Pointer(unsafe.SliceData(sb))), nStages)
+		c.segs = unsafe.Slice((*cseg)(unsafe.Pointer(unsafe.SliceData(gb))), nSegs)
+	} else {
+		c.stages = make([]cstage, nStages)
+		c.segs = make([]cseg, nSegs)
+		for i := range c.stages {
+			c.stages[i] = cstage{
+				feature: int32(binary.LittleEndian.Uint32(sb[12*i:])),
+				off:     int32(binary.LittleEndian.Uint32(sb[12*i+4:])),
+				n:       int32(binary.LittleEndian.Uint32(sb[12*i+8:])),
+			}
+		}
+		for i := range c.segs {
+			c.segs[i] = cseg{
+				hi: math.Float64frombits(binary.LittleEndian.Uint64(gb[24*i:])),
+				a:  math.Float64frombits(binary.LittleEndian.Uint64(gb[24*i+8:])),
+				b:  math.Float64frombits(binary.LittleEndian.Uint64(gb[24*i+16:])),
+			}
+		}
+	}
+	for i := range c.stages {
+		st := &c.stages[i]
+		if st.feature < 0 || st.feature >= maxSlabFeat {
+			return nil, fmt.Errorf("%w: stage %d feature %d", ErrSlab, i, st.feature)
+		}
+		// evalStage indexes segs[off+n-1] unconditionally, so an empty
+		// stage is structurally invalid, not just useless.
+		if st.n < 1 || st.off < 0 || int(st.off)+int(st.n) > nSegs {
+			return nil, fmt.Errorf("%w: stage %d segments [%d,%d) out of range [0,%d)",
+				ErrSlab, i, st.off, int(st.off)+int(st.n), nSegs)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,112 @@
+package regtree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestSlabRoundTripBitIdentical proves the slab codec is lossless: a
+// Compiled rebuilt from its slab bytes — via both the zero-copy alias
+// and the forced copying decode — predicts bit-identically to the
+// original, single-row and batch.
+func TestSlabRoundTripBitIdentical(t *testing.T) {
+	xs, ys := gen(900, 7, func(x []float64) float64 { return 3*x[0] + x[1]*x[1] })
+	m, err := Train(xs, ys, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Compile(m)
+	blob := c.AppendSlab(nil)
+	if len(blob) != c.SlabSize() {
+		t.Fatalf("encoded %d bytes, SlabSize says %d", len(blob), c.SlabSize())
+	}
+
+	rng := xrand.New(55)
+	probes := append([][]float64{}, xs...)
+	for i := 0; i < 300; i++ {
+		probes = append(probes, []float64{rng.Range(-200, 200), rng.Range(-20, 20)})
+	}
+	probes = append(probes, []float64{0, 0}, []float64{1e18, -1e18}, []float64{math.NaN(), 1})
+
+	for _, forceCopy := range []bool{false, true} {
+		slabForceCopy = forceCopy
+		dec, err := CompiledFromSlab(blob)
+		slabForceCopy = false
+		if err != nil {
+			t.Fatalf("forceCopy=%v: %v", forceCopy, err)
+		}
+		if dec.NumStages() != c.NumStages() {
+			t.Fatalf("forceCopy=%v: %d stages, want %d", forceCopy, dec.NumStages(), c.NumStages())
+		}
+		batch := make([]float64, len(probes))
+		dec.PredictBatch(probes, batch)
+		for i, x := range probes {
+			want := c.Predict(x)
+			if got := dec.Predict(x); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("forceCopy=%v probe %d: %v != %v", forceCopy, i, got, want)
+			}
+			if math.Float64bits(batch[i]) != math.Float64bits(want) {
+				t.Fatalf("forceCopy=%v probe %d: batch %v != %v", forceCopy, i, batch[i], want)
+			}
+		}
+		margins, y := dec.PredictMargins(probes[0], nil)
+		if len(margins) != dec.NumStages() || math.Float64bits(y) != math.Float64bits(c.Predict(probes[0])) {
+			t.Fatalf("forceCopy=%v: margins surface diverged", forceCopy)
+		}
+	}
+
+	// Re-encode must reproduce the bytes (stability under republish).
+	dec, err := CompiledFromSlab(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(dec.AppendSlab(nil)) != string(blob) {
+		t.Fatal("re-encoded slab differs from original bytes")
+	}
+}
+
+// TestSlabRejectsCorruption checks the validation surface: mutations
+// that break structural invariants fail decode with an error, never a
+// panic or an out-of-range segment scan.
+func TestSlabRejectsCorruption(t *testing.T) {
+	xs, ys := gen(400, 11, func(x []float64) float64 { return x[0] + 2*x[1] })
+	m, err := Train(xs, ys, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Compile(m)
+	blob := c.AppendSlab(nil)
+
+	mutate := func(name string, fn func(b []byte) []byte) {
+		t.Helper()
+		b := fn(append([]byte(nil), blob...))
+		if _, err := CompiledFromSlab(b); err == nil {
+			t.Fatalf("%s: decode accepted corrupt slab", name)
+		}
+	}
+	mutate("bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b })
+	mutate("truncated", func(b []byte) []byte { return b[:len(b)-8] })
+	mutate("extended", func(b []byte) []byte { return append(b, 0) })
+	mutate("empty", func(b []byte) []byte { return nil })
+	mutate("stage count lies", func(b []byte) []byte { b[4]++; return b })
+	mutate("seg count lies", func(b []byte) []byte { b[8]++; return b })
+	mutate("stage range out of bounds", func(b []byte) []byte {
+		// First stage's n field → huge.
+		b[slabHeaderSize+8] = 0xFF
+		b[slabHeaderSize+9] = 0xFF
+		return b
+	})
+	mutate("empty stage", func(b []byte) []byte {
+		b[slabHeaderSize+8] = 0
+		b[slabHeaderSize+9] = 0
+		b[slabHeaderSize+10] = 0
+		b[slabHeaderSize+11] = 0
+		return b
+	})
+	mutate("negative feature", func(b []byte) []byte {
+		b[slabHeaderSize+3] = 0x80
+		return b
+	})
+}

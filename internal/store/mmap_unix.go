@@ -1,0 +1,69 @@
+//go:build linux || darwin
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mappedFile is a read-only view of a slab file. On platforms with
+// mmap the bytes alias the page cache: opening costs O(pages mapped),
+// not O(bytes read), faulted pages are shared by every co-resident
+// process mapping the same snapshot, and under memory pressure the
+// kernel can drop clean pages and re-fault them from disk instead of
+// swapping.
+type mappedFile struct {
+	b      []byte
+	mapped bool
+}
+
+// Bytes returns the file contents. For a mapped file the slice aliases
+// the mapping and is only valid until Close.
+func (m *mappedFile) Bytes() []byte { return m.b }
+
+// Close releases the mapping. The store only calls this on restore
+// *failure*; a successfully restored estimator aliases the mapped
+// bytes directly (zero-copy), so its mapping must live as long as any
+// reference to the estimator can — hot-swapped-out estimators may
+// still be mid-prediction on other goroutines, and Go gives no safe
+// reclamation point, so successful mappings are simply kept for the
+// life of the process. Restores are rare (boot, publish, rollback) and
+// the mapped pages are clean and evictable, so the "leak" is bounded
+// and cheap. GC may unlink a mapped file; POSIX keeps the mapping
+// valid.
+func (m *mappedFile) Close() error {
+	if !m.mapped || m.b == nil {
+		return nil
+	}
+	b := m.b
+	m.b = nil
+	return syscall.Munmap(b)
+}
+
+// mmapFile maps path read-only. The file descriptor is closed before
+// returning — a mapping survives its fd.
+func mmapFile(path string) (*mappedFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &mappedFile{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("store: %s: %d bytes exceeds the address space", path, size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("store: mmap %s: %w", path, err)
+	}
+	return &mappedFile{b: b, mapped: true}, nil
+}

@@ -202,14 +202,18 @@ func TestTornWriteRecovery(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, tmpPrefix+"crashed", "cpu.model.json"), []byte("partial"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	// Crash shape 2: v2's model file torn mid-write (truncated).
-	model2 := filepath.Join(dir, "v0000000002", "cpu.model.json")
-	fi, err := os.Stat(model2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.Truncate(model2, fi.Size()/2); err != nil {
-		t.Fatal(err)
+	// Crash shape 2: v2 torn mid-write — both the model file and its
+	// slab truncated (either alone no longer corrupts the snapshot, by
+	// design: each is the other's fallback).
+	for _, name := range []string{"cpu.model.json", "cpu.model.slab"} {
+		path := filepath.Join(dir, "v0000000002", name)
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, fi.Size()/2); err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	// "Restart": reopen the store over the damaged directory.
@@ -286,9 +290,12 @@ func TestGCRespectsPinnedCurrent(t *testing.T) {
 
 // TestChecksumTamperDetected flips one byte of a model file; the load
 // must fail with ErrCorrupt rather than serve a silently wrong model.
+// Slabs are disabled to pin the JSON verification path in isolation —
+// with a slab present the tampered JSON would (by design) be routed
+// around; slab_store_test.go covers that matrix.
 func TestChecksumTamperDetected(t *testing.T) {
 	setup(t)
-	st := openStore(t, t.TempDir(), Options{})
+	st := openStore(t, t.TempDir(), Options{Slab: SlabDisabled})
 	man, err := st.Publish(Snapshot{Schema: "tpch", Models: map[plan.ResourceKind]*core.Estimator{plan.CPUTime: cpuEst}})
 	if err != nil {
 		t.Fatal(err)

@@ -523,10 +523,26 @@ func DialStream(addr string) (*StreamClient, error) { return stream.Dial(addr) }
 type (
 	// ModelStore is the versioned on-disk model store.
 	ModelStore = store.Store
-	// ModelStoreOptions configures retention and logging.
+	// ModelStoreOptions configures retention, slab policy and logging.
 	ModelStoreOptions = store.Options
 	// ModelManifest describes one persisted snapshot.
 	ModelManifest = store.Manifest
+	// SlabMode selects the store's compiled-slab policy: publish-time
+	// slab siblings next to each model blob, restored zero-copy via
+	// mmap.
+	SlabMode = store.SlabMode
+)
+
+// Slab policy values for ModelStoreOptions.Slab.
+const (
+	// SlabExact (default): restore from the slab's exact float64 layout,
+	// bit-identical to the JSON decode path.
+	SlabExact = store.SlabExact
+	// SlabQuantized: prefer the slab's float32-quantized section when
+	// the publish-time accuracy gate admitted one.
+	SlabQuantized = store.SlabQuantized
+	// SlabDisabled: write no slabs, restore via JSON only.
+	SlabDisabled = store.SlabDisabled
 )
 
 // OpenModelStore opens (creating if needed) the model store rooted at
