@@ -38,6 +38,13 @@
 // the model-quality baseline tracked across PRs, measured with the same
 // error histogram the online feedback telemetry exports.
 //
+// clusterbench stands up 1/2/4 in-process resserve replicas behind the
+// schema-affinity router and drives its streaming listener closed-loop
+// with per-replica offered load held constant (weak scaling), writing
+// estimates/s, p99 and the scaling efficiency vs one replica to
+// -cluster-out (default BENCH_cluster.json). -cluster-efficiency-min
+// turns the largest fleet's efficiency into a hard guard.
+//
 // coldstartbench publishes one CPU+I/O snapshot and times restoring it
 // three ways — heap (JSON decode + recompile), mmap (zero-copy over the
 // exact slab) and quantized (the slab's float32 section) — writing
@@ -53,6 +60,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -86,6 +94,16 @@ func main() {
 		coldRnd  = flag.Int("coldstart-rounds", 7, "coldstartbench restore rounds per mode (median taken)")
 		coldOut  = flag.String("coldstart-out", "BENCH_coldstart.json", "coldstartbench baseline output path (empty = stdout only)")
 		coldMin  = flag.Float64("coldstart-speedup-min", 0, "fail when the mmap restore speedup vs heap decode falls below this (<= 0 disables the guard)")
+		cluN     = flag.Int("cluster-n", 64, "clusterbench workload size (queries)")
+		cluIt    = flag.Int("cluster-iters", 60, "clusterbench benchmark-model MART iterations")
+		cluSch   = flag.Int("cluster-schemas", 4, "clusterbench schemas owned per replica")
+		cluConns = flag.Int("cluster-conns", 2, "clusterbench streaming connections per replica's worth of load")
+		cluDepth = flag.Int("cluster-depth", 4, "clusterbench in-flight estimates per connection")
+		cluReqs  = flag.Int("cluster-reqs", 200, "clusterbench estimates per worker in the timed run")
+		cluFlts  = flag.String("cluster-fleets", "1,2,4", "clusterbench comma-separated fleet sizes")
+		cluWait  = flag.Duration("cluster-max-wait", 4*time.Millisecond, "clusterbench replica micro-batcher coalescing bound")
+		cluOut   = flag.String("cluster-out", "BENCH_cluster.json", "clusterbench baseline output path (empty = stdout only)")
+		cluMin   = flag.Float64("cluster-efficiency-min", 0, "fail when the largest fleet's scaling efficiency vs 1 replica falls below this (<= 0 disables the guard)")
 	)
 	flag.Parse()
 
@@ -311,6 +329,42 @@ func main() {
 				fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "wrote accuracy baseline to %s\n", *accOut)
+		}
+	}
+	if sel("clusterbench") {
+		var fleets []int
+		for _, part := range strings.Split(*cluFlts, ",") {
+			var f int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &f); err != nil || f <= 0 {
+				fatal(fmt.Errorf("bad -cluster-fleets entry %q", part))
+			}
+			fleets = append(fleets, f)
+		}
+		fmt.Fprintln(os.Stderr, "running clusterbench (router + replica-fleet scaling)...")
+		cb, err := experiments.RunClusterBench(*cluN, *cluIt, *cluSch, *cluConns, *cluDepth, *cluReqs, fleets, *cluWait)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Replica scaling (%d plans, %d operators, %d schemas/replica, %d×%d workers/replica, replica max-wait %.0f µs):\n",
+			cb.Queries, cb.Operators, cb.SchemasPerReplica, cb.ConnsPerReplica, cb.PipelineDepth, cb.MaxWaitMicros)
+		for _, f := range cb.Fleets {
+			fmt.Printf("  replicas=%-2d %9.0f est/s  %9.0f est/s/replica  eff %.2f  (p50 %.0f µs, p99 %.0f µs, spill %d, shed %d)\n",
+				f.Replicas, f.EstPerSec, f.PerReplicaPerSec, f.Efficiency,
+				f.P50Micros, f.P99Micros, f.Spillover, f.Shed)
+		}
+		if *cluOut != "" {
+			data, err := json.MarshalIndent(cb, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*cluOut, append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote cluster baseline to %s\n", *cluOut)
+		}
+		if *cluMin > 0 && cb.EfficiencyAtMax < *cluMin {
+			fatal(fmt.Errorf("cluster scaling efficiency %.2f at %d replicas below the %.2f guard",
+				cb.EfficiencyAtMax, cb.Fleets[len(cb.Fleets)-1].Replicas, *cluMin))
 		}
 	}
 	if sel("coldstartbench") {

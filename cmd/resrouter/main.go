@@ -1,0 +1,147 @@
+// Command resrouter fronts a fleet of resserve replicas behind the
+// single-node serving surface: the same HTTP endpoints and the same
+// streaming protocol, with responses byte-identical to one replica.
+//
+//	resrouter -replicas localhost:8081,localhost:8082,localhost:8083
+//
+// Placement is schema-affinity consistent hashing: all estimates for
+// one schema land on one replica, keeping that replica's prediction
+// cache and model working set hot. Overload or replica loss spills a
+// schema to the next replica on the ring — but only to replicas
+// serving the same model versions (compared by store-snapshot
+// checksum from each replica's /healthz), so a client never flaps
+// between model generations mid-rollout. When no version-consistent
+// replica is available the router degrades to its own version-keyed
+// response cache, and past that it sheds load with 503 + Retry-After,
+// bounded globally (-max-inflight) and per client (-max-per-client,
+// keyed by X-Client-ID).
+//
+// Estimates forward over pooled streaming connections to each
+// replica's advertised stream listener (falling back to HTTP when a
+// replica runs without one); explain requests, batches, /observe and
+// model-management calls proxy as plain HTTP. POST /models and
+// /models/rollback fan out to every healthy replica and report 409 if
+// the change applied only partially.
+//
+// Endpoints mirror resserve (/estimate, /estimate/batch, /observe,
+// /models, /models/rollback), plus:
+//
+//	GET /healthz   fleet health: per-replica status, store checksums,
+//	               and whether the fleet serves one consistent version
+//	GET /metrics   router counters (per-replica requests/errors,
+//	               routing decisions {affinity,spillover,shed}, cache
+//	               hit ratio) as JSON, or Prometheus text with
+//	               Accept: text/plain
+//
+// With -stream-addr the router also accepts the framed streaming
+// protocol directly, routing each frame by its request's schema.
+//
+// On SIGINT/SIGTERM the router drains in-flight HTTP requests, closes
+// the stream listener and the replica pools, and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8090", "HTTP listen address")
+		streamAddr   = flag.String("stream-addr", "", "streaming listen address: accepts the resserve frame protocol and routes each frame by schema; empty disables")
+		replicas     = flag.String("replicas", "", "comma-separated resserve base addresses (host:port or URL); required")
+		poll         = flag.Duration("poll", time.Second, "replica health/version poll interval")
+		pool         = flag.Int("pool", 2, "pooled streaming connections per replica")
+		cacheSize    = flag.Int("cache", 4096, "router response-cache entries, keyed on request body and model-version token (negative disables)")
+		maxInflight  = flag.Int("max-inflight", 1024, "fleet-wide in-flight request bound; past it the router sheds with 503 + Retry-After")
+		maxPerClient = flag.Int("max-per-client", 256, "per-client in-flight bound, keyed by X-Client-ID (falling back to remote host)")
+		maxReplica   = flag.Int("max-replica-inflight", 512, "per-replica overload bound; a primary past it spills its schemas to the next same-version replica on the ring")
+		reqTimeout   = flag.Duration("timeout", 30*time.Second, "per-forwarded-request deadline")
+	)
+	flag.Parse()
+
+	fleet := splitList(*replicas)
+	if len(fleet) == 0 {
+		fmt.Fprintln(os.Stderr, "resrouter: -replicas is required (comma-separated resserve addresses)")
+		os.Exit(2)
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	rt, err := repro.NewRouter(repro.RouterOptions{
+		Replicas:           fleet,
+		PoolSize:           *pool,
+		PollInterval:       *poll,
+		RequestTimeout:     *reqTimeout,
+		MaxInflight:        *maxInflight,
+		MaxPerClient:       *maxPerClient,
+		MaxReplicaInflight: *maxReplica,
+		CacheEntries:       *cacheSize,
+		Logger:             logger,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "resrouter: fronting %d replicas: %s\n", len(fleet), strings.Join(fleet, ", "))
+
+	if *streamAddr != "" {
+		got, err := rt.StartStream(*streamAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "resrouter: streaming listener on %s\n", got)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "resrouter: %s received, draining\n", s)
+		if err := drainHTTP(srv, 10*time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "resrouter: drain deadline expired (%v); connections force-closed\n", err)
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "resrouter: listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+	<-drained
+	// Close after HTTP drains: tears down the stream listener, the
+	// health poller and the per-replica connection pools.
+	rt.Close()
+	fmt.Fprintln(os.Stderr, "resrouter: shutdown complete")
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "resrouter:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// drainHTTP gracefully shuts srv down, giving in-flight handlers up to
+// timeout to finish; past the deadline the remaining connections are
+// force-closed so each parked handler observes a canceled request
+// context instead of racing the router's teardown of the replica
+// pools. Returns Shutdown's error when the close was forced.
+func drainHTTP(srv *http.Server, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		_ = srv.Close()
+		return err
+	}
+	return nil
+}

@@ -28,6 +28,14 @@
 //
 //	resserve -bootstrap tpch -store-dir ./models-store
 //
+// In a replica fleet behind cmd/resrouter, -store-sync turns the store
+// attachment into follower mode — the replica serves the store's newest
+// snapshots and keeps polling for newer ones, while the fleet's
+// designated retrainer owns the store's write side — and
+// -forward-observations ships the local observation log's segments to
+// that retrainer instead of retraining locally. See the README's
+// "Distributed deployment" section for the full topology.
+//
 // With -feedback-dir the online feedback loop is enabled: executed
 // plans reported to POST /observe are persisted to a crash-safe
 // observation log in that directory, per-model error windows are
@@ -145,6 +153,8 @@ func main() {
 		driftThresh = flag.Float64("drift-threshold", 2, "retrain when the recent P90 relative error exceeds this multiple of the model's training-time baseline")
 		retrainMin  = flag.Int("retrain-min-observations", 256, "minimum logged observations before a drift-triggered retrain (also the cooldown between attempts)")
 		streamAddr  = flag.String("stream-addr", "", "streaming estimate listener address: persistent framed TCP with cross-connection micro-batching, responses byte-identical to POST /estimate; empty disables")
+		storeSync   = flag.Duration("store-sync", 0, "follower mode: poll -store-dir at this interval and publish snapshots newer than what is served, instead of restoring once at startup; the store stays owned by the fleet's retrainer (this replica never writes pins or rollback state)")
+		forwardObs  = flag.String("forward-observations", "", "base URL of the fleet's designated retrainer; observation-log segments are forwarded to its /observe/segment endpoint and no local retrainer runs (requires -feedback-dir)")
 		debugAddr   = flag.String("debug-addr", "", "debug listener address exposing /debug/pprof and Prometheus /metrics (incl. process runtime gauges); empty disables")
 		slowTrace   = flag.Duration("slow-trace", 500*time.Millisecond, "log a structured per-stage trace for requests at or above this latency (0 disables)")
 		noTelemetry = flag.Bool("no-telemetry", false, "disable per-stage latency histograms and request traces (counters remain)")
@@ -167,25 +177,41 @@ func main() {
 		SlowTrace:        *slowTrace,
 		DisableTelemetry: *noTelemetry,
 	}
+	if *forwardObs != "" && *feedbackDir == "" {
+		fatal(fmt.Errorf("-forward-observations requires -feedback-dir (the segment directory to tail)"))
+	}
 	var svc *repro.Service
 	var loop *repro.FeedbackLoop
-	if *feedbackDir != "" {
+	fbOpts := repro.FeedbackOptions{
+		Dir:             *feedbackDir,
+		DriftThreshold:  *driftThresh,
+		MinObservations: *retrainMin,
+		TrainWorkers:    *trainWork,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "resserve: "+format+"\n", args...)
+		},
+	}
+	switch {
+	case *forwardObs != "":
+		// Forwarding replica: observations land in the local log and feed
+		// the error gauges, but retraining is the designated retrainer's
+		// job — the forwarder below ships the segments there.
 		var err error
-		svc, loop, err = repro.NewServiceWithFeedback(serveOpts, repro.FeedbackOptions{
-			Dir:             *feedbackDir,
-			DriftThreshold:  *driftThresh,
-			MinObservations: *retrainMin,
-			TrainWorkers:    *trainWork,
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "resserve: "+format+"\n", args...)
-			},
-		})
+		svc, loop, err = repro.NewServiceWithObservationLog(serveOpts, fbOpts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "resserve: observation log enabled (log %s, forwarding to %s, no local retrainer)\n",
+			*feedbackDir, *forwardObs)
+	case *feedbackDir != "":
+		var err error
+		svc, loop, err = repro.NewServiceWithFeedback(serveOpts, fbOpts)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "resserve: feedback loop enabled (log %s, drift threshold %gx, retrain after %d observations)\n",
 			*feedbackDir, *driftThresh, *retrainMin)
-	} else {
+	default:
 		svc = repro.NewService(serveOpts)
 	}
 
@@ -195,6 +221,7 @@ func main() {
 	// restoreTracker): skipping bootstrap for a schema is only safe when
 	// every bootstrap resource actually came back.
 	restored := newRestoreTracker()
+	var stopStoreSync func()
 	if *storeDir != "" {
 		slabMode := repro.SlabExact
 		if *slabQuant {
@@ -210,18 +237,37 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		infos, err := repro.AttachModelStore(svc, st, func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "resserve: "+format+"\n", args...)
-		})
-		if err != nil {
-			fatal(err)
+		if *storeSync > 0 {
+			// Follower: serve the store's newest snapshots and keep polling
+			// for newer ones — the retrainer owns the store's write side
+			// (pins, rollback state), this replica only reads forward.
+			infos, err := repro.AttachModelStoreFollower(svc, st, func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "resserve: "+format+"\n", args...)
+			})
+			if err != nil {
+				fatal(err)
+			}
+			for _, info := range infos {
+				logModel("synced", info, fmt.Sprintf("snapshot v%d", info.Snapshot))
+				restored.mark(info.Schema, info.Resource)
+			}
+			stopStoreSync = startStoreSync(svc, *storeSync)
+			fmt.Fprintf(os.Stderr, "resserve: model store at %s (follower, %d models synced, polling every %v)\n",
+				*storeDir, len(infos), *storeSync)
+		} else {
+			infos, err := repro.AttachModelStore(svc, st, func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "resserve: "+format+"\n", args...)
+			})
+			if err != nil {
+				fatal(err)
+			}
+			for _, info := range infos {
+				logModel("restored", info, fmt.Sprintf("snapshot v%d", info.Snapshot))
+				restored.mark(info.Schema, info.Resource)
+			}
+			fmt.Fprintf(os.Stderr, "resserve: model store at %s (%d models restored, retaining %d snapshots per schema)\n",
+				*storeDir, len(infos), *storeRetain)
 		}
-		for _, info := range infos {
-			logModel("restored", info, fmt.Sprintf("snapshot v%d", info.Snapshot))
-			restored.mark(info.Schema, info.Resource)
-		}
-		fmt.Fprintf(os.Stderr, "resserve: model store at %s (%d models restored, retaining %d snapshots per schema)\n",
-			*storeDir, len(infos), *storeRetain)
 	}
 
 	for _, spec := range models {
@@ -282,7 +328,28 @@ func main() {
 		}
 		streamSrv = ss
 		svc.Obs().Register(ss.Collector())
+		// Advertised through /healthz so a fronting resrouter discovers
+		// the stream endpoint and pools connections to it.
+		svc.SetStreamAddr(ss.Addr())
 		fmt.Fprintf(os.Stderr, "resserve: streaming listener on %s\n", ss.Addr())
+	}
+
+	// Opt-in observation forwarder: tails the feedback log's segments
+	// into the fleet's designated retrainer. Started after the service
+	// exists but before traffic matters — the forwarder is read-only on
+	// the log, so ordering is about shutdown (below), not startup.
+	var forwarder *repro.ObservationForwarder
+	if *forwardObs != "" {
+		fw, err := repro.StartObservationForwarder(repro.ObservationForwarderOptions{
+			Dir:    *feedbackDir,
+			Target: strings.TrimRight(*forwardObs, "/"),
+			Logger: logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		forwarder = fw
+		fmt.Fprintf(os.Stderr, "resserve: forwarding observation segments to %s\n", *forwardObs)
 	}
 
 	// Opt-in debug listener: pprof and a Prometheus exposition combining
@@ -361,6 +428,9 @@ func main() {
 		// in the pool completes against a still-live service.
 		streamSrv.Close()
 	}
+	if stopStoreSync != nil {
+		stopStoreSync()
+	}
 	svc.Close()
 	// Final metrics summary: one structured record of what this process
 	// served (uptime, totals, per-endpoint p50/p99, cache hit ratio) —
@@ -372,6 +442,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintln(os.Stderr, "resserve: feedback log flushed")
+	}
+	if forwarder != nil {
+		// The loop above flushed the log; one final synchronous pass
+		// ships whatever those flushes appended, so a clean shutdown
+		// leaves no observation behind for the retrainer.
+		forwarder.Close()
+		if n, err := forwarder.ForwardNow(); err != nil {
+			fmt.Fprintf(os.Stderr, "resserve: final observation drain: %v\n", err)
+		} else if n > 0 {
+			fmt.Fprintf(os.Stderr, "resserve: final observation drain forwarded %d records\n", n)
+		}
 	}
 	fmt.Fprintln(os.Stderr, "resserve: shutdown complete")
 }
@@ -406,6 +487,38 @@ func bootstrapSchema(svc *repro.Service, schema string, n, iters, workers int, r
 		logModel("trained", repro.PublishAs(svc, schema, est, "bootstrap"), "")
 	}
 	return nil
+}
+
+// startStoreSync polls the attached model store and publishes snapshots
+// newer than what the registry serves — the follower's read-forward
+// loop. Returns a stop function that waits for a poll in flight.
+func startStoreSync(svc *repro.Service, every time.Duration) func() {
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				infos, err := repro.SyncFromModelStore(svc)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "resserve: store sync: %v\n", err)
+					continue
+				}
+				for _, info := range infos {
+					logModel("synced", info, fmt.Sprintf("snapshot v%d", info.Snapshot))
+				}
+			case <-quit:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
 }
 
 func resourceNames(resources []repro.Resource) string {

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// responseCache is the router-side prediction cache: full response
+// bodies keyed by the exact request body, each entry stamped with the
+// version token (store checksum) of the replica set that produced it.
+// A lookup must present the current token for the route — an entry
+// filled under a superseded model set can never serve, which is the
+// "never serves a stale model's entry" guarantee. Entries are not
+// proactively purged on rollout: the token mismatch makes them dead,
+// and LRU eviction reclaims them.
+type responseCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	head    *cacheEntry // most recent
+	tail    *cacheEntry // eviction candidate
+	cap     int
+
+	hits   obs.Counter
+	misses obs.Counter
+}
+
+type cacheEntry struct {
+	key        string
+	token      string
+	body       []byte
+	prev, next *cacheEntry
+}
+
+func newResponseCache(capacity int) *responseCache {
+	if capacity <= 0 {
+		return nil // nil receiver: cache disabled, all methods no-op
+	}
+	return &responseCache{entries: make(map[string]*cacheEntry, capacity), cap: capacity}
+}
+
+// get returns the cached response for key if it was produced under
+// token. A present-but-stale entry counts as a miss (and is left for
+// LRU to evict — the slot may become valid again only via put).
+func (c *responseCache) get(key, token string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok || e.token != token {
+		c.mu.Unlock()
+		c.misses.Inc()
+		return nil, false
+	}
+	c.moveFront(e)
+	body := e.body
+	c.mu.Unlock()
+	c.hits.Inc()
+	return body, true
+}
+
+// put stores a response produced under token, evicting the least
+// recently used entry past capacity.
+func (c *responseCache) put(key, token string, body []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		e.token, e.body = token, body
+		c.moveFront(e)
+		c.mu.Unlock()
+		return
+	}
+	e := &cacheEntry{key: key, token: token, body: body}
+	c.entries[key] = e
+	c.pushFront(e)
+	if len(c.entries) > c.cap {
+		if victim := c.tail; victim != nil {
+			c.unlink(victim)
+			delete(c.entries, victim.key)
+		}
+	}
+	c.mu.Unlock()
+}
+
+func (c *responseCache) stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+func (c *responseCache) pushFront(e *cacheEntry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *responseCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *responseCache) moveFront(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

@@ -1,0 +1,586 @@
+package cluster_test
+
+// Integration tests for the distributed serving tier, in-process: a
+// router over real serve.Service replicas with real stream listeners.
+// They pin the tier's contracts — responses byte-identical to
+// single-node across every transport, schema affinity, the
+// version-keyed router cache never serving a stale model, graceful
+// degradation when a replica dies, and fleet convergence to one
+// retrained model through the shared store.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/feedback"
+	"repro/internal/plan"
+	"repro/internal/serve"
+	"repro/internal/store"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+var (
+	setupOnce sync.Once
+	cpuEst    *core.Estimator
+	ioEst     *core.Estimator
+	testPlans []*plan.Plan
+)
+
+func setup(t testing.TB) {
+	t.Helper()
+	setupOnce.Do(func() {
+		cfg := workload.DefaultConfig()
+		cfg.N = 64
+		cfg.Seed = 7
+		qs := workload.GenTPCH(cfg)
+		eng := engine.New(nil)
+		plans := make([]*plan.Plan, len(qs))
+		for i, q := range qs {
+			eng.Run(q.Plan)
+			plans[i] = q.Plan
+		}
+		cut := len(plans) * 3 / 4
+		ccfg := core.DefaultConfig()
+		ccfg.Mart.Iterations = 40
+		var err error
+		cpuEst, err = core.Train(plans[:cut], plan.CPUTime, nil, ccfg)
+		if err != nil {
+			panic(err)
+		}
+		ioEst, err = core.Train(plans[:cut], plan.LogicalIO, nil, ccfg)
+		if err != nil {
+			panic(err)
+		}
+		testPlans = plans[cut:]
+	})
+}
+
+// testReplica is one in-process resserve: a service with both
+// estimators on the wildcard schema, a stream listener, and an HTTP
+// listener — the same surfaces a real replica process exposes.
+type testReplica struct {
+	svc *serve.Service
+	ss  *stream.Server
+	hs  *httptest.Server
+}
+
+func newTestReplica(t testing.TB) *testReplica {
+	t.Helper()
+	setup(t)
+	reg := serve.NewRegistry()
+	reg.Publish("", cpuEst)
+	reg.Publish("", ioEst)
+	return newTestReplicaWith(t, reg)
+}
+
+// newTestReplicaWith builds a replica over an existing registry.
+// Replicas sharing one registry carry bit-identical model metadata
+// (version, loaded_at) — the in-process stand-in for a fleet restored
+// from the same store snapshot, which is what makes byte-identity
+// comparisons across replicas meaningful.
+func newTestReplicaWith(t testing.TB, reg *serve.Registry) *testReplica {
+	t.Helper()
+	setup(t)
+	svc := serve.New(serve.Options{Registry: reg})
+	ss, err := stream.Start("127.0.0.1:0", stream.Options{Service: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.SetStreamAddr(ss.Addr())
+	hs := httptest.NewServer(svc.Handler())
+	tr := &testReplica{svc: svc, ss: ss, hs: hs}
+	t.Cleanup(tr.kill)
+	return tr
+}
+
+// kill tears the replica down abruptly — the process-death stand-in.
+// Idempotent.
+func (tr *testReplica) kill() {
+	tr.hs.Close()
+	tr.ss.Close()
+	tr.svc.Close()
+}
+
+func newRouter(t testing.TB, reps []*testReplica, mut func(*cluster.Options)) (*cluster.Router, *httptest.Server) {
+	t.Helper()
+	opts := cluster.Options{
+		PollInterval: time.Hour, // tests poll explicitly via PollNow
+		DialTimeout:  2 * time.Second,
+	}
+	for _, r := range reps {
+		opts.Replicas = append(opts.Replicas, r.hs.URL)
+	}
+	if mut != nil {
+		mut(&opts)
+	}
+	rt, err := cluster.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	hs := httptest.NewServer(rt.Handler())
+	t.Cleanup(hs.Close)
+	return rt, hs
+}
+
+func estimateBody(t testing.TB, schema string, p *plan.Plan, resources ...string) []byte {
+	t.Helper()
+	pj, err := plan.EncodeJSON(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := stream.Request{Schema: schema, Plan: pj}
+	if len(resources) == 1 {
+		req.Resource = resources[0]
+	} else if len(resources) > 1 {
+		req.Resources = resources
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func post(t testing.TB, url, path string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func postOK(t testing.TB, url, path string, body []byte) []byte {
+	t.Helper()
+	status, out := post(t, url, path, body)
+	if status != http.StatusOK {
+		t.Fatalf("POST %s: status %d: %s", path, status, out)
+	}
+	return out
+}
+
+// TestRouterByteIdenticalToSingleNode pins the tier's core contract:
+// a client moved from one resserve to the router sees byte-identical
+// responses — single-resource, multi-resource, batch, and the
+// streaming transport. Both sides are warmed first (cold cache
+// counters legitimately differ between a first and second serving of
+// the same plan) and the router cache is disabled so the forwarding
+// path itself is what's measured.
+func TestRouterByteIdenticalToSingleNode(t *testing.T) {
+	setup(t)
+	// One registry behind every node: model metadata (version,
+	// loaded_at) embedded in responses is then identical, as it is for
+	// a real fleet restored from one store snapshot.
+	reg := serve.NewRegistry()
+	reg.Publish("", cpuEst)
+	reg.Publish("", ioEst)
+	single := newTestReplicaWith(t, reg)
+	fleet := []*testReplica{newTestReplicaWith(t, reg), newTestReplicaWith(t, reg)}
+	rt, rhs := newRouter(t, fleet, func(o *cluster.Options) { o.CacheEntries = -1 })
+
+	schemas := []string{"", "alpha", "beta", "gamma"}
+	type tc struct {
+		name string
+		body []byte
+	}
+	var cases []tc
+	for i, p := range testPlans[:4] {
+		schema := schemas[i%len(schemas)]
+		cases = append(cases,
+			tc{fmt.Sprintf("cpu/%s/%d", schema, i), estimateBody(t, schema, p, "cpu")},
+			tc{fmt.Sprintf("multi/%s/%d", schema, i), estimateBody(t, schema, p, "cpu", "io")},
+		)
+	}
+	// Warm both sides, then compare second servings.
+	for _, c := range cases {
+		postOK(t, single.hs.URL, "/estimate", c.body)
+		postOK(t, rhs.URL, "/estimate", c.body)
+	}
+	for _, c := range cases {
+		want := postOK(t, single.hs.URL, "/estimate", c.body)
+		got := postOK(t, rhs.URL, "/estimate", c.body)
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s: router response differs from single-node\nsingle: %s\nrouter: %s", c.name, want, got)
+		}
+	}
+
+	// Batch: proxied over HTTP, still byte-identical.
+	var plansJSON []json.RawMessage
+	for _, p := range testPlans[:4] {
+		pj, err := plan.EncodeJSON(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plansJSON = append(plansJSON, pj)
+	}
+	batchBody, err := json.Marshal(map[string]any{"schema": "alpha", "resource": "cpu", "plans": plansJSON})
+	if err != nil {
+		t.Fatal(err)
+	}
+	postOK(t, single.hs.URL, "/estimate/batch", batchBody)
+	postOK(t, rhs.URL, "/estimate/batch", batchBody)
+	wantBatch := postOK(t, single.hs.URL, "/estimate/batch", batchBody)
+	gotBatch := postOK(t, rhs.URL, "/estimate/batch", batchBody)
+	if !bytes.Equal(wantBatch, gotBatch) {
+		t.Errorf("batch response differs from single-node\nsingle: %s\nrouter: %s", wantBatch, gotBatch)
+	}
+
+	// Streaming surface: the router's framed listener answers with the
+	// same bytes as single-node HTTP.
+	addr, err := rt.StartStream("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := stream.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for _, c := range cases {
+		want := postOK(t, single.hs.URL, "/estimate", c.body)
+		got, err := cl.EstimateBytes(context.Background(), c.body)
+		if err != nil {
+			t.Fatalf("%s: stream estimate: %v", c.name, err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s: stream response differs from single-node HTTP\nhttp:   %s\nstream: %s", c.name, want, got)
+		}
+	}
+
+	// Explain is proxied, not streamed; it too must match single-node.
+	explainBody := cases[0].body
+	wantExp := postOK(t, single.hs.URL, "/estimate?explain=1", explainBody)
+	gotExp := postOK(t, rhs.URL, "/estimate?explain=1", explainBody)
+	if !bytes.Equal(wantExp, gotExp) {
+		t.Errorf("explain response differs from single-node")
+	}
+}
+
+// TestRouterSchemaAffinity pins placement: every request for one
+// schema lands on the same replica (no spillover while the fleet is
+// healthy), so per-schema working sets stay hot.
+func TestRouterSchemaAffinity(t *testing.T) {
+	fleet := []*testReplica{newTestReplica(t), newTestReplica(t), newTestReplica(t)}
+	rt, rhs := newRouter(t, fleet, func(o *cluster.Options) { o.CacheEntries = -1 })
+
+	const perSchema = 5
+	for s := 0; s < 8; s++ {
+		schema := fmt.Sprintf("w%03d", s)
+		body := estimateBody(t, schema, testPlans[s%len(testPlans)], "cpu")
+		before := replicaRequests(rt)
+		for i := 0; i < perSchema; i++ {
+			postOK(t, rhs.URL, "/estimate", body)
+		}
+		after := replicaRequests(rt)
+		served := 0
+		for name, n := range after {
+			if delta := n - before[name]; delta > 0 {
+				served++
+				if delta != perSchema {
+					t.Errorf("schema %s: replica %s served %d/%d requests", schema, name, delta, perSchema)
+				}
+			}
+		}
+		if served != 1 {
+			t.Errorf("schema %s: %d replicas served it, want exactly 1", schema, served)
+		}
+	}
+	m := rt.Metrics()
+	if m.Decisions.Spillover != 0 || m.Decisions.Shed != 0 {
+		t.Errorf("healthy fleet made %d spillover / %d shed decisions, want 0/0", m.Decisions.Spillover, m.Decisions.Shed)
+	}
+	if m.Decisions.Affinity == 0 {
+		t.Error("no affinity decisions recorded")
+	}
+}
+
+func replicaRequests(rt *cluster.Router) map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, r := range rt.Metrics().Replicas {
+		out[r.Name] = r.Requests
+	}
+	return out
+}
+
+// TestRouterCacheNeverServesStaleModel pins the router cache's
+// version-token guarantee: a repeat request is served from the router
+// cache, but after the fleet publishes a new model version the entry
+// is dead — the next request reaches the replica and reflects the new
+// version.
+func TestRouterCacheNeverServesStaleModel(t *testing.T) {
+	rep := newTestReplica(t)
+	rt, rhs := newRouter(t, []*testReplica{rep}, nil)
+
+	body := estimateBody(t, "tpch", testPlans[0], "cpu")
+	first := postOK(t, rhs.URL, "/estimate", body)
+	second := postOK(t, rhs.URL, "/estimate", body)
+	if !bytes.Equal(first, second) {
+		t.Fatal("cached response differs from original")
+	}
+	m := rt.Metrics()
+	if m.Cache.Hits != 1 {
+		t.Fatalf("cache hits = %d after a repeat request, want 1", m.Cache.Hits)
+	}
+
+	// Roll the model: republish bumps the version, which changes the
+	// replica's version vector and thus the router's token.
+	rep.svc.Registry().Publish("", cpuEst)
+	rt.PollNow()
+	third := postOK(t, rhs.URL, "/estimate", body)
+	if m2 := rt.Metrics(); m2.Cache.Hits != 1 {
+		t.Fatalf("cache served a stale entry after model roll (hits %d, want still 1)", m2.Cache.Hits)
+	}
+	type modelResp struct {
+		Model struct {
+			Version uint64 `json:"version"`
+		} `json:"model"`
+	}
+	var resp, respOld modelResp
+	if err := json.Unmarshal(third, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(first, &respOld); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model.Version <= respOld.Model.Version {
+		t.Fatalf("post-roll response still carries model v%d (pre-roll v%d)",
+			resp.Model.Version, respOld.Model.Version)
+	}
+}
+
+// TestRouterKillReplicaDegradesGracefully pins failover: when a
+// replica dies, its schemas spill to the survivor and clients keep
+// getting answers — no errors once routing state catches up.
+func TestRouterKillReplicaDegradesGracefully(t *testing.T) {
+	fleet := []*testReplica{newTestReplica(t), newTestReplica(t)}
+	rt, rhs := newRouter(t, fleet, func(o *cluster.Options) {
+		o.CacheEntries = -1
+		o.DialTimeout = 500 * time.Millisecond
+	})
+
+	// Cover both replicas with a spread of schemas.
+	bodies := make([][]byte, 8)
+	for s := range bodies {
+		bodies[s] = estimateBody(t, fmt.Sprintf("w%03d", s), testPlans[s%len(testPlans)], "cpu")
+		postOK(t, rhs.URL, "/estimate", bodies[s])
+	}
+
+	fleet[1].kill()
+	rt.PollNow()
+
+	for s, body := range bodies {
+		status, out := post(t, rhs.URL, "/estimate", body)
+		if status != http.StatusOK {
+			t.Errorf("schema w%03d after replica kill: status %d: %s", s, status, out)
+		}
+	}
+	m := rt.Metrics()
+	if m.Decisions.Spillover == 0 {
+		t.Error("no spillover decisions after killing a replica that owned schemas")
+	}
+	healthy := 0
+	for _, r := range m.Replicas {
+		if r.Healthy {
+			healthy++
+		}
+	}
+	if healthy != 1 {
+		t.Errorf("%d healthy replicas after kill, want 1", healthy)
+	}
+
+	// Fleet health reflects the degradation.
+	resp, err := http.Get(rhs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fh struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fh); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if fh.Status != "degraded" {
+		t.Errorf("fleet status %q after kill, want degraded", fh.Status)
+	}
+}
+
+// TestRouterMetricsSurfaces pins both metric renderings: the JSON
+// snapshot and the Prometheus exposition carrying the resrouter_*
+// families.
+func TestRouterMetricsSurfaces(t *testing.T) {
+	rep := newTestReplica(t)
+	_, rhs := newRouter(t, []*testReplica{rep}, nil)
+	postOK(t, rhs.URL, "/estimate", estimateBody(t, "tpch", testPlans[0], "cpu"))
+
+	var m cluster.Metrics
+	resp, err := http.Get(rhs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(m.Replicas) != 1 || m.Replicas[0].Requests == 0 {
+		t.Fatalf("JSON metrics missing replica counters: %+v", m)
+	}
+	if !m.FleetConsistent {
+		t.Error("single-replica fleet reported inconsistent")
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, rhs.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	presp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	for _, family := range []string{
+		"resrouter_replica_requests_total",
+		"resrouter_replica_healthy",
+		"resrouter_routing_decisions_total",
+		"resrouter_cache_hit_ratio",
+	} {
+		if !strings.Contains(string(text), family) {
+			t.Errorf("Prometheus exposition missing %s", family)
+		}
+	}
+}
+
+// TestFleetRetrainConvergence pins the distributed feedback loop: a
+// forwarding replica logs observations locally (no retrainer of its
+// own) and ships the segments to the designated retrainer; drift
+// triggers a retrain there; the retrained model lands in the shared
+// store; and a follower replica syncing from the store converges to
+// the retrainer's exact version vector.
+func TestFleetRetrainConvergence(t *testing.T) {
+	setup(t)
+	storeDir := t.TempDir()
+
+	// Retrainer: store-attached registry, serve.Service with the
+	// feedback loop, publishing retrains into the store.
+	st1, err := store.Open(storeDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regR := serve.NewRegistry()
+	regR.AttachStore(st1, nil)
+	regR.Publish("tpch", cpuEst) // stale model, snapshot v1
+	loop, err := feedback.New(feedback.Options{
+		Dir:               t.TempDir(),
+		Publisher:         regR,
+		WindowSize:        96,
+		MinWindow:         32,
+		CheckEvery:        8,
+		MinObservations:   64,
+		RetrainIterations: 50,
+		MaxHoldoutError:   1.0,
+		DriftThreshold:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loop.Close()
+	retrainerSvc := serve.New(serve.Options{Registry: regR, Feedback: loop})
+	defer retrainerSvc.Close()
+	retrainerHS := httptest.NewServer(retrainerSvc.Handler())
+	defer retrainerHS.Close()
+
+	// Forwarding replica: observation log only — Publisher deliberately
+	// nil, so this replica never retrains on its own.
+	obsDir := t.TempDir()
+	rloop, err := feedback.New(feedback.Options{Dir: obsDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rloop.Close()
+	fw, err := cluster.NewForwarder(cluster.ForwarderOptions{
+		Dir:      obsDir,
+		Target:   retrainerHS.URL,
+		Interval: time.Hour, // tests forward explicitly
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+
+	// A drifted regime: fresh executed plans whose CPU actuals are 4x
+	// what the stale model was trained on.
+	cfg := workload.DefaultConfig()
+	cfg.N = 120
+	cfg.Seed = 42
+	qs := workload.GenTPCH(cfg)
+	eng := engine.New(nil)
+	for _, q := range qs {
+		eng.Run(q.Plan)
+		q.Plan.Walk(func(n *plan.Node) { n.Actual.CPU *= 4 })
+		if err := rloop.Observe(&feedback.Observation{Schema: "tpch", Resource: plan.CPUTime, Plan: q.Plan}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rloop.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := fw.ForwardNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != cfg.N {
+		t.Fatalf("forwarded %d observations, want %d", n, cfg.N)
+	}
+	// Forwarding is idempotent per byte: a second pass with no new
+	// segments ships nothing.
+	if n2, _ := fw.ForwardNow(); n2 != 0 {
+		t.Fatalf("second forward pass re-shipped %d observations", n2)
+	}
+
+	loop.Quiesce()
+	vecR := regR.VersionVector()
+	if len(vecR) != 1 || vecR[0].Snapshot < 2 {
+		t.Fatalf("retrainer did not publish a retrained snapshot: %+v", vecR)
+	}
+
+	// Follower: separate store handle on the same directory, read-only
+	// sync. It must converge to the retrainer's exact version vector.
+	st2, err := store.Open(storeDir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regF := serve.NewRegistry()
+	regF.AttachStore(st2, nil)
+	if _, err := regF.SyncFromStore(); err != nil {
+		t.Fatal(err)
+	}
+	sumR := serve.VersionChecksum(regR.VersionVector())
+	sumF := serve.VersionChecksum(regF.VersionVector())
+	if sumR != sumF {
+		t.Fatalf("follower did not converge:\nretrainer %s %+v\nfollower  %s %+v",
+			sumR, regR.VersionVector(), sumF, regF.VersionVector())
+	}
+	// A later sync with nothing new publishes nothing.
+	if infos, _ := regF.SyncFromStore(); len(infos) != 0 {
+		t.Fatalf("idle sync republished %d models", len(infos))
+	}
+}

@@ -1,0 +1,335 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/stream"
+)
+
+// maxRouterBody bounds request bodies at the router — matching the
+// stream transport's frame bound, so nothing the router accepts is
+// unforwardable.
+const maxRouterBody = 8 << 20
+
+// errorEnvelope mirrors serve's error envelope so clients see one
+// error shape whether the router or a replica produced it.
+type errorEnvelope struct {
+	Error     string `json:"error"`
+	Code      string `json:"code"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// Handler returns the router's HTTP surface — the same endpoints as a
+// single resserve, fronted by affinity routing:
+//
+//	POST /estimate         routed by schema over the stream pool
+//	POST /estimate/batch   proxied to the schema's affinity replica
+//	POST /observe          proxied to the schema's affinity replica
+//	GET  /models           proxied to one healthy replica
+//	POST /models           fanned out to every healthy replica
+//	POST /models/rollback  fanned out to every healthy replica
+//	GET  /healthz          fleet view: per-replica health + versions
+//	GET  /metrics          router metrics (JSON or Prometheus)
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /estimate", rt.handleEstimate)
+	mux.HandleFunc("POST /estimate/batch", rt.handleProxyBySchema)
+	mux.HandleFunc("POST /observe", rt.handleProxyBySchema)
+	mux.HandleFunc("GET /models", rt.handleModelsGet)
+	mux.HandleFunc("POST /models", rt.handleFanout)
+	mux.HandleFunc("POST /models/rollback", rt.handleFanout)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	return withRequestID(mux)
+}
+
+// withRequestID mirrors serve's middleware: every request carries an
+// X-Request-ID (client-supplied or minted), echoed on the response
+// and forwarded to replicas so one ID follows a request through the
+// tier.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = obs.NewRequestID()
+			r.Header.Set("X-Request-ID", id)
+		}
+		w.Header().Set("X-Request-ID", id)
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, r *http.Request, rerr *routeError) {
+	if rerr.retryAfter {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(rerr.status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(errorEnvelope{Error: rerr.msg, Code: rerr.code, RequestID: r.Header.Get("X-Request-ID")})
+}
+
+// clientKey identifies a client for per-client admission: the
+// X-Client-ID header when present, else the remote host.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// peekSchema extracts the routing key from a request body without a
+// second full parse (stream's fast envelope walk). A body the router
+// cannot parse routes by the empty schema — the replica owning that
+// slot produces the canonical error.
+func peekSchema(body []byte) string {
+	var req stream.Request
+	if err := stream.DecodeRequest(body, &req); err != nil {
+		return ""
+	}
+	return req.Schema
+}
+
+func (rt *Router) readBody(w http.ResponseWriter, r *http.Request) ([]byte, *routeError) {
+	body, err := readAll(http.MaxBytesReader(w, r.Body, maxRouterBody))
+	if err != nil {
+		return nil, &routeError{status: http.StatusBadRequest, code: "bad_request", msg: "bad request body: " + err.Error()}
+	}
+	return body, nil
+}
+
+func (rt *Router) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	release, ok := rt.admit(clientKey(r))
+	if !ok {
+		rt.writeError(w, r, errShed)
+		return
+	}
+	defer release()
+	body, rerr := rt.readBody(w, r)
+	if rerr != nil {
+		rt.writeError(w, r, rerr)
+		return
+	}
+	schema := peekSchema(body)
+	if r.URL.RawQuery != "" {
+		// Explain (and any future query switch) changes the response
+		// shape, so it bypasses the body-keyed cache and the stream
+		// transport: proxy it to the affinity replica verbatim.
+		rt.proxyRouted(w, r, schema, body)
+		return
+	}
+	resp, rerr := rt.estimate(r.Context(), schema, body)
+	if rerr != nil {
+		rt.writeError(w, r, rerr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(resp)
+}
+
+// handleProxyBySchema forwards batch and observe traffic to the
+// schema's affinity replica over HTTP, response copied verbatim.
+func (rt *Router) handleProxyBySchema(w http.ResponseWriter, r *http.Request) {
+	release, ok := rt.admit(clientKey(r))
+	if !ok {
+		rt.writeError(w, r, errShed)
+		return
+	}
+	defer release()
+	body, rerr := rt.readBody(w, r)
+	if rerr != nil {
+		rt.writeError(w, r, rerr)
+		return
+	}
+	rt.proxyRouted(w, r, peekSchema(body), body)
+}
+
+// proxyRouted picks schema's replica (affinity, then
+// version-consistent spillover), proxies the request verbatim, and
+// retries one successor when the replica dies mid-request.
+func (rt *Router) proxyRouted(w http.ResponseWriter, r *http.Request, schema string, body []byte) {
+	var skipped map[string]bool
+	for attempt := 0; attempt < 2; attempt++ {
+		rp, spill := rt.pick(schema, skipped)
+		if rp == nil {
+			break
+		}
+		err := rt.proxyVerbatim(w, r, rp, body)
+		if err != nil {
+			rp.errors.Inc()
+			rp.setDown(err)
+			rt.logger.Warn("replica failed mid-request", "replica", rp.name, "error", err)
+			if skipped == nil {
+				skipped = make(map[string]bool, 2)
+			}
+			skipped[rp.name] = true
+			continue
+		}
+		if spill {
+			rt.decSpillover.Inc()
+		} else {
+			rt.decAffinity.Inc()
+		}
+		rp.requests.Inc()
+		return
+	}
+	rt.decShed.Inc()
+	rt.writeError(w, r, errNoReplica)
+}
+
+func (rt *Router) handleModelsGet(w http.ResponseWriter, r *http.Request) {
+	// The fleet converges on one model set, so any healthy replica can
+	// answer; prefer ring order for a stable choice.
+	for _, name := range rt.ring.PickN("models", len(rt.order)) {
+		rp := rt.replicas[name]
+		if healthy, _ := rp.state(); !healthy {
+			continue
+		}
+		if err := rt.proxyVerbatim(w, r, rp, nil); err != nil {
+			rp.errors.Inc()
+			rp.setDown(err)
+			continue
+		}
+		rp.requests.Inc()
+		return
+	}
+	rt.writeError(w, r, errNoReplica)
+}
+
+// handleFanout applies a model mutation (publish, rollback) to every
+// healthy replica so the fleet moves together. The first replica's
+// response is the client's answer; any later failure surfaces as a
+// conflict naming the replicas left behind.
+func (rt *Router) handleFanout(w http.ResponseWriter, r *http.Request) {
+	body, rerr := rt.readBody(w, r)
+	if rerr != nil {
+		rt.writeError(w, r, rerr)
+		return
+	}
+	var (
+		firstStatus int
+		firstBody   []byte
+		applied     []string
+		failed      []string
+	)
+	for _, name := range rt.order {
+		rp := rt.replicas[name]
+		if healthy, _ := rp.state(); !healthy {
+			failed = append(failed, name)
+			continue
+		}
+		status, respBody, err := rt.forwardRaw(r, rp, body)
+		if err != nil {
+			rp.errors.Inc()
+			rp.setDown(err)
+			failed = append(failed, name)
+			continue
+		}
+		rp.requests.Inc()
+		if firstBody == nil {
+			firstStatus, firstBody = status, respBody
+		}
+		if status < 300 {
+			applied = append(applied, name)
+		} else {
+			failed = append(failed, name)
+		}
+	}
+	if firstBody == nil {
+		rt.writeError(w, r, errNoReplica)
+		return
+	}
+	if len(failed) > 0 && len(applied) > 0 {
+		rt.logger.Warn("partial model fanout", "applied", applied, "failed", failed)
+		rt.writeError(w, r, &routeError{
+			status: http.StatusConflict, code: "conflict",
+			msg: "model change applied to " + strconv.Itoa(len(applied)) + "/" +
+				strconv.Itoa(len(applied)+len(failed)) + " replicas; fleet inconsistent until next poll",
+		})
+		return
+	}
+	// Refresh version tokens immediately so the next requests route
+	// (and cache) under the new model set instead of waiting out a
+	// poll interval.
+	rt.PollNow()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(firstStatus)
+	w.Write(firstBody)
+}
+
+// fleetHealth is the router's GET /healthz body: the per-replica view
+// the poller maintains plus the fleet-wide consistency verdict.
+type fleetHealth struct {
+	Status     string          `json:"status"` // ok | degraded | down
+	Consistent bool            `json:"consistent"`
+	Replicas   []replicaStatus `json:"replicas"`
+	Build      obs.Build       `json:"build"`
+}
+
+type replicaStatus struct {
+	Name          string `json:"name"`
+	Healthy       bool   `json:"healthy"`
+	StoreChecksum string `json:"store_checksum,omitempty"`
+	StreamAddr    string `json:"stream_addr,omitempty"`
+	Error         string `json:"error,omitempty"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fh := fleetHealth{Consistent: rt.FleetConsistent(), Build: obs.BuildInfo()}
+	healthyN := 0
+	for _, name := range rt.order {
+		rp := rt.replicas[name]
+		rp.mu.Lock()
+		st := replicaStatus{
+			Name:          rp.name,
+			Healthy:       rp.healthy,
+			StoreChecksum: rp.token,
+			StreamAddr:    rp.streamAddr,
+		}
+		if rp.lastErr != nil {
+			st.Error = rp.lastErr.Error()
+		}
+		rp.mu.Unlock()
+		if st.Healthy {
+			healthyN++
+		}
+		fh.Replicas = append(fh.Replicas, st)
+	}
+	status := http.StatusOK
+	switch {
+	case healthyN == 0:
+		fh.Status = "down"
+		status = http.StatusServiceUnavailable
+	case healthyN < len(rt.order) || !fh.Consistent:
+		fh.Status = "degraded"
+	default:
+		fh.Status = "ok"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(fh)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if serve.WantsPrometheus(r) {
+		w.Header().Set("Content-Type", obs.TextContentType)
+		rt.obsReg.WritePrometheus(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(rt.Metrics())
+}

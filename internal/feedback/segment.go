@@ -1,0 +1,58 @@
+package feedback
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+)
+
+// Fleet-forwarding helpers over the observation log's CRC-framed
+// segment codec: a forwarder tails a replica's segments and ships the
+// raw bytes of whole records to the designated retrainer, whose
+// ingest endpoint decodes them back into observations. The wire
+// format IS the on-disk format — no re-encoding on either side.
+
+// DecodeRecords reads CRC-framed observation records from r and calls
+// fn for each decoded observation, returning how many were delivered.
+// io.EOF on a record boundary ends the scan cleanly; a torn or
+// corrupt record (or an fn error) stops it with the error, records
+// before it already delivered.
+func DecodeRecords(r io.Reader, fn func(*Observation) error) (int, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	n := 0
+	for {
+		payload, _, err := readRecord(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return n, nil
+			}
+			return n, err
+		}
+		obs, err := DecodeObservation(payload)
+		if err != nil {
+			return n, err
+		}
+		if err := fn(obs); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// ValidRecordPrefix returns the length in bytes and count of the
+// longest prefix of b that consists of whole, intact records. A
+// forwarder reading a live segment uses it to ship only completed
+// records: the torn tail a concurrent append is still writing stays
+// behind and is retried once the next poll sees it whole.
+func ValidRecordPrefix(b []byte) (size int64, count int) {
+	br := bufio.NewReader(bytes.NewReader(b))
+	for {
+		_, n, err := readRecord(br)
+		if err != nil {
+			return size, count
+		}
+		size += n
+		count++
+	}
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Build identifies the running binary: the serving tier publishes it
+// from /healthz so a router (or an operator diffing two replicas) can
+// tell a version-skewed fleet apart without shelling into the hosts.
+type Build struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Main is the main module path.
+	Main string `json:"main,omitempty"`
+	// Revision is the VCS revision baked in by the toolchain, when
+	// the binary was built from a checkout ("" otherwise).
+	Revision string `json:"revision,omitempty"`
+	// Dirty marks a build from a modified working tree.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo Build
+)
+
+// BuildInfo returns the binary's build identity, computed once from
+// runtime/debug.ReadBuildInfo.
+func BuildInfo() Build {
+	buildOnce.Do(func() {
+		buildInfo = Build{GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.Main = bi.Main.Path
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.modified":
+				buildInfo.Dirty = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}

@@ -218,7 +218,15 @@ const (
 //	                       Prometheus text exposition instead (per-stage
 //	                       latency summaries, per-shard cache counters,
 //	                       queue depth, feedback and store gauges)
-//	GET  /healthz          → 200 once at least one model is published
+//	POST /observe/segment  raw CRC-framed observation records (the
+//	                       feedback log's segment codec) → bulk ingest
+//	                       into the feedback loop; how fleet replicas
+//	                       forward observation-log segments to the
+//	                       designated retrainer
+//	GET  /healthz          → 200 + replica identity (model version
+//	                       vector, store snapshot checksum, advertised
+//	                       stream address, build info) once at least
+//	                       one model is published
 //
 // Failures return the structured errorJSON envelope: a message, a
 // stable machine-readable code, the request's X-Request-ID, and — on
@@ -239,15 +247,61 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /models", s.handlePublish)
 	mux.HandleFunc("POST /models/rollback", s.handleRollback)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		if len(s.reg.Models()) == 0 {
-			writeError(w, r, http.StatusServiceUnavailable,
-				jsonError("no models published", errCodeUnavailable, -1))
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("POST /observe/segment", s.handleObserveSegment)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return withRequestID(mux)
+}
+
+// healthJSON is the GET /healthz body: liveness plus the replica's
+// identity — the model version vector, its folded checksum, the
+// advertised stream listener and the build — so a router or load
+// balancer can do version-aware health checks in one round trip
+// without also polling /models.
+type healthJSON struct {
+	Status string `json:"status"`
+	// Models is the version vector: one entry per live route with the
+	// store snapshot and model content checksum when a store is
+	// attached (globally comparable across replicas sharing a store).
+	Models []RouteVersion `json:"models,omitempty"`
+	// StoreChecksum folds the version vector into one digest: equal
+	// digests ⇒ the replicas serve identical model sets.
+	StoreChecksum string `json:"store_checksum,omitempty"`
+	// StreamAddr is the replica's stream listener, when one is
+	// advertised (SetStreamAddr) — how a router discovers the cheap
+	// transport from the HTTP address it was configured with.
+	StreamAddr string    `json:"stream_addr,omitempty"`
+	Build      obs.Build `json:"build"`
+}
+
+// handleHealthz answers 200 with the replica identity once at least
+// one model is published, 503 before that (load balancers keep the
+// replica out of rotation until it can actually answer estimates).
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	vec := s.reg.VersionVector()
+	if len(vec) == 0 {
+		writeError(w, r, http.StatusServiceUnavailable,
+			jsonError("no models published", errCodeUnavailable, -1))
+		return
+	}
+	writeJSON(w, http.StatusOK, healthJSON{
+		Status:        "ok",
+		Models:        vec,
+		StoreChecksum: VersionChecksum(vec),
+		StreamAddr:    s.StreamAddr(),
+		Build:         obs.BuildInfo(),
+	})
+}
+
+// SetStreamAddr advertises the service's stream listener address on
+// /healthz. cmd/resserve calls it after the listener binds.
+func (s *Service) SetStreamAddr(addr string) { s.streamAddr.Store(&addr) }
+
+// StreamAddr returns the advertised stream listener ("" when none).
+func (s *Service) StreamAddr() string {
+	if p := s.streamAddr.Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // handleMetrics negotiates between the legacy JSON snapshot (the
@@ -596,6 +650,46 @@ func (s *Service) handleObserve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]string{"status": "accepted"})
 }
 
+// handleObserveSegment bulk-ingests observations framed with the
+// feedback log's CRC segment codec — the fleet feedback path: replica
+// forwarders ship their observation-log segments here (raw bytes, no
+// re-encoding) and the designated retrainer's loop ingests each
+// record as if it had been observed locally. Delivery is
+// at-least-once; duplicate observations only re-enter the rolling
+// windows, which is harmless by design.
+func (s *Service) handleObserveSegment(w http.ResponseWriter, r *http.Request) {
+	loop := s.opts.Feedback
+	if loop == nil {
+		writeError(w, r, http.StatusForbidden,
+			jsonError("observation ingest disabled (no feedback loop attached)", errCodeForbidden, -1))
+		return
+	}
+	var accepted, rejected int
+	_, err := feedback.DecodeRecords(http.MaxBytesReader(w, r.Body, maxBatchBody), func(o *feedback.Observation) error {
+		err := loop.Observe(o)
+		switch {
+		case err == nil:
+			accepted++
+		case errors.Is(err, feedback.ErrInvalid):
+			// One replica's bad record must not fail the whole chunk —
+			// the forwarder would resend it forever.
+			rejected++
+		default:
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		status, code := http.StatusBadRequest, errCodeBadRequest
+		if errors.Is(err, feedback.ErrClosed) {
+			status, code = http.StatusServiceUnavailable, errCodeUnavailable
+		}
+		writeError(w, r, status, jsonError(err.Error(), code, -1))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]int{"accepted": accepted, "rejected": rejected})
+}
+
 type rollbackRequestJSON struct {
 	Schema   string `json:"schema,omitempty"`
 	Resource string `json:"resource,omitempty"`
@@ -662,6 +756,37 @@ func PlanErrorCode(err error) string { return planErrCode(err) }
 func ErrorCode(err error) (status int, code string) {
 	status, e := errorFor(err)
 	return status, e.Code
+}
+
+// WantsPrometheus reports whether r negotiates the Prometheus text
+// exposition the way GET /metrics does: an explicit ?format= wins,
+// then the Accept header, with JSON the default. The router's metrics
+// endpoint reuses it so both tiers answer content negotiation
+// identically.
+func WantsPrometheus(r *http.Request) bool { return wantsPrometheus(r) }
+
+// StatusForCode maps a stable wire error code back to the HTTP status
+// the handlers pair it with — the inverse of ErrorCode, for proxies
+// that receive a stream error envelope and must answer over HTTP.
+// Unknown codes map to 500.
+func StatusForCode(code string) int {
+	switch code {
+	case errCodeBadRequest, errCodeUnknownResource, errCodeBadPlan, errCodeUnknownOperator:
+		return http.StatusBadRequest
+	case errCodeUnknownSchema, errCodeNoHistory:
+		return http.StatusNotFound
+	case errCodeConflict, errCodeModeMismatch:
+		return http.StatusConflict
+	case errCodeForbidden:
+		return http.StatusForbidden
+	case errCodeBatchTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case errCodeUnavailable:
+		return http.StatusServiceUnavailable
+	case errCodeTimeout:
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
 }
 
 // MarshalWire encodes v exactly as the HTTP endpoints do: no HTML

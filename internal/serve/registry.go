@@ -96,7 +96,8 @@ type Registry struct {
 	storeMu   sync.Mutex
 	store     *store.Store
 	cursor    map[ModelKey]uint64
-	dirty     map[string]bool // schemas whose last snapshot persist failed
+	dirty     map[string]bool            // schemas whose last snapshot persist failed
+	manCache  map[uint64]*store.Manifest // memoized immutable manifests (VersionVector)
 	storeLogf func(format string, args ...any)
 }
 

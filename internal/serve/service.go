@@ -418,6 +418,10 @@ type Service struct {
 	// exists (counter-only collectors still render).
 	tel    *telemetry
 	obsReg *obs.Registry
+
+	// streamAddr is the advertised stream listener (SetStreamAddr),
+	// published on /healthz so routers can discover the transport.
+	streamAddr atomic.Pointer[string]
 }
 
 // New starts a service and its worker pool. Close releases the workers.

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -15,7 +16,52 @@ import (
 	"repro/internal/serve"
 )
 
-// Client is one persistent streaming connection. It is safe for
+// ErrConnLost reports that the streaming connection died while a
+// request was in flight (or before it could be sent). Estimates are
+// idempotent, so callers may retry; a reconnecting client (see
+// DialOptions.Reconnect) retries once automatically after the redial.
+var ErrConnLost = errors.New("stream: connection lost")
+
+// errClientClosed is the sticky error after an explicit Close.
+var errClientClosed = errors.New("stream: client closed")
+
+// DialOptions configures DialWith. The zero value reproduces Dial:
+// a 10s connect timeout and no reconnection — once the connection
+// dies, every call fails with the same sticky error.
+type DialOptions struct {
+	// ConnectTimeout bounds each dial attempt (default 10s). In
+	// reconnect mode it also bounds how long a request issued while
+	// disconnected waits for the redial before failing with
+	// ErrConnLost (a request context with an earlier deadline wins).
+	ConnectTimeout time.Duration
+	// Reconnect redials automatically after a connection loss, with
+	// exponential backoff and jitter between attempts. In-flight
+	// requests still fail fast with ErrConnLost — a broken stream
+	// cannot be resynchronized — but estimates are idempotent, so
+	// each is retried once on the fresh connection before the error
+	// surfaces to the caller.
+	Reconnect bool
+	// BackoffMin is the first redial delay (default 20ms).
+	BackoffMin time.Duration
+	// BackoffMax caps the redial delay (default 2s).
+	BackoffMax time.Duration
+}
+
+func (o *DialOptions) withDefaults() DialOptions {
+	out := *o
+	if out.ConnectTimeout <= 0 {
+		out.ConnectTimeout = 10 * time.Second
+	}
+	if out.BackoffMin <= 0 {
+		out.BackoffMin = 20 * time.Millisecond
+	}
+	if out.BackoffMax < out.BackoffMin {
+		out.BackoffMax = 2 * time.Second
+	}
+	return out
+}
+
+// Client is one logical streaming connection. It is safe for
 // concurrent use: requests from many goroutines interleave on the one
 // connection, each tagged with a sequence ID, and a reader goroutine
 // demultiplexes responses back to their callers — out-of-order
@@ -23,16 +69,22 @@ import (
 // goroutine that coalesces concurrently submitted frames into one
 // writev, so pipelined callers share syscalls instead of serializing
 // on a write lock.
+//
+// A client opened with DialOptions.Reconnect survives connection
+// loss: the underlying TCP connection is redialed in the background
+// (exponential backoff + jitter) and subsequent calls use the fresh
+// connection. Without Reconnect, the first failure is sticky.
 type Client struct {
-	c   net.Conn
-	seq atomic.Uint64
+	addr string
+	opts DialOptions
+	seq  atomic.Uint64
 
-	out  chan []byte
-	done chan struct{}
-
-	mu      sync.Mutex
-	waiters map[uint64]chan result
-	err     error // set once the reader dies; sticky
+	mu     sync.Mutex
+	conn   *clientConn   // live connection; nil while disconnected
+	ready  chan struct{} // closed when conn is set or err turns sticky
+	err    error         // sticky: Close, or a loss with Reconnect off
+	closed bool
+	gen    uint64 // connection generation; stale loss reports are ignored
 }
 
 // result is one demultiplexed answer.
@@ -44,7 +96,7 @@ type result struct {
 // chanPool recycles waiter channels across calls; a pipelined caller
 // otherwise allocates one per request. Only channels that completed
 // normally are returned (a canceled waiter's channel may still
-// receive a late send; a failed client's channels are closed).
+// receive a late send; a failed connection's channels are closed).
 var chanPool = sync.Pool{New: func() any { return make(chan result, 1) }}
 
 func resultChan() chan result { return chanPool.Get().(chan result) }
@@ -52,104 +104,166 @@ func resultChan() chan result { return chanPool.Get().(chan result) }
 // Dial opens a streaming connection to a resserve -stream-addr
 // listener.
 func Dial(addr string) (*Client, error) {
-	return DialTimeout(addr, 10*time.Second)
+	return DialWith(addr, DialOptions{})
 }
 
 // DialTimeout is Dial with a connect timeout.
 func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
-	nc, err := net.DialTimeout("tcp", addr, timeout)
+	return DialWith(addr, DialOptions{ConnectTimeout: timeout})
+}
+
+// DialWith opens a streaming connection with explicit options. The
+// initial dial is synchronous even in reconnect mode: a router that
+// cannot reach a replica at startup should learn immediately.
+func DialWith(addr string, opts DialOptions) (*Client, error) {
+	cl := &Client{addr: addr, opts: opts.withDefaults(), ready: make(chan struct{})}
+	nc, err := net.DialTimeout("tcp", addr, cl.opts.ConnectTimeout)
 	if err != nil {
 		return nil, err
 	}
-	cl := &Client{
+	cl.install(nc, 0)
+	return cl, nil
+}
+
+// install wires a fresh TCP connection in as the current generation
+// and wakes any callers parked on ready. gen != 0 marks a redial: the
+// install is dropped (false) when it raced a Close or a newer
+// generation. The initial dial (gen 0) cannot lose such a race.
+func (cl *Client) install(nc net.Conn, gen uint64) bool {
+	cl.mu.Lock()
+	if cl.closed || (gen != 0 && (cl.gen != gen || cl.conn != nil)) {
+		cl.mu.Unlock()
+		return false
+	}
+	cl.gen++
+	cc := &clientConn{
+		cl:      cl,
+		gen:     cl.gen,
 		c:       nc,
 		out:     make(chan []byte, 256),
 		done:    make(chan struct{}),
 		waiters: make(map[uint64]chan result),
 	}
-	go cl.readLoop()
-	go cl.writeLoop()
-	return cl, nil
-}
-
-// writeLoop drains queued frames onto the connection, coalescing
-// whatever is already queued into a single writev — the mirror of the
-// server's writer. One slow syscall absorbs every frame that arrived
-// while the previous one was in flight.
-func (cl *Client) writeLoop() {
-	bufs := make(net.Buffers, 0, 64)
-	for {
-		select {
-		case b := <-cl.out:
-			bufs = append(bufs[:0], b)
-		drain:
-			for len(bufs) < cap(bufs) {
-				select {
-				case nb := <-cl.out:
-					bufs = append(bufs, nb)
-				default:
-					break drain
-				}
-			}
-			if _, err := bufs.WriteTo(cl.c); err != nil {
-				cl.fail(err)
-				return
-			}
-		case <-cl.done:
-			return
-		}
+	cl.conn = cc
+	select {
+	case <-cl.ready:
+	default:
+		close(cl.ready)
 	}
-}
-
-// Close tears the connection down; in-flight calls fail.
-func (cl *Client) Close() error { return cl.c.Close() }
-
-// readLoop demultiplexes response frames to their waiters. On any read
-// failure every current and future call fails with the same sticky
-// error — a broken stream cannot be resynchronized, only redialed.
-func (cl *Client) readLoop() {
-	br := bufio.NewReader(cl.c)
-	for {
-		f, err := ReadFrame(br)
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				err = fmt.Errorf("stream: connection closed by server: %w", io.EOF)
-			}
-			cl.fail(err)
-			return
-		}
-		if f.Type != FrameResponse && f.Type != FrameError {
-			cl.fail(fmt.Errorf("stream: unexpected frame type %d from server", f.Type))
-			return
-		}
-		cl.mu.Lock()
-		ch, ok := cl.waiters[f.Seq]
-		delete(cl.waiters, f.Seq)
-		cl.mu.Unlock()
-		if ok {
-			// Buffered (capacity 1): a waiter that gave up on its context
-			// deleted itself, and a late send must not block the reader.
-			ch <- result{body: f.Body, isErr: f.Type == FrameError}
-		}
-	}
-}
-
-func (cl *Client) fail(err error) {
-	cl.mu.Lock()
-	first := cl.err == nil
-	if first {
-		cl.err = err
-	}
-	waiters := cl.waiters
-	cl.waiters = make(map[uint64]chan result)
 	cl.mu.Unlock()
-	if first {
-		close(cl.done)
+	go cc.readLoop()
+	go cc.writeLoop()
+	return true
+}
+
+// lost handles a connection-death report from generation gen. With
+// Reconnect the redialer takes over; without, the error turns sticky.
+func (cl *Client) lost(gen uint64, cause error) {
+	cl.mu.Lock()
+	if gen != cl.gen || cl.conn == nil {
+		cl.mu.Unlock()
+		return
 	}
-	_ = cl.c.Close()
-	for _, ch := range waiters {
-		close(ch)
+	cl.conn = nil
+	if cl.closed || !cl.opts.Reconnect {
+		if cl.err == nil {
+			cl.err = cause
+		}
+		cl.mu.Unlock()
+		return
 	}
+	cl.ready = make(chan struct{})
+	gen = cl.gen
+	cl.mu.Unlock()
+	go cl.redial(gen)
+}
+
+// redial reconnects with exponential backoff and jitter until it
+// succeeds or the client is closed. Each delay is drawn uniformly
+// from [d/2, d) so a fleet of clients dropped by the same replica
+// restart does not thundering-herd the fresh listener.
+func (cl *Client) redial(gen uint64) {
+	delay := cl.opts.BackoffMin
+	for {
+		sleep := delay/2 + time.Duration(rand.Int64N(int64(delay/2)+1))
+		time.Sleep(sleep)
+		cl.mu.Lock()
+		stale := cl.closed || cl.gen != gen || cl.conn != nil
+		cl.mu.Unlock()
+		if stale {
+			return
+		}
+		nc, err := net.DialTimeout("tcp", cl.addr, cl.opts.ConnectTimeout)
+		if err == nil {
+			if !cl.install(nc, gen) {
+				nc.Close()
+			}
+			return
+		}
+		if delay *= 2; delay > cl.opts.BackoffMax {
+			delay = cl.opts.BackoffMax
+		}
+	}
+}
+
+// current returns the live connection, waiting (bounded by ctx and
+// ConnectTimeout) for an in-progress redial when reconnecting.
+func (cl *Client) current(ctx context.Context) (*clientConn, error) {
+	cl.mu.Lock()
+	cc, err := cl.conn, cl.err
+	cl.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if cc != nil {
+		return cc, nil
+	}
+	deadline := time.NewTimer(cl.opts.ConnectTimeout)
+	defer deadline.Stop()
+	for {
+		cl.mu.Lock()
+		cc, err, ready := cl.conn, cl.err, cl.ready
+		cl.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if cc != nil {
+			return cc, nil
+		}
+		select {
+		case <-ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-deadline.C:
+			return nil, fmt.Errorf("stream: no connection to %s after %v: %w",
+				cl.addr, cl.opts.ConnectTimeout, ErrConnLost)
+		}
+	}
+}
+
+// Close tears the client down; in-flight calls fail and no further
+// redials are attempted.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil
+	}
+	cl.closed = true
+	if cl.err == nil {
+		cl.err = errClientClosed
+	}
+	cc := cl.conn
+	select {
+	case <-cl.ready:
+	default:
+		close(cl.ready) // wake callers parked on a redial
+	}
+	cl.mu.Unlock()
+	if cc != nil {
+		return cc.c.Close()
+	}
+	return nil
 }
 
 // EstimateRaw sends one estimate over the stream and returns the raw
@@ -169,61 +283,21 @@ func (cl *Client) EstimateRaw(ctx context.Context, req *Request) ([]byte, error)
 // repeatedly — replayers, load generators — skip the per-call
 // marshal, which re-compacts the embedded plan each time.
 func (cl *Client) EstimateBytes(ctx context.Context, body []byte) ([]byte, error) {
-	seq := cl.seq.Add(1)
-	buf, err := AppendFrame(make([]byte, 0, frameHeader+framePrefix+len(body)),
-		&Frame{Type: FrameEstimate, Seq: seq, Body: body})
+	b, err := cl.estimateOnce(ctx, body)
+	if err != nil && cl.opts.Reconnect && errors.Is(err, ErrConnLost) && ctx.Err() == nil {
+		// Estimates are idempotent reads: one retry on the redialed
+		// connection before the loss surfaces to the caller.
+		b, err = cl.estimateOnce(ctx, body)
+	}
+	return b, err
+}
+
+func (cl *Client) estimateOnce(ctx context.Context, body []byte) ([]byte, error) {
+	cc, err := cl.current(ctx)
 	if err != nil {
 		return nil, err
 	}
-
-	ch := resultChan()
-	cl.mu.Lock()
-	if cl.err != nil {
-		err := cl.err
-		cl.mu.Unlock()
-		return nil, err
-	}
-	cl.waiters[seq] = ch
-	cl.mu.Unlock()
-
-	select {
-	case cl.out <- buf:
-	case <-cl.done:
-		cl.mu.Lock()
-		delete(cl.waiters, seq)
-		err := cl.err
-		cl.mu.Unlock()
-		return nil, err
-	case <-ctx.Done():
-		cl.mu.Lock()
-		delete(cl.waiters, seq)
-		cl.mu.Unlock()
-		return nil, ctx.Err()
-	}
-
-	select {
-	case r, ok := <-ch:
-		if !ok {
-			cl.mu.Lock()
-			err := cl.err
-			cl.mu.Unlock()
-			return nil, err
-		}
-		chanPool.Put(ch)
-		if r.isErr {
-			var e Error
-			if jerr := json.Unmarshal(r.body, &e); jerr != nil {
-				return nil, fmt.Errorf("stream: undecodable error frame: %v", jerr)
-			}
-			return nil, &e
-		}
-		return r.body, nil
-	case <-ctx.Done():
-		cl.mu.Lock()
-		delete(cl.waiters, seq)
-		cl.mu.Unlock()
-		return nil, ctx.Err()
-	}
+	return cc.estimate(ctx, cl.seq.Add(1), body)
 }
 
 // Estimate sends one estimate over the stream and decodes the
@@ -239,4 +313,166 @@ func (cl *Client) Estimate(ctx context.Context, req *Request) (*serve.Response, 
 		return nil, fmt.Errorf("stream: decode response: %w", err)
 	}
 	return &resp, nil
+}
+
+// clientConn is one TCP connection generation: the read/write loops,
+// the in-flight waiter table, and the per-connection failure state.
+type clientConn struct {
+	cl  *Client
+	gen uint64
+	c   net.Conn
+
+	out  chan []byte
+	done chan struct{}
+
+	mu      sync.Mutex
+	waiters map[uint64]chan result
+	err     error // first loop failure; wrapped with ErrConnLost
+}
+
+// writeLoop drains queued frames onto the connection, coalescing
+// whatever is already queued into a single writev — the mirror of the
+// server's writer. One slow syscall absorbs every frame that arrived
+// while the previous one was in flight.
+func (cc *clientConn) writeLoop() {
+	bufs := make(net.Buffers, 0, 64)
+	for {
+		select {
+		case b := <-cc.out:
+			bufs = append(bufs[:0], b)
+		drain:
+			for len(bufs) < cap(bufs) {
+				select {
+				case nb := <-cc.out:
+					bufs = append(bufs, nb)
+				default:
+					break drain
+				}
+			}
+			if _, err := bufs.WriteTo(cc.c); err != nil {
+				cc.fail(err)
+				return
+			}
+		case <-cc.done:
+			return
+		}
+	}
+}
+
+// readLoop demultiplexes response frames to their waiters. On any read
+// failure every in-flight call on this connection fails with the same
+// error — a broken stream cannot be resynchronized, only redialed.
+func (cc *clientConn) readLoop() {
+	br := bufio.NewReader(cc.c)
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = fmt.Errorf("stream: connection closed by server: %w", io.EOF)
+			}
+			cc.fail(err)
+			return
+		}
+		if f.Type != FrameResponse && f.Type != FrameError {
+			cc.fail(fmt.Errorf("stream: unexpected frame type %d from server", f.Type))
+			return
+		}
+		cc.mu.Lock()
+		ch, ok := cc.waiters[f.Seq]
+		delete(cc.waiters, f.Seq)
+		cc.mu.Unlock()
+		if ok {
+			// Buffered (capacity 1): a waiter that gave up on its context
+			// deleted itself, and a late send must not block the reader.
+			ch <- result{body: f.Body, isErr: f.Type == FrameError}
+		}
+	}
+}
+
+// fail marks the connection dead: in-flight waiters' channels close
+// (their calls fail fast with ErrConnLost) and the parent client is
+// told so it can turn the error sticky or start redialing.
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	first := cc.err == nil
+	if first {
+		cc.err = fmt.Errorf("%w: %w", ErrConnLost, err)
+	}
+	cause := cc.err
+	waiters := cc.waiters
+	cc.waiters = make(map[uint64]chan result)
+	cc.mu.Unlock()
+	if first {
+		close(cc.done)
+		_ = cc.c.Close()
+		cc.cl.lost(cc.gen, cause)
+	}
+	for _, ch := range waiters {
+		close(ch)
+	}
+}
+
+// connErr returns the connection's failure, or a generic loss error
+// when a waiter observed the closed channel before err was recorded.
+func (cc *clientConn) connErr() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.err != nil {
+		return cc.err
+	}
+	return ErrConnLost
+}
+
+// estimate runs one request on this connection generation.
+func (cc *clientConn) estimate(ctx context.Context, seq uint64, body []byte) ([]byte, error) {
+	buf, err := AppendFrame(make([]byte, 0, frameHeader+framePrefix+len(body)),
+		&Frame{Type: FrameEstimate, Seq: seq, Body: body})
+	if err != nil {
+		return nil, err
+	}
+
+	ch := resultChan()
+	cc.mu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.mu.Unlock()
+		return nil, err
+	}
+	cc.waiters[seq] = ch
+	cc.mu.Unlock()
+
+	select {
+	case cc.out <- buf:
+	case <-cc.done:
+		cc.mu.Lock()
+		delete(cc.waiters, seq)
+		cc.mu.Unlock()
+		return nil, cc.connErr()
+	case <-ctx.Done():
+		cc.mu.Lock()
+		delete(cc.waiters, seq)
+		cc.mu.Unlock()
+		return nil, ctx.Err()
+	}
+
+	select {
+	case r, ok := <-ch:
+		if !ok {
+			return nil, cc.connErr()
+		}
+		chanPool.Put(ch)
+		if r.isErr {
+			var e Error
+			if jerr := json.Unmarshal(r.body, &e); jerr != nil {
+				return nil, fmt.Errorf("stream: undecodable error frame: %v", jerr)
+			}
+			return nil, &e
+		}
+		return r.body, nil
+	case <-ctx.Done():
+		cc.mu.Lock()
+		delete(cc.waiters, seq)
+		cc.mu.Unlock()
+		return nil, ctx.Err()
+	}
 }

@@ -20,6 +20,12 @@ import (
 // the result must be byte-for-byte what stdlib would have produced. A
 // differential fuzz target (FuzzRequestDecode) pins exactly that.
 
+// DecodeRequest decodes one request envelope into req — the routing
+// tier peeks the schema for affinity placement with the same fast
+// path the server uses, so routing adds one envelope walk, not a
+// second full JSON parse.
+func DecodeRequest(body []byte, req *Request) error { return decodeRequest(body, req) }
+
 // decodeRequest decodes one request envelope into req.
 func decodeRequest(body []byte, req *Request) error {
 	if fastDecodeRequest(body, req) {

@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/features"
@@ -670,3 +671,75 @@ func NewServiceWithFeedback(opts ServeOptions, fopts FeedbackOptions) (*Service,
 	opts.Feedback = loop
 	return serve.New(opts), loop, nil
 }
+
+// --- Distributed serving tier ----------------------------------------
+//
+// The cluster subsystem fronts N resserve replicas with a
+// schema-affinity router (consistent-hash placement, version-skew
+// guarded spillover, version-keyed response caching, load shedding)
+// and closes the feedback loop across the fleet: replicas forward
+// observation-log segments to one designated retrainer, whose
+// published snapshots followers pick up from the shared model store.
+// cmd/resrouter is the standalone router binary; see README
+// "Distributed deployment".
+
+// Cluster types, re-exported like the serving types above.
+type (
+	// Router fronts a replica fleet behind the single-node HTTP and
+	// stream surfaces.
+	Router = cluster.Router
+	// RouterOptions configures placement, pooling, polling, caching
+	// and admission bounds.
+	RouterOptions = cluster.Options
+	// RouterMetrics is the router's JSON metrics snapshot.
+	RouterMetrics = cluster.Metrics
+	// ObservationForwarder tails a replica's observation log and ships
+	// segments to the fleet's designated retrainer.
+	ObservationForwarder = cluster.Forwarder
+	// ObservationForwarderOptions configures the forwarder's source
+	// directory, target and poll interval.
+	ObservationForwarderOptions = cluster.ForwarderOptions
+)
+
+// NewRouter builds a schema-affinity router over the configured
+// replicas and polls their health once synchronously, so routing
+// state is live on return. Close it when done.
+func NewRouter(opts RouterOptions) (*Router, error) { return cluster.New(opts) }
+
+// StartObservationForwarder starts forwarding a replica's observation
+// segments to the retrainer at opts.Target (its /observe/segment
+// endpoint). Close it when done; pair it with a service built by
+// NewServiceWithObservationLog.
+func StartObservationForwarder(opts ObservationForwarderOptions) (*ObservationForwarder, error) {
+	return cluster.NewForwarder(opts)
+}
+
+// NewServiceWithObservationLog is the forwarding-replica variant of
+// NewServiceWithFeedback: POST /observe lands in the local
+// observation log and feeds the error gauges, but no retrainer runs —
+// fopts.Publisher is deliberately left unset, because retraining is
+// the designated retrainer's job and an ObservationForwarder ships
+// the log there.
+func NewServiceWithObservationLog(opts ServeOptions, fopts FeedbackOptions) (*Service, *FeedbackLoop, error) {
+	fopts.Publisher = nil
+	loop, err := feedback.New(fopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts.Feedback = loop
+	return serve.New(opts), loop, nil
+}
+
+// AttachModelStoreFollower attaches the store in follower mode: the
+// registry serves the store's newest snapshots but never writes pins
+// or rollback state — the store stays owned by the fleet's retrainer.
+// Use SyncFromModelStore to poll for newer snapshots afterwards.
+func AttachModelStoreFollower(s *Service, st *ModelStore, logf func(format string, args ...any)) ([]ModelInfo, error) {
+	s.Registry().AttachStore(st, logf)
+	return s.Registry().SyncFromStore()
+}
+
+// SyncFromModelStore publishes any store snapshots newer than what the
+// registry currently serves — the follower's poll body. It never
+// regresses a served version.
+func SyncFromModelStore(s *Service) ([]ModelInfo, error) { return s.Registry().SyncFromStore() }
